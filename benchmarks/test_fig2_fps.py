@@ -1,0 +1,48 @@
+"""Benchmark: reproduce Fig. 2 (FPS impact of co-running training).
+
+Fig. 2 shows per-second FPS traces of Angry Birds and TikTok on the Pixel 2,
+running alone and co-running with the background training task, and observes
+no noticeable slowdown (Observation 3): the mean stays around 60 and 30
+frames per second respectively.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.analysis.experiments import fig2_fps_traces
+from repro.analysis.reporting import format_table
+from repro.device.apps import APP_CATALOG
+
+
+def test_fig2_fps_while_corunning(benchmark):
+    results = benchmark(fig2_fps_traces, apps=("angrybird", "tiktok"), duration_s=250, seed=0)
+
+    rows = []
+    for app, entry in results.items():
+        rows.append(
+            [
+                app,
+                APP_CATALOG[app].nominal_fps,
+                entry["mean_fps_alone"],
+                entry["mean_fps_corunning"],
+                100.0 * entry["relative_degradation"],
+            ]
+        )
+    print_artifact(
+        "Fig. 2 — FPS running the app alone vs co-running with training",
+        format_table(
+            ["app", "nominal FPS", "mean FPS alone", "mean FPS co-running", "degradation %"],
+            rows,
+            float_format=".2f",
+        ),
+    )
+
+    for app, entry in results.items():
+        nominal = APP_CATALOG[app].nominal_fps
+        assert len(entry["alone"]) == 250
+        assert len(entry["corunning"]) == 250
+        # The average stays near the nominal frame rate in both conditions.
+        assert abs(entry["mean_fps_alone"] - nominal) < 0.15 * nominal
+        assert abs(entry["mean_fps_corunning"] - nominal) < 0.15 * nominal
+        # Observation 3: no noticeable slowdown for the foreground app.
+        assert entry["relative_degradation"] < 0.10

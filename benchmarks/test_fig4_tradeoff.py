@@ -1,0 +1,149 @@
+"""Benchmark: reproduce Fig. 4 (energy vs V, queue backlogs, energy-staleness).
+
+Fig. 4 sweeps the Lyapunov control knob ``V`` for staleness bounds
+``Lb in {100, 500, 1000}`` and compares against the Immediate, Sync-SGD and
+Offline (knapsack) schemes:
+
+* (a) energy consumption drops as ``V`` grows and approaches the offline level;
+* (b) the task-queue backlog ``Q(t)`` grows with ``V``;
+* (c) the virtual staleness queue ``H(t)`` grows with ``V``;
+* (d) the resulting energy-staleness trade-off: a larger staleness budget
+  buys lower energy.
+
+The sweep runs once (module-scoped) and the four panel benchmarks print and
+check their respective series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_artifact
+from repro.analysis.experiments import fig4_v_sweep
+from repro.analysis.reporting import format_table
+from repro.core.tradeoff import TradeoffAnalyzer
+
+V_VALUES = (0.0, 1e4, 4e4, 1e5)
+STALENESS_BOUNDS = (100.0, 500.0, 1000.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(bench_scale):
+    """Run the full Fig. 4 sweep once for all four panels."""
+    return fig4_v_sweep(
+        v_values=V_VALUES,
+        staleness_bounds=STALENESS_BOUNDS,
+        scale=bench_scale,
+    )
+
+
+def test_fig4a_energy_vs_v(benchmark, sweep):
+    def build_rows():
+        rows = []
+        for lb, points in sweep.sweeps.items():
+            for point in points:
+                rows.append([f"online Lb={lb:.0f}", point.v, point.energy_kj])
+        for name in ("immediate", "sync", "offline"):
+            rows.append([name, None, sweep.baseline_energy_kj(name)])
+        return rows
+
+    rows = benchmark(build_rows)
+    print_artifact(
+        "Fig. 4(a) — energy consumption vs control knob V (kJ)",
+        format_table(["scheme", "V", "energy (kJ)"], rows, float_format=".1f"),
+    )
+
+    immediate = sweep.baseline_energy_kj("immediate")
+    sync = sweep.baseline_energy_kj("sync")
+    offline = sweep.baseline_energy_kj("offline")
+    # Immediate scheduling is the energy upper bound; offline the lower bound.
+    assert offline < immediate
+    assert sync <= immediate * 1.05
+
+    for lb, points in sweep.sweeps.items():
+        analyzer = TradeoffAnalyzer(points)
+        # Energy decreases (within tolerance) as V grows.
+        assert analyzer.energy_is_nonincreasing(tolerance=0.10), lb
+        # At V=0 the online scheme behaves like immediate scheduling.
+        assert points[0].energy_kj == pytest.approx(immediate, rel=0.15)
+
+    # At the largest V with the relaxed bound, the online scheme saves a deep
+    # fraction of the immediate/sync energy (the paper reports >60% at paper
+    # scale) and lands within a modest factor of the offline optimum.
+    best = min(p.energy_kj for p in sweep.sweeps[1000.0])
+    assert 1.0 - best / immediate > 0.35
+    assert 1.0 - best / sync > 0.30
+    assert best / offline < 1.8
+
+
+def test_fig4b_queue_vs_v(benchmark, sweep):
+    def build_rows():
+        return [
+            [f"Lb={lb:.0f}", point.v, point.mean_queue]
+            for lb, points in sweep.sweeps.items()
+            for point in points
+        ]
+
+    rows = benchmark(build_rows)
+    print_artifact(
+        "Fig. 4(b) — time-averaged queue length Q(t) vs V",
+        format_table(["bound", "V", "mean Q(t)"], rows, float_format=".2f"),
+    )
+
+    num_users = 25
+    for lb, points in sweep.sweeps.items():
+        analyzer = TradeoffAnalyzer(points)
+        assert analyzer.queues_are_nondecreasing(tolerance=0.15), lb
+        assert all(p.mean_queue <= num_users for p in points)
+        # Larger V means longer queues (Theorem 1's O(V) side).
+        assert points[-1].mean_queue >= points[0].mean_queue
+
+
+def test_fig4c_virtual_queue_vs_v(benchmark, sweep):
+    def build_rows():
+        return [
+            [f"Lb={lb:.0f}", point.v, point.mean_virtual_queue]
+            for lb, points in sweep.sweeps.items()
+            for point in points
+        ]
+
+    rows = benchmark(build_rows)
+    print_artifact(
+        "Fig. 4(c) — time-averaged virtual queue H(t) vs V",
+        format_table(["bound", "V", "mean H(t)"], rows, float_format=".2f"),
+    )
+
+    for lb, points in sweep.sweeps.items():
+        assert all(p.mean_virtual_queue >= 0.0 for p in points)
+        # The virtual queue never shrinks when V grows (more deferral).
+        assert points[-1].mean_virtual_queue >= points[0].mean_virtual_queue - 1e-9
+    # A tighter staleness budget keeps a larger (or equal) virtual backlog.
+    tight = max(p.mean_virtual_queue for p in sweep.sweeps[100.0])
+    relaxed = max(p.mean_virtual_queue for p in sweep.sweeps[1000.0])
+    assert tight >= relaxed
+
+
+def test_fig4d_energy_staleness_tradeoff(benchmark, sweep):
+    def build_rows():
+        return [
+            [f"Lb={lb:.0f}", point.mean_virtual_queue, point.energy_kj]
+            for lb, points in sweep.sweeps.items()
+            for point in points
+        ]
+
+    rows = benchmark(build_rows)
+    print_artifact(
+        "Fig. 4(d) — energy-staleness trade-off (energy vs virtual queue H)",
+        format_table(["bound", "mean H(t)", "energy (kJ)"], rows, float_format=".2f"),
+    )
+
+    # Accepting more staleness (larger Lb) buys lower (or equal) energy at the
+    # largest V — the energy-staleness trade-off of Theorem 1.
+    energy_at_vmax = {lb: points[-1].energy_kj for lb, points in sweep.sweeps.items()}
+    assert energy_at_vmax[1000.0] <= energy_at_vmax[100.0] * 1.05
+    # Within each bound, the lowest-energy point carries at least as much
+    # staleness backlog as the highest-energy point.
+    for lb, points in sweep.sweeps.items():
+        lowest = min(points, key=lambda p: p.energy_kj)
+        highest = max(points, key=lambda p: p.energy_kj)
+        assert lowest.mean_virtual_queue >= highest.mean_virtual_queue - 1e-9, lb

@@ -1,0 +1,96 @@
+"""Benchmark: reproduce Fig. 6 (impact of the application arrival rate).
+
+Fig. 6 varies the per-slot application arrival probability and reports
+
+* (a) the energy of the Online, Immediate and Offline schemes — energy rises
+  with the arrival rate for everyone, the online scheme exploits arrivals
+  and sits between offline (lower) and immediate (upper), degrading towards
+  immediate when applications are abundant; and
+* (b) the test accuracy when applications are *scarce* — the online scheme
+  keeps accuracy (it falls back to immediate execution when the queues grow)
+  while the offline scheme loses accuracy because it keeps waiting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_artifact
+from repro.analysis.experiments import fig6_arrival_sweep
+from repro.analysis.reporting import format_table
+
+ENERGY_PROBS = (0.001, 0.02, 0.1)
+SCARCE_PROBS = (0.0001, 0.001)
+
+
+@pytest.fixture(scope="module")
+def energy_sweep(bench_scale):
+    return fig6_arrival_sweep(arrival_probs=ENERGY_PROBS, scale=bench_scale)
+
+
+@pytest.fixture(scope="module")
+def scarce_sweep(bench_scale):
+    return fig6_arrival_sweep(arrival_probs=SCARCE_PROBS, scale=bench_scale)
+
+
+def test_fig6a_energy_vs_arrival_rate(benchmark, energy_sweep):
+    def build_rows():
+        rows = []
+        for scheme, series in energy_sweep.items():
+            for prob, energy_kj, _ in series:
+                rows.append([scheme, prob, energy_kj])
+        return rows
+
+    rows = benchmark(build_rows)
+    print_artifact(
+        "Fig. 6(a) — impact of application arrival rate on energy (kJ)",
+        format_table(["scheme", "arrival prob", "energy (kJ)"], rows, float_format=".4f"),
+    )
+
+    online = {p: e for p, e, _ in energy_sweep["online"]}
+    immediate = {p: e for p, e, _ in energy_sweep["immediate"]}
+    offline = {p: e for p, e, _ in energy_sweep["offline"]}
+
+    # Energy follows an increasing trend with the arrival rate for all schemes
+    # (more foreground usage means more energy regardless of scheduling).
+    for series in (online, immediate, offline):
+        values = [series[p] for p in ENERGY_PROBS]
+        assert values[-1] > values[0]
+
+    for prob in ENERGY_PROBS:
+        # The online scheme never exceeds immediate scheduling by more than noise.
+        assert online[prob] <= immediate[prob] * 1.05, prob
+    # At the scarce end the online scheme clearly beats immediate...
+    assert online[ENERGY_PROBS[0]] < immediate[ENERGY_PROBS[0]] * 0.8
+    # ...and as applications become abundant it degrades towards immediate
+    # (co-running saturates), shrinking the relative gap.
+    gap_scarce = 1.0 - online[ENERGY_PROBS[0]] / immediate[ENERGY_PROBS[0]]
+    gap_abundant = 1.0 - online[ENERGY_PROBS[-1]] / immediate[ENERGY_PROBS[-1]]
+    assert gap_abundant < gap_scarce
+
+
+def test_fig6b_accuracy_under_scarce_arrivals(benchmark, scarce_sweep):
+    def build_rows():
+        rows = []
+        for scheme, series in scarce_sweep.items():
+            for prob, _, accuracy in series:
+                rows.append([scheme, prob, accuracy])
+        return rows
+
+    rows = benchmark(build_rows)
+    print_artifact(
+        "Fig. 6(b) — impact of scarce application arrivals on testing accuracy",
+        format_table(["scheme", "arrival prob", "final accuracy"], rows, float_format=".4f"),
+    )
+
+    online = {p: a for p, _, a in scarce_sweep["online"]}
+    immediate = {p: a for p, _, a in scarce_sweep["immediate"]}
+    offline = {p: a for p, _, a in scarce_sweep["offline"]}
+
+    for prob in SCARCE_PROBS:
+        # No noticeable accuracy degradation for the online scheme: it stays
+        # within 15% of immediate scheduling even with almost no arrivals.
+        assert online[prob] >= immediate[prob] * 0.85, prob
+        # The offline scheme, which keeps waiting for co-running chances,
+        # falls behind the online scheme when applications are scarce.
+        assert offline[prob] <= online[prob] + 0.05, prob

@@ -1,0 +1,69 @@
+"""Benchmark: regenerate Table III (energy overhead of the online decision rule).
+
+Table III reports the idle power, the power while evaluating the Eq. (21)
+decision rule, and the resulting relative overhead (below 10% on every
+device).  The benchmark regenerates the static table and additionally runs a
+pair of simulations (with and without overhead accounting) to confirm the
+end-to-end energy impact of the online controller stays in the same band.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.analysis.experiments import ExperimentScale, paper_config, run_policy, table3_overhead_rows
+from repro.analysis.reporting import format_table
+from repro.core.online import OnlinePolicy
+
+
+def test_table3_decision_overhead(benchmark):
+    rows = benchmark(table3_overhead_rows)
+    print_artifact(
+        "Table III — energy overhead of online optimization (W)",
+        format_table(
+            ["device", "Power(idle) W", "Power(comp.) W", "Overhead %"],
+            rows,
+            float_format=".3f",
+        ),
+    )
+    assert len(rows) == 4
+    for _, idle, comp, overhead in rows:
+        assert comp > idle
+        assert 0.0 < overhead < 10.0
+
+
+def test_table3_end_to_end_overhead(benchmark, bench_scale):
+    """The whole-run energy cost of evaluating the decision rule is < 10%."""
+    scale = ExperimentScale(
+        num_users=10,
+        total_slots=min(1200, bench_scale.total_slots),
+        app_arrival_prob=bench_scale.app_arrival_prob,
+        seed=bench_scale.seed,
+        eval_interval_slots=600,
+    )
+
+    def run_pair():
+        with_overhead = run_policy(
+            paper_config(scale, include_scheduler_overhead=True),
+            OnlinePolicy(v=1e5, staleness_bound=500.0),
+        )
+        without_overhead = run_policy(
+            paper_config(scale, include_scheduler_overhead=False),
+            OnlinePolicy(v=1e5, staleness_bound=500.0),
+        )
+        return with_overhead, without_overhead
+
+    with_overhead, without_overhead = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    extra = with_overhead.total_energy_j() - without_overhead.total_energy_j()
+    relative = extra / without_overhead.total_energy_j()
+    print_artifact(
+        "Table III (end-to-end) — online decision overhead over a full run",
+        format_table(
+            ["metric", "value"],
+            [
+                ["energy without overhead (kJ)", without_overhead.total_energy_kj()],
+                ["energy with overhead (kJ)", with_overhead.total_energy_kj()],
+                ["relative overhead", relative],
+            ],
+        ),
+    )
+    assert 0.0 <= relative < 0.10

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's preliminary experiments (Fig. 1, Fig. 2, Table II).
+
+For each testbed device, profile the three schedules of Fig. 1 — training as a
+separate background service, the application running separately, and the two
+co-running — and print the energy discount.  Then generate the Fig. 2 FPS
+traces showing that the foreground application is not noticeably slowed down.
+
+Run with::
+
+    python examples/device_profiling.py
+    python examples/device_profiling.py --devices pixel2 nexus6 --source analytical
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import format_table
+from repro.device.fps import FpsTraceGenerator
+from repro.energy.measurements import MeasurementTable
+from repro.energy.profiler import PowerProfiler
+
+
+def profile_devices(devices, source: str, seed: int) -> None:
+    profiler = PowerProfiler(seed=seed, source=source)
+    table = MeasurementTable()
+    for device in devices:
+        rows = []
+        for comparison in profiler.profile_device(device):
+            rows.append([
+                comparison.app,
+                comparison.training_separate.energy_j,
+                comparison.app_separate.energy_j,
+                comparison.corunning.energy_j,
+                100.0 * comparison.saving_fraction(),
+            ])
+        print(format_table(
+            ["app", "training separate (J)", "app separate (J)", "co-running (J)", "saving %"],
+            rows,
+            float_format=".1f",
+            title=f"Fig. 1 — power consumption of different schedules on {device} "
+                  f"(mean Table II saving: {100.0 * table.mean_saving(device):.1f}%)",
+        ))
+        print()
+
+
+def fps_traces(apps, duration_s: int, seed: int) -> None:
+    rows = []
+    for app in apps:
+        generator = FpsTraceGenerator.for_app_name(app, seed=seed)
+        alone = generator.trace(duration_s, corunning=False)
+        corun = generator.trace(duration_s, corunning=True)
+        rows.append([
+            app,
+            FpsTraceGenerator.mean_fps(alone),
+            FpsTraceGenerator.mean_fps(corun),
+            100.0 * FpsTraceGenerator.relative_degradation(alone, corun),
+        ])
+    print(format_table(
+        ["app", "mean FPS alone", "mean FPS co-running", "degradation %"],
+        rows,
+        float_format=".2f",
+        title="Fig. 2 — FPS impact of co-running the training task",
+    ))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", nargs="+", default=["pixel2", "hikey970"],
+                        help="devices to profile (pixel2, hikey970, nexus6, nexus6p)")
+    parser.add_argument("--apps", nargs="+", default=["angrybird", "tiktok"],
+                        help="apps for the FPS traces")
+    parser.add_argument("--source", choices=["table", "analytical"], default="table",
+                        help="power source: Table II calibration or the analytical CPU model")
+    parser.add_argument("--duration", type=int, default=250, help="FPS trace length in seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    profile_devices(args.devices, args.source, args.seed)
+    fps_traces(args.apps, args.duration, args.seed)
+
+
+if __name__ == "__main__":
+    main()

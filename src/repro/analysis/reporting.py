@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints every reproduced table and figure as a
+fixed-width text table (and optionally CSV) so the output can be diffed
+against the paper's reported rows without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "format_csv", "summarize_series"]
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(value: Cell, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_format: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render ``rows`` as a fixed-width text table.
+
+    Args:
+        headers: column names.
+        rows: iterable of rows; each row must have ``len(headers)`` cells.
+        float_format: format spec applied to float cells.
+        title: optional title line printed above the table.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        rendered_rows.append([_render_cell(c, float_format) for c in cells])
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render ``rows`` as a CSV string (no quoting; cells must be simple)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        lines.append(",".join("" if c is None else str(c) for c in cells))
+    return "\n".join(lines)
+
+
+def summarize_series(values: Sequence[float]) -> dict:
+    """Mean / min / max / final summary of a numeric series."""
+    if not values:
+        raise ValueError("series must not be empty")
+    values = list(values)
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "final": values[-1],
+        "count": len(values),
+    }

@@ -1,0 +1,292 @@
+"""Command-line interface for the reproduction.
+
+Installed as the ``repro-sim`` console script::
+
+    repro-sim table2                      # print Table II from the calibration data
+    repro-sim table3                      # print Table III (decision overhead)
+    repro-sim fig1 --devices pixel2       # Fig. 1 schedule energies
+    repro-sim fig2 --apps tiktok          # Fig. 2 FPS summary
+    repro-sim simulate --policy online --v 4000 --slots 3600
+    repro-sim compare --slots 3600        # all four schemes on one workload
+    repro-sim sweep --v-values 0 10000 40000 100000
+
+Every subcommand prints plain-text tables (and optional ASCII charts) so the
+tool works in the offline environments the library targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    fig1_power_schedules,
+    fig2_fps_traces,
+    table2_rows,
+    table3_overhead_rows,
+)
+from repro.analysis.plotting import ascii_multi_plot
+from repro.analysis.reporting import format_table
+from repro.core.offline import OfflinePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.policies import ImmediatePolicy, SchedulingPolicy, SyncPolicy
+from repro.fl.dataset import SyntheticCifar10
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine, SimulationResult
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_policy(args: argparse.Namespace) -> SchedulingPolicy:
+    name = args.policy
+    if name == "immediate":
+        return ImmediatePolicy()
+    if name == "sync":
+        return SyncPolicy()
+    if name == "offline":
+        return OfflinePolicy(staleness_bound=args.offline_bound, window_slots=args.window)
+    if name == "online":
+        return OnlinePolicy(v=args.v, staleness_bound=args.staleness_bound)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        num_users=args.users,
+        total_slots=args.slots,
+        app_arrival_prob=args.arrival_prob,
+        seed=args.seed,
+        eval_interval_slots=max(args.slots // 20, 60),
+    )
+
+
+def _build_dataset(config: SimulationConfig) -> SyntheticCifar10:
+    return SyntheticCifar10(
+        num_train=config.num_train_samples,
+        num_test=config.num_test_samples,
+        num_classes=config.num_classes,
+        feature_dim=config.feature_dim,
+        class_separation=config.class_separation,
+        noise_std=config.noise_std,
+        label_noise=config.label_noise,
+        clusters_per_class=config.clusters_per_class,
+        seed=config.seed,
+    )
+
+
+def _result_row(name: str, result: SimulationResult, baseline: Optional[SimulationResult]) -> List:
+    saving = None
+    if baseline is not None and baseline.total_energy_j() > 0:
+        saving = 100.0 * (1.0 - result.total_energy_j() / baseline.total_energy_j())
+    return [
+        name,
+        result.total_energy_kj(),
+        saving,
+        result.num_updates,
+        result.final_accuracy(),
+        result.mean_queue_length(),
+        result.mean_virtual_queue_length(),
+    ]
+
+
+_RESULT_HEADERS = [
+    "scheme", "energy (kJ)", "saving vs immediate %", "updates",
+    "final accuracy", "mean Q(t)", "mean H(t)",
+]
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    print(format_table(
+        ["device", "app", "P_app (W)", "P_corun (W)", "time (s)",
+         "saving % (derived)", "saving % (paper)"],
+        table2_rows(),
+        float_format=".2f",
+        title="Table II — averaged energy measurements",
+    ))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    print(format_table(
+        ["device", "Power(idle) W", "Power(comp.) W", "Overhead %"],
+        table3_overhead_rows(),
+        float_format=".3f",
+        title="Table III — energy overhead of online optimization",
+    ))
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    rows = fig1_power_schedules(devices=tuple(args.devices), seed=args.seed, source=args.source)
+    print(format_table(
+        ["device", "app", "training separate (J)", "app separate (J)",
+         "co-running (J)", "saving %"],
+        rows,
+        float_format=".1f",
+        title="Fig. 1 — power consumption of different schedules",
+    ))
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    results = fig2_fps_traces(apps=tuple(args.apps), duration_s=args.duration, seed=args.seed)
+    rows = [
+        [app, entry["mean_fps_alone"], entry["mean_fps_corunning"],
+         100.0 * entry["relative_degradation"]]
+        for app, entry in results.items()
+    ]
+    print(format_table(
+        ["app", "mean FPS alone", "mean FPS co-running", "degradation %"],
+        rows,
+        float_format=".2f",
+        title="Fig. 2 — FPS impact of co-running the training task",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    dataset = _build_dataset(config)
+    result = SimulationEngine(config, _build_policy(args), dataset=dataset).run()
+    print(format_table(_RESULT_HEADERS, [_result_row(args.policy, result, None)],
+                       float_format=".3f", title="Simulation summary"))
+    if args.plot:
+        print()
+        print(ascii_multi_plot(
+            {"accuracy": (result.accuracy.times(), result.accuracy.accuracies())},
+            title="test accuracy vs time (s)",
+            x_label="time (s)",
+        ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    dataset = _build_dataset(config)
+    policies = {
+        "immediate": ImmediatePolicy(),
+        "sync": SyncPolicy(),
+        "offline": OfflinePolicy(staleness_bound=args.offline_bound, window_slots=args.window),
+        "online": OnlinePolicy(v=args.v, staleness_bound=args.staleness_bound),
+    }
+    results = {}
+    for name, policy in policies.items():
+        print(f"running {name} ...", file=sys.stderr)
+        results[name] = SimulationEngine(config, policy, dataset=dataset).run()
+    baseline = results["immediate"]
+    rows = [_result_row(name, result, baseline) for name, result in results.items()]
+    print(format_table(_RESULT_HEADERS, rows, float_format=".3f",
+                       title="Policy comparison (identical fleet, arrivals and data)"))
+    if args.plot:
+        print()
+        print(ascii_multi_plot(
+            {name: (r.accuracy.times(), r.accuracy.accuracies()) for name, r in results.items()},
+            title="convergence comparison (Fig. 5b)",
+            x_label="time (s)",
+        ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    dataset = _build_dataset(config)
+    immediate = SimulationEngine(config, ImmediatePolicy(), dataset=dataset).run()
+    rows = []
+    for v in args.v_values:
+        result = SimulationEngine(
+            config, OnlinePolicy(v=v, staleness_bound=args.staleness_bound), dataset=dataset
+        ).run()
+        rows.append([
+            v,
+            result.total_energy_kj(),
+            100.0 * result.energy_saving_vs(immediate),
+            result.mean_queue_length(),
+            result.mean_virtual_queue_length(),
+        ])
+    print(format_table(
+        ["V", "energy (kJ)", "saving vs immediate %", "mean Q(t)", "mean H(t)"],
+        rows,
+        float_format=".2f",
+        title=f"V sweep (Lb={args.staleness_bound:.0f}); immediate = "
+              f"{immediate.total_energy_kj():.1f} kJ",
+    ))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=25)
+    parser.add_argument("--slots", type=int, default=3600)
+    parser.add_argument("--arrival-prob", type=float, default=0.003)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--v", type=float, default=4000.0)
+    parser.add_argument("--staleness-bound", type=float, default=500.0)
+    parser.add_argument("--offline-bound", type=float, default=1000.0)
+    parser.add_argument("--window", type=int, default=500)
+    parser.add_argument("--plot", action="store_true", help="print ASCII accuracy curves")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Energy-aware federated asynchronous learning (ICDCS 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table2 = subparsers.add_parser("table2", help="print Table II")
+    table2.set_defaults(func=_cmd_table2)
+
+    table3 = subparsers.add_parser("table3", help="print Table III")
+    table3.set_defaults(func=_cmd_table3)
+
+    fig1 = subparsers.add_parser("fig1", help="Fig. 1 schedule energies")
+    fig1.add_argument("--devices", nargs="+", default=["pixel2", "hikey970"])
+    fig1.add_argument("--source", choices=["table", "analytical"], default="table")
+    fig1.add_argument("--seed", type=int, default=0)
+    fig1.set_defaults(func=_cmd_fig1)
+
+    fig2 = subparsers.add_parser("fig2", help="Fig. 2 FPS impact")
+    fig2.add_argument("--apps", nargs="+", default=["angrybird", "tiktok"])
+    fig2.add_argument("--duration", type=int, default=250)
+    fig2.add_argument("--seed", type=int, default=0)
+    fig2.set_defaults(func=_cmd_fig2)
+
+    simulate = subparsers.add_parser("simulate", help="run one scheduling policy")
+    simulate.add_argument("--policy", choices=["immediate", "sync", "offline", "online"],
+                          default="online")
+    _add_sim_arguments(simulate)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    compare = subparsers.add_parser("compare", help="run all four schemes")
+    _add_sim_arguments(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    sweep = subparsers.add_parser("sweep", help="sweep the control knob V")
+    _add_sim_arguments(sweep)
+    sweep.add_argument("--v-values", type=float, nargs="+",
+                       default=[0.0, 1e4, 4e4, 1e5])
+    sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Typed message records exchanged between devices and the parameter server.
+
+The paper's implementation packages model uploads/downloads as asynchronous
+HTTP requests with meta information (device id, round number).  These records
+are the simulated counterpart: they let the transport layer log every
+transfer so experiments can report communication volume and delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ModelUpload", "ModelDownload", "TransferRecord"]
+
+#: Serialized model size reported in the paper (Section VI).
+DEFAULT_MODEL_SIZE_MB = 2.5
+
+
+@dataclass(frozen=True)
+class ModelUpload:
+    """A device pushing its locally-trained model to the server."""
+
+    user_id: int
+    round_number: int
+    base_version: int
+    size_mb: float = DEFAULT_MODEL_SIZE_MB
+
+
+@dataclass(frozen=True)
+class ModelDownload:
+    """A device pulling the current global model from the server."""
+
+    user_id: int
+    server_version: int
+    size_mb: float = DEFAULT_MODEL_SIZE_MB
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """The outcome of one simulated transfer."""
+
+    user_id: int
+    direction: str
+    size_mb: float
+    start_time_s: float
+    duration_s: float
+    network_type: str
+    succeeded: bool
+    failure_reason: Optional[str] = None
+
+    def end_time_s(self) -> float:
+        """Wall-clock completion time of the transfer."""
+        return self.start_time_s + self.duration_s

@@ -1,0 +1,139 @@
+"""Model transport: simulated upload/download of serialized models.
+
+Converts the 2.5 MB model transfers of Section VI into durations (and
+optionally radio energy) given the current :class:`~repro.comm.network.NetworkCondition`.
+The simulation engine treats transfer durations below one slot as
+instantaneous — with the paper's 1-second slots and Wi-Fi/LTE bandwidths a
+2.5 MB transfer takes well under a slot, matching the paper's decision to
+ignore communication time — but the transport keeps full records so that
+low-bandwidth what-if studies remain possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.comm.messages import (
+    DEFAULT_MODEL_SIZE_MB,
+    ModelDownload,
+    ModelUpload,
+    TransferRecord,
+)
+from repro.comm.network import NetworkCondition, NetworkModel
+
+__all__ = ["ModelTransport"]
+
+#: Average radio power (W) attributed to an active transfer; used only for
+#: the optional communication-energy accounting (the paper's energy figures
+#: are CPU-dominated and exclude this term).
+RADIO_POWER_W = {"wifi": 0.8, "lte": 1.8, "offline": 0.0}
+
+
+class ModelTransport:
+    """Simulate model uploads and downloads over the network model.
+
+    Args:
+        network: connectivity process (one per simulation).
+        model_size_mb: serialized model size (2.5 MB in the paper).
+        account_radio_energy: include radio energy in the transfer records.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        model_size_mb: float = DEFAULT_MODEL_SIZE_MB,
+        account_radio_energy: bool = False,
+    ) -> None:
+        if model_size_mb <= 0:
+            raise ValueError("model_size_mb must be positive")
+        self.network = network
+        self.model_size_mb = model_size_mb
+        self.account_radio_energy = account_radio_energy
+        self.records: List[TransferRecord] = []
+        self.radio_energy_j = 0.0
+
+    # -- duration model ------------------------------------------------------------
+
+    @staticmethod
+    def transfer_duration_s(size_mb: float, throughput_mbps: float, rtt_ms: float) -> float:
+        """Duration of transferring ``size_mb`` at ``throughput_mbps``.
+
+        ``size_mb`` is in megabytes, throughput in megabits per second; one
+        round-trip of latency is added for the HTTP request/response.
+        """
+        if throughput_mbps <= 0:
+            raise ValueError("cannot transfer over a disconnected link")
+        return (size_mb * 8.0) / throughput_mbps + rtt_ms / 1000.0
+
+    def _record(
+        self,
+        user_id: int,
+        direction: str,
+        start_time_s: float,
+        condition: NetworkCondition,
+        throughput_mbps: float,
+    ) -> TransferRecord:
+        if not condition.connected:
+            record = TransferRecord(
+                user_id=user_id,
+                direction=direction,
+                size_mb=self.model_size_mb,
+                start_time_s=start_time_s,
+                duration_s=0.0,
+                network_type=condition.network_type.value,
+                succeeded=False,
+                failure_reason="offline",
+            )
+        else:
+            duration = self.transfer_duration_s(
+                self.model_size_mb, throughput_mbps, condition.rtt_ms
+            )
+            record = TransferRecord(
+                user_id=user_id,
+                direction=direction,
+                size_mb=self.model_size_mb,
+                start_time_s=start_time_s,
+                duration_s=duration,
+                network_type=condition.network_type.value,
+                succeeded=True,
+            )
+            if self.account_radio_energy:
+                self.radio_energy_j += (
+                    RADIO_POWER_W[record.network_type] * record.duration_s
+                )
+        self.records.append(record)
+        return record
+
+    # -- public API ------------------------------------------------------------------
+
+    def upload(self, message: ModelUpload, time_s: float) -> TransferRecord:
+        """Simulate uploading a local model to the server."""
+        condition = self.network.condition(message.user_id)
+        return self._record(
+            message.user_id, "upload", time_s, condition, condition.uplink_mbps
+        )
+
+    def download(self, message: ModelDownload, time_s: float) -> TransferRecord:
+        """Simulate downloading the global model from the server."""
+        condition = self.network.condition(message.user_id)
+        return self._record(
+            message.user_id, "download", time_s, condition, condition.downlink_mbps
+        )
+
+    # -- reporting --------------------------------------------------------------------
+
+    def total_bytes_mb(self) -> float:
+        """Total megabytes moved by successful transfers."""
+        return sum(r.size_mb for r in self.records if r.succeeded)
+
+    def failure_count(self) -> int:
+        """Number of failed transfers."""
+        return sum(1 for r in self.records if not r.succeeded)
+
+    def mean_duration_s(self) -> float:
+        """Mean duration of successful transfers (0 when none)."""
+        durations = [r.duration_s for r in self.records if r.succeeded]
+        if not durations:
+            return 0.0
+        return sum(durations) / len(durations)

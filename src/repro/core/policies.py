@@ -1,0 +1,190 @@
+"""Scheduling-policy interface and the Immediate / Sync-SGD baselines.
+
+A *policy* decides, for every user that is ready to train in a slot, whether
+to ``SCHEDULE`` the background training task now or keep the device ``IDLE``
+(typically to wait for an application co-running opportunity).  The
+simulation engine is policy-agnostic: it hands each ready device a
+:class:`DeviceObservation` snapshot and bookends every slot with
+:meth:`SchedulingPolicy.begin_slot` / :meth:`SchedulingPolicy.end_slot` so
+stateful policies (the Lyapunov online scheduler) can maintain their queues.
+
+Two baselines from the evaluation live here:
+
+* :class:`ImmediatePolicy` — "runs the background training immediately when a
+  device is available regardless of the application arrivals"; the paper's
+  energy upper bound and fastest-convergence reference.
+* :class:`SyncPolicy` — classic FedAvg/Sync-SGD: every participant trains
+  each round and the server waits for all of them before aggregating.  The
+  policy itself always schedules; the barrier semantics are enforced by the
+  engine through the policy's ``aggregation`` attribute.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+__all__ = [
+    "Decision",
+    "Aggregation",
+    "DeviceObservation",
+    "SlotContext",
+    "SchedulingPolicy",
+    "ImmediatePolicy",
+    "SyncPolicy",
+]
+
+
+class Decision(str, Enum):
+    """Control decision ``alpha_i(t)`` of the paper."""
+
+    SCHEDULE = "schedule"
+    IDLE = "idle"
+
+
+class Aggregation(str, Enum):
+    """How the parameter server merges updates under this policy."""
+
+    ASYNC = "async"
+    SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class DeviceObservation:
+    """Everything a policy may observe about one ready device in one slot.
+
+    All power levels are instantaneous watts; the policy converts them to
+    per-slot energies itself (the online policy uses kilojoules so that its
+    ``V`` axis matches the paper's Fig. 4).
+
+    Attributes:
+        user_id: index of the user.
+        slot: current slot index.
+        slot_seconds: slot length in seconds.
+        device_name: catalog name of the device.
+        app_running: whether a foreground application is currently running
+            (the ``s(t) = 'app' / 'no app'`` status of Eq. 10).
+        app_name: name of the running application, if any.
+        power_corun_w: ``P_a'`` for the running app (or the device average).
+        power_app_w: ``P_a`` for the running app (or the device average).
+        power_training_w: ``P_b``.
+        power_idle_w: ``P_d``.
+        estimated_lag: server-supplied estimate of the lag ``l_{d_i}`` a job
+            started now would incur (Algorithm 2, line 4).
+        momentum_norm: ``||v_t||`` of the user's momentum vector.
+        learning_rate: ``eta`` of the user's optimizer.
+        momentum_coeff: ``beta`` of the user's optimizer.
+        training_duration_slots: training duration ``d_i`` in slots.
+        waiting_slots: slots this user has spent waiting since it became ready.
+        current_gap: the user's accumulated gradient gap ``g_i(t-1, ...)`` from
+            the engine's gap tracker (the idle branch of Eq. 12 builds on it).
+    """
+
+    user_id: int
+    slot: int
+    slot_seconds: float
+    device_name: str
+    app_running: bool
+    app_name: Optional[str]
+    power_corun_w: float
+    power_app_w: float
+    power_training_w: float
+    power_idle_w: float
+    estimated_lag: int
+    momentum_norm: float
+    learning_rate: float
+    momentum_coeff: float
+    training_duration_slots: int
+    waiting_slots: int
+    current_gap: float = 0.0
+
+
+@dataclass
+class SlotContext:
+    """System-wide information handed to the policy at slot boundaries.
+
+    Attributes:
+        slot: slot index.
+        slot_seconds: slot length in seconds.
+        num_arrivals: ``A(t)`` — users that became ready during this slot.
+        num_ready: number of users currently waiting for a decision.
+        num_training: number of users currently running a training job.
+        num_users: total number of participants.
+    """
+
+    slot: int
+    slot_seconds: float
+    num_arrivals: int
+    num_ready: int
+    num_training: int
+    num_users: int
+
+
+class SchedulingPolicy(ABC):
+    """Base class for all scheduling policies."""
+
+    #: Human-readable policy name used in reports and figures.
+    name: str = "policy"
+    #: Aggregation mode the engine should use with this policy.
+    aggregation: Aggregation = Aggregation.ASYNC
+
+    def begin_slot(self, context: SlotContext) -> None:
+        """Called once at the beginning of every slot, before any decision."""
+
+    @abstractmethod
+    def decide(self, observation: DeviceObservation) -> Decision:
+        """Return the control decision for one ready device."""
+
+    def end_slot(self, context: SlotContext, num_scheduled: int, gap_sum: float) -> None:
+        """Called once after all decisions of the slot have been made.
+
+        Args:
+            context: the slot context passed to :meth:`begin_slot`.
+            num_scheduled: ``b(t)`` — users scheduled during this slot.
+            gap_sum: ``G(t)`` — the sum of per-user gradient gaps this slot.
+        """
+
+    def notify_update_applied(self, user_id: int, lag: int, realized_gap: float) -> None:
+        """Called when a user's upload is applied at the parameter server."""
+
+    def reset(self) -> None:
+        """Clear all internal state before a new simulation run."""
+
+    def decision_cost_evaluations(self) -> int:
+        """Number of decision-rule evaluations performed (Table III overhead)."""
+        return 0
+
+
+class ImmediatePolicy(SchedulingPolicy):
+    """Fixed policy: schedule training as soon as the device is available.
+
+    This is the evaluation's energy *upper bound* — it ignores application
+    arrivals entirely, so any co-running savings happen only by coincidence —
+    and its convergence *lower bound* on wall-clock time, because it makes
+    the largest possible number of updates.
+    """
+
+    name = "immediate"
+
+    def decide(self, observation: DeviceObservation) -> Decision:
+        return Decision.SCHEDULE
+
+
+class SyncPolicy(SchedulingPolicy):
+    """Classic synchronous federated learning (FedAvg / Sync-SGD).
+
+    All participants train each round from the same global model; the round
+    only finishes when the slowest participant (straggler) has uploaded.
+    The policy always schedules a ready device — under synchronous
+    aggregation the engine only marks a device ready when the current round
+    still needs its update — so the barrier comes from the aggregation mode,
+    not from the per-device decision.
+    """
+
+    name = "sync"
+    aggregation = Aggregation.SYNC
+
+    def decide(self, observation: DeviceObservation) -> Decision:
+        return Decision.SCHEDULE

@@ -1,0 +1,189 @@
+"""Task queue, virtual staleness queue and the Lyapunov machinery.
+
+The online scheduler transforms the constrained problem P2 into a queue
+stability problem (Section V):
+
+* the **task queue** ``Q(t)`` counts users waiting to be scheduled and
+  evolves as ``Q(t+1) = max(Q(t) - b(t), 0) + A(t)`` (Eq. 15), where ``A(t)``
+  is the number of users that became ready at ``t`` and ``b(t)`` the number
+  of users the controller scheduled;
+* the **virtual queue** ``H(t)`` enforces the time-averaged gradient-gap
+  constraint (Eq. 14) and evolves as
+  ``H(t+1) = max(H(t) + G(t) - Lb, 0)`` (Eq. 16), where ``G(t)`` is the sum
+  of per-user gradient gaps in slot ``t``.
+
+The Lyapunov function is ``L(Theta) = (Q^2 + H^2) / 2`` (Eq. 17) and the
+drift-plus-penalty bound of Lemma 2 involves the constant
+``B = (A_max^2 + b_max^2 + G_max^2 + Lb^2) / 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["TaskQueue", "VirtualQueue", "LyapunovAnalyzer"]
+
+
+class TaskQueue:
+    """The actual task queue ``Q(t)`` of Definition 3 / Eq. (15).
+
+    The update is the Lindley recursion ``Q <- max(Q + A - b, 0)`` with
+    arrivals counted *before* service.  Eq. (15) writes the service first
+    (``max(Q - b, 0) + A``); the two differ only in whether a user that
+    becomes ready and is scheduled within the same slot transits through the
+    backlog.  The paper already approximates service timing (footnote 2), and
+    counting same-slot service keeps ``Q(t)`` equal to the number of users
+    actually *waiting* — which is what Fig. 4(b) plots (immediate scheduling
+    keeps the queue near zero).
+    """
+
+    def __init__(self, initial: float = 0.0) -> None:
+        if initial < 0:
+            raise ValueError("queue length cannot be negative")
+        self._length = float(initial)
+        self._history: List[float] = [float(initial)]
+
+    @property
+    def length(self) -> float:
+        """Current backlog ``Q(t)``."""
+        return self._length
+
+    def update(self, arrivals: float, services: float) -> float:
+        """Apply the queue recursion ``Q <- max(Q + A - b, 0)``.
+
+        Args:
+            arrivals: ``A(t)`` — users that became ready this slot.
+            services: ``b(t)`` — users scheduled this slot.
+        """
+        if arrivals < 0 or services < 0:
+            raise ValueError("arrivals and services must be non-negative")
+        self._length = max(self._length + arrivals - services, 0.0)
+        self._history.append(self._length)
+        return self._length
+
+    def history(self) -> List[float]:
+        """Backlog after every update (index 0 is the initial value)."""
+        return list(self._history)
+
+    def time_average(self) -> float:
+        """Time-averaged backlog over the recorded history."""
+        return sum(self._history) / len(self._history)
+
+    def reset(self, initial: float = 0.0) -> None:
+        """Reset to ``initial`` and clear the history."""
+        if initial < 0:
+            raise ValueError("queue length cannot be negative")
+        self._length = float(initial)
+        self._history = [float(initial)]
+
+
+class VirtualQueue:
+    """The virtual staleness queue ``H(t)`` of Eq. (16).
+
+    Args:
+        staleness_bound: ``Lb``, the per-slot gradient-gap budget that acts
+            as the virtual queue's service rate.
+    """
+
+    def __init__(self, staleness_bound: float, initial: float = 0.0) -> None:
+        if staleness_bound <= 0:
+            raise ValueError("staleness_bound must be positive")
+        if initial < 0:
+            raise ValueError("queue length cannot be negative")
+        self.staleness_bound = float(staleness_bound)
+        self._length = float(initial)
+        self._history: List[float] = [float(initial)]
+
+    @property
+    def length(self) -> float:
+        """Current backlog ``H(t)``."""
+        return self._length
+
+    def update(self, gap_sum: float) -> float:
+        """Apply Eq. (16): ``H <- max(H + G(t) - Lb, 0)``."""
+        if gap_sum < 0:
+            raise ValueError("gap_sum must be non-negative")
+        self._length = max(self._length + gap_sum - self.staleness_bound, 0.0)
+        self._history.append(self._length)
+        return self._length
+
+    def history(self) -> List[float]:
+        """Backlog after every update (index 0 is the initial value)."""
+        return list(self._history)
+
+    def time_average(self) -> float:
+        """Time-averaged backlog over the recorded history."""
+        return sum(self._history) / len(self._history)
+
+    def reset(self, initial: float = 0.0) -> None:
+        """Reset to ``initial`` and clear the history."""
+        if initial < 0:
+            raise ValueError("queue length cannot be negative")
+        self._length = float(initial)
+        self._history = [float(initial)]
+
+
+@dataclass
+class LyapunovAnalyzer:
+    """Lyapunov function, drift and the Lemma 2 constant ``B``.
+
+    Attributes:
+        staleness_bound: ``Lb``.
+        max_arrival: ``A_max`` — the largest possible per-slot arrival
+            (bounded by the number of users).
+        max_service: ``b_max`` — the largest possible per-slot service
+            (also bounded by the number of users).
+        max_gap: ``G_max`` — the largest possible per-slot gap sum.
+    """
+
+    staleness_bound: float
+    max_arrival: float
+    max_service: float
+    max_gap: float
+
+    def __post_init__(self) -> None:
+        if min(self.staleness_bound, self.max_arrival, self.max_service, self.max_gap) < 0:
+            raise ValueError("all bounds must be non-negative")
+
+    @staticmethod
+    def lyapunov(q_length: float, h_length: float) -> float:
+        """``L(Theta) = (Q^2 + H^2) / 2`` (Eq. 17)."""
+        return 0.5 * (q_length**2 + h_length**2)
+
+    @classmethod
+    def drift(cls, q_before: float, h_before: float, q_after: float, h_after: float) -> float:
+        """One-slot Lyapunov drift ``L(Theta(t+1)) - L(Theta(t))`` (Eq. 18)."""
+        return cls.lyapunov(q_after, h_after) - cls.lyapunov(q_before, h_before)
+
+    def bound_constant(self) -> float:
+        """The constant ``B = (A_max^2 + b_max^2 + G_max^2 + Lb^2) / 2`` of Lemma 2."""
+        return 0.5 * (
+            self.max_arrival**2
+            + self.max_service**2
+            + self.max_gap**2
+            + self.staleness_bound**2
+        )
+
+    def drift_plus_penalty_bound(
+        self,
+        v: float,
+        expected_power: float,
+        q_length: float,
+        h_length: float,
+        expected_arrival: float,
+        expected_service: float,
+        expected_gap: float,
+    ) -> float:
+        """Right-hand side of the Lemma 2 bound (Eq. 20).
+
+        ``B + V*E[P] + Q*(E[A] - E[b]) + H*(E[G] - Lb)``
+        """
+        if v < 0:
+            raise ValueError("v must be non-negative")
+        return (
+            self.bound_constant()
+            + v * expected_power
+            + q_length * (expected_arrival - expected_service)
+            + h_length * (expected_gap - self.staleness_bound)
+        )

@@ -1,0 +1,188 @@
+"""Staleness metrics: lag, gradient gap and the per-user gap dynamics.
+
+The paper quantifies asynchronous staleness with two metrics:
+
+* **Lag** (Definition 1): the number of updates other users applied to the
+  global model between this user's download (time ``t``) and its upload
+  (time ``t + tau``).  Lag is a simple count and is maintained by the
+  parameter server's version counter.
+
+* **Gradient gap** (Definition 2): the norm difference between the model
+  parameters the user trained from and the parameters at upload time,
+  ``g(t, t+tau) = || theta_{t+tau} - theta_t ||_2`` (Eq. 2).  Because the
+  future parameters are unknown at decision time, the paper estimates them
+  with *linear weight prediction* (Eq. 3), which extrapolates the momentum
+  vector ``lag`` steps forward, giving the closed form of Eq. (4)::
+
+      g(t, t+tau) = || eta * (1 - beta**lag) / (1 - beta) * v_t ||_2
+
+This module implements both metrics plus the per-user gap dynamics of
+Eq. (12): when a user is scheduled, its gap takes the Eq. (4) value for the
+expected lag over the training duration; for every slot the user idles
+(waiting for a better co-running opportunity), the gap accumulates a small
+increment ``epsilon``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "momentum_lag_factor",
+    "linear_weight_prediction",
+    "gradient_gap",
+    "gradient_gap_from_params",
+    "GapTracker",
+]
+
+
+def momentum_lag_factor(momentum: float, lag: int) -> float:
+    """The geometric-series factor ``(1 - beta**lag) / (1 - beta)``.
+
+    This is the amount of additional movement the momentum vector will have
+    produced after ``lag`` further updates.  For ``beta == 0`` it degenerates
+    to ``1`` whenever ``lag >= 1`` and ``0`` for ``lag == 0``.
+    """
+    if not 0.0 <= momentum < 1.0:
+        raise ValueError("momentum must be in [0, 1)")
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    if lag == 0:
+        return 0.0
+    if momentum == 0.0:
+        return 1.0
+    return (1.0 - momentum**lag) / (1.0 - momentum)
+
+
+def linear_weight_prediction(
+    params: np.ndarray,
+    velocity: np.ndarray,
+    learning_rate: float,
+    momentum: float,
+    lag: int,
+) -> np.ndarray:
+    """Predict the global parameters ``lag`` updates into the future (Eq. 3).
+
+    ``theta_{t+tau} = theta_t - eta * (1 - beta**lag) / (1 - beta) * v_t``
+
+    Args:
+        params: current parameter vector ``theta_t``.
+        velocity: momentum vector ``v_t`` (same shape as ``params``).
+        learning_rate: ``eta``.
+        momentum: ``beta``.
+        lag: predicted number of intervening updates ``l_tau``.
+    """
+    if params.shape != velocity.shape:
+        raise ValueError("params and velocity must have the same shape")
+    if learning_rate <= 0:
+        raise ValueError("learning_rate must be positive")
+    factor = momentum_lag_factor(momentum, lag)
+    return params - learning_rate * factor * velocity
+
+
+def gradient_gap(
+    momentum_norm: float,
+    learning_rate: float,
+    momentum: float,
+    lag: int,
+) -> float:
+    """Gradient gap of Eq. (4) from the momentum-vector norm.
+
+    ``g = || eta * (1 - beta**lag)/(1 - beta) * v_t ||_2
+       = eta * (1 - beta**lag)/(1 - beta) * ||v_t||_2``
+
+    Args:
+        momentum_norm: ``||v_t||_2`` of the user's momentum vector.
+        learning_rate: ``eta``.
+        momentum: ``beta``.
+        lag: number of intervening updates.
+    """
+    if momentum_norm < 0:
+        raise ValueError("momentum_norm must be non-negative")
+    if learning_rate <= 0:
+        raise ValueError("learning_rate must be positive")
+    return learning_rate * momentum_lag_factor(momentum, lag) * momentum_norm
+
+
+def gradient_gap_from_params(theta_old: np.ndarray, theta_new: np.ndarray) -> float:
+    """Exact gradient gap of Eq. (2): ``||theta_{t+tau} - theta_t||_2``.
+
+    Used a-posteriori (once the upload actually happens) for the Fig. 5
+    traces; the predictive Eq. (4) form is used at decision time.
+    """
+    if theta_old.shape != theta_new.shape:
+        raise ValueError("parameter vectors must have the same shape")
+    return float(np.linalg.norm(theta_new - theta_old))
+
+
+@dataclass
+class GapTracker:
+    """Per-user gradient-gap dynamics of Eq. (12).
+
+    The tracker maintains one cumulative gap value per user:
+
+    * while the user idles in the ready queue, every slot adds ``epsilon``
+      (the "small time-averaged gap increment" of Eq. 12);
+    * when the user is scheduled, the gap is set to the Eq. (4) estimate for
+      the expected lag over the training duration (and recorded);
+    * when the user's update is finally applied at the server, the realised
+      gap is recorded and the cumulative value resets to zero.
+
+    Attributes:
+        epsilon: idle-slot gap increment.
+    """
+
+    epsilon: float = 0.01
+    _gaps: Dict[int, float] = field(default_factory=dict)
+    _history: Dict[int, List[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+
+    def current_gap(self, user_id: int) -> float:
+        """Current cumulative gap of ``user_id`` (0 for unknown users)."""
+        return self._gaps.get(user_id, 0.0)
+
+    def accumulate_idle(self, user_id: int) -> float:
+        """Apply one idle slot of Eq. (12): ``g <- g + epsilon``."""
+        value = self._gaps.get(user_id, 0.0) + self.epsilon
+        self._gaps[user_id] = value
+        return value
+
+    def on_scheduled(self, user_id: int, scheduled_gap: float) -> float:
+        """The user was scheduled; its gap becomes the Eq. (4) estimate."""
+        if scheduled_gap < 0:
+            raise ValueError("scheduled_gap must be non-negative")
+        self._gaps[user_id] = scheduled_gap
+        self._history.setdefault(user_id, []).append(scheduled_gap)
+        return scheduled_gap
+
+    def on_update_applied(self, user_id: int, realized_gap: Optional[float] = None) -> None:
+        """The user's upload was applied; record and reset its gap."""
+        if realized_gap is not None:
+            if realized_gap < 0:
+                raise ValueError("realized_gap must be non-negative")
+            self._history.setdefault(user_id, []).append(realized_gap)
+        self._gaps[user_id] = 0.0
+
+    def total_gap(self, user_ids: Optional[List[int]] = None) -> float:
+        """Sum of current gaps, over ``user_ids`` or over every tracked user.
+
+        This is the ``G(t, t+tau)`` quantity that feeds the virtual queue.
+        """
+        if user_ids is None:
+            return float(sum(self._gaps.values()))
+        return float(sum(self._gaps.get(u, 0.0) for u in user_ids))
+
+    def history(self, user_id: int) -> List[float]:
+        """Recorded (scheduled and realised) gaps of ``user_id``."""
+        return list(self._history.get(user_id, []))
+
+    def reset(self) -> None:
+        """Forget all state (used between simulation runs)."""
+        self._gaps.clear()
+        self._history.clear()

@@ -1,0 +1,129 @@
+"""Theorem 1 performance bounds and energy-staleness trade-off analysis.
+
+Theorem 1 of the paper states that, for any ``V >= 0``, the drift-plus-penalty
+controller keeps the queues mean-rate stable and achieves
+
+* time-averaged power within ``B / V`` of the optimum ``P*`` (Eq. 24), and
+* time-averaged queue backlog growing at most linearly in ``V`` (Eq. 25),
+
+i.e. the classic ``[O(1/V), O(V)]`` energy-staleness trade-off.  This module
+provides those closed-form bounds plus an analyzer that checks a measured
+``V``-sweep (the Fig. 4 experiment) against the predicted shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["theorem1_energy_bound", "theorem1_queue_bound", "SweepPoint", "TradeoffAnalyzer"]
+
+
+def theorem1_energy_bound(b_constant: float, v: float, optimal_power: float) -> float:
+    """Upper bound on time-averaged power: ``B / V + P*`` (Eq. 24).
+
+    Args:
+        b_constant: the Lemma 2 constant ``B``.
+        v: the control knob ``V`` (must be positive for the bound to be finite).
+        optimal_power: the optimal time-averaged power ``P*``.
+    """
+    if b_constant < 0:
+        raise ValueError("b_constant must be non-negative")
+    if v <= 0:
+        raise ValueError("the energy bound requires V > 0")
+    return b_constant / v + optimal_power
+
+
+def theorem1_queue_bound(
+    b_constant: float,
+    v: float,
+    optimal_power: float,
+    achieved_power: float,
+    epsilon_slack: float,
+) -> float:
+    """Upper bound on time-averaged queue backlog (Eq. 25).
+
+    ``(B + V * (P* - P)) / epsilon_1`` where ``epsilon_1`` is the slack
+    between service and arrival rates and ``P`` the achieved power.
+    """
+    if b_constant < 0:
+        raise ValueError("b_constant must be non-negative")
+    if v < 0:
+        raise ValueError("v must be non-negative")
+    if epsilon_slack <= 0:
+        raise ValueError("epsilon_slack must be positive")
+    return (b_constant + v * (optimal_power - achieved_power)) / epsilon_slack
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a ``V`` sweep (the Fig. 4 experiment)."""
+
+    v: float
+    energy_kj: float
+    mean_queue: float
+    mean_virtual_queue: float
+
+
+class TradeoffAnalyzer:
+    """Analyse a measured ``V`` sweep against the Theorem 1 shapes."""
+
+    def __init__(self, points: Sequence[SweepPoint]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two sweep points")
+        self.points = sorted(points, key=lambda p: p.v)
+
+    def energy_is_nonincreasing(self, tolerance: float = 0.05) -> bool:
+        """Whether energy decreases (within ``tolerance``) as ``V`` grows."""
+        energies = [p.energy_kj for p in self.points]
+        return all(
+            later <= earlier * (1.0 + tolerance)
+            for earlier, later in zip(energies, energies[1:])
+        )
+
+    def queues_are_nondecreasing(self, tolerance: float = 0.05) -> bool:
+        """Whether both queue backlogs grow (within ``tolerance``) with ``V``."""
+        queues = [p.mean_queue for p in self.points]
+        virtual = [p.mean_virtual_queue for p in self.points]
+
+        def nondecreasing(series: List[float]) -> bool:
+            scale = max(max(series), 1e-9)
+            return all(
+                later >= earlier - tolerance * scale
+                for earlier, later in zip(series, series[1:])
+            )
+
+        return nondecreasing(queues) and nondecreasing(virtual)
+
+    def approximation_factor(self, offline_energy_kj: float) -> float:
+        """Ratio of the best achieved energy to the offline optimum.
+
+        The paper reports the online scheme stabilising "within an
+        approximation factor of 1.14 to the offline solution".
+        """
+        if offline_energy_kj <= 0:
+            raise ValueError("offline_energy_kj must be positive")
+        best = min(p.energy_kj for p in self.points)
+        return best / offline_energy_kj
+
+    def energy_saving_vs(self, baseline_energy_kj: float) -> float:
+        """Fractional saving of the best sweep point vs a baseline energy."""
+        if baseline_energy_kj <= 0:
+            raise ValueError("baseline_energy_kj must be positive")
+        best = min(p.energy_kj for p in self.points)
+        return 1.0 - best / baseline_energy_kj
+
+    def knee_v(self) -> float:
+        """The ``V`` with the best marginal energy-per-queue trade-off.
+
+        A simple knee heuristic: the sweep point maximising
+        ``(E_0 - E_v) / (1 + Q_v + H_v)``, i.e. energy saved per unit of
+        queue backlog accepted.  The paper eyeballs V around 4000.
+        """
+        base_energy = self.points[0].energy_kj
+        best_point = max(
+            self.points,
+            key=lambda p: (base_energy - p.energy_kj)
+            / (1.0 + p.mean_queue + p.mean_virtual_queue),
+        )
+        return best_point.v

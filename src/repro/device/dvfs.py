@@ -1,0 +1,107 @@
+"""Dynamic voltage and frequency scaling (DVFS) governor model.
+
+The paper's related-work section places its contribution next to classic
+mobile energy optimisations such as DVFS, and its power footnote observes
+that "the CPU typically stays at the maximum frequency during training" while
+application power fluctuates with frequency scaling.  This module models that
+behaviour: a ``schedutil``-style governor that maps cluster utilisation to an
+operating performance point (OPP), and the resulting dynamic-power scaling
+(power is proportional to ``f * V^2`` and voltage roughly tracks frequency, so
+the model uses a cubic frequency term).
+
+The governor is used by the analytical CPU model's what-if studies and by the
+frequency-trace diagnostics; the measured Table II powers already include the
+devices' own governors, so the slotted simulator does not re-apply it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["OperatingPoint", "DvfsGovernor", "default_opp_table"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One operating performance point of a CPU cluster."""
+
+    freq_ghz: float
+    relative_power: float
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0 or self.relative_power <= 0:
+            raise ValueError("frequency and relative power must be positive")
+
+
+def default_opp_table(max_freq_ghz: float, num_points: int = 5) -> List[OperatingPoint]:
+    """Build an OPP table spanning 40%..100% of the maximum frequency.
+
+    Relative power follows a cubic law in frequency (dynamic power scales
+    with ``f^3`` once voltage scaling is folded in), normalised so the top
+    OPP has relative power 1.0.
+    """
+    if max_freq_ghz <= 0:
+        raise ValueError("max_freq_ghz must be positive")
+    if num_points < 2:
+        raise ValueError("need at least two operating points")
+    points = []
+    for index in range(num_points):
+        fraction = 0.4 + 0.6 * index / (num_points - 1)
+        freq = max_freq_ghz * fraction
+        points.append(OperatingPoint(freq_ghz=freq, relative_power=fraction**3))
+    return points
+
+
+class DvfsGovernor:
+    """A ``schedutil``-style governor: frequency follows utilisation.
+
+    The governor picks the lowest OPP whose frequency covers
+    ``utilization * max_freq * margin``; sustained near-full utilisation
+    therefore pins the cluster at the maximum frequency — the behaviour the
+    paper reports for the training workload.
+
+    Args:
+        opp_table: available operating points (sorted by frequency).
+        margin: headroom factor applied to the utilisation-implied frequency
+            demand (schedutil uses 1.25).
+    """
+
+    def __init__(self, opp_table: Sequence[OperatingPoint], margin: float = 1.25) -> None:
+        if not opp_table:
+            raise ValueError("opp_table must not be empty")
+        if margin < 1.0:
+            raise ValueError("margin must be at least 1.0")
+        self.opp_table = sorted(opp_table, key=lambda p: p.freq_ghz)
+        self.margin = margin
+
+    @property
+    def max_freq_ghz(self) -> float:
+        """The highest available frequency."""
+        return self.opp_table[-1].freq_ghz
+
+    def select(self, utilization: float) -> OperatingPoint:
+        """Pick the operating point for the given cluster utilisation."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be within [0, 1]")
+        demand = utilization * self.max_freq_ghz * self.margin
+        for point in self.opp_table:
+            if point.freq_ghz >= demand:
+                return point
+        return self.opp_table[-1]
+
+    def power_scale(self, utilization: float) -> float:
+        """Relative dynamic-power factor (1.0 at the maximum frequency)."""
+        return self.select(utilization).relative_power
+
+    def frequency_trace(self, utilizations: Sequence[float]) -> List[float]:
+        """Frequency (GHz) selected for each utilisation sample."""
+        return [self.select(u).freq_ghz for u in utilizations]
+
+    def stays_at_max_under_training(self, training_utilization: float = 0.96) -> bool:
+        """Whether a training-like load pins the cluster at maximum frequency.
+
+        This is the paper's footnote-1 observation; with the default margin
+        any utilisation above 80% selects the top OPP.
+        """
+        return self.select(training_utilization) is self.opp_table[-1]

@@ -1,0 +1,108 @@
+"""Thermal throttling and contention slowdown model.
+
+Observation 2 of the paper: co-running with intensive foreground applications
+slows the background training task by roughly 10-15% because the foreground
+gets scheduling priority; heavy sustained load can additionally trigger
+thermal throttling (the paper notes this especially for the older Nexus 6,
+where cache contention leads to throttling and elongated training time).
+
+The model is deliberately simple — a first-order thermal RC — because the
+scheduler only needs a realistic *execution-time inflation* and a flag for
+"the device is throttling", not an accurate temperature trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.apps import AppSpec
+from repro.device.models import DeviceSpec
+
+__all__ = ["ThermalModel", "ThermalState"]
+
+
+@dataclass
+class ThermalState:
+    """Current thermal condition of a device."""
+
+    temperature_c: float
+    throttled: bool
+
+
+class ThermalModel:
+    """First-order thermal model with a throttling threshold.
+
+    Temperature follows ``T' = T + (T_target(load) - T) * (1 - exp(-dt/tau))``
+    where the steady-state target depends on the current power draw.  Above
+    ``throttle_temp_c`` the device is throttled and training slows by
+    ``throttle_slowdown``.
+
+    Args:
+        spec: device description (homogeneous devices heat faster under
+            co-running because all work shares one cluster).
+        ambient_c: ambient temperature.
+        tau_s: thermal time constant in seconds.
+        throttle_temp_c: skin/SoC temperature threshold for throttling.
+        degrees_per_watt: steady-state temperature rise per watt of power.
+        throttle_slowdown: multiplicative training slowdown while throttled.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        ambient_c: float = 25.0,
+        tau_s: float = 120.0,
+        throttle_temp_c: float = 65.0,
+        degrees_per_watt: float = 4.5,
+        throttle_slowdown: float = 1.25,
+    ) -> None:
+        if tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        self.spec = spec
+        self.ambient_c = ambient_c
+        self.tau_s = tau_s
+        self.throttle_temp_c = throttle_temp_c
+        self.degrees_per_watt = degrees_per_watt
+        self.throttle_slowdown = throttle_slowdown
+        self._temperature_c = ambient_c
+
+    @property
+    def state(self) -> ThermalState:
+        """Current thermal state."""
+        return ThermalState(
+            temperature_c=self._temperature_c,
+            throttled=self._temperature_c >= self.throttle_temp_c,
+        )
+
+    def reset(self) -> None:
+        """Cool the device back to ambient."""
+        self._temperature_c = self.ambient_c
+
+    def step(self, power_w: float, dt_s: float = 1.0) -> ThermalState:
+        """Advance the thermal state by ``dt_s`` seconds at ``power_w`` draw."""
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        import math
+
+        target = self.ambient_c + self.degrees_per_watt * power_w
+        alpha = 1.0 - math.exp(-dt_s / self.tau_s)
+        self._temperature_c += (target - self._temperature_c) * alpha
+        return self.state
+
+    def training_slowdown(self, app: AppSpec = None) -> float:
+        """Multiplicative slowdown applied to the background training task.
+
+        Combines the contention slowdown from the co-running application
+        (Observation 2) with the thermal-throttling slowdown when active.
+        Homogeneous devices (Nexus 6) suffer an extra contention penalty.
+        """
+        slowdown = 1.0
+        if app is not None:
+            slowdown *= app.training_slowdown
+            if not self.spec.heterogeneous:
+                slowdown *= 1.10
+        if self.state.throttled:
+            slowdown *= self.throttle_slowdown
+        return slowdown

@@ -1,0 +1,147 @@
+"""Federated-learning client: one participant's local training routine.
+
+Each device runs the Training App of Section VI: it downloads the current
+global model, performs one local epoch of mini-batch momentum SGD (batch size
+20 in the paper) over its local shard, and uploads the resulting parameters
+together with meta information (device id, base version) to the parameter
+server.
+
+The client keeps its momentum vector across rounds — that vector is exactly
+the ``v_t`` consumed by the gradient-gap estimate of Eq. (4), so the
+simulation engine queries :meth:`FLClient.momentum_norm` when the online
+controller evaluates its decision rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fl.dataset import DataPartition
+from repro.fl.model import Sequential
+from repro.fl.optimizer import MomentumSGD
+
+__all__ = ["LocalUpdate", "FLClient"]
+
+
+@dataclass
+class LocalUpdate:
+    """The payload a client uploads after finishing a local epoch.
+
+    Attributes:
+        user_id: the uploading participant.
+        params: the locally-updated flat parameter vector.
+        delta: the parameter change produced by the local epoch
+            (``params - base_params``); the server's accumulate rule applies
+            this to whatever the global model has become in the meantime.
+        base_version: parameter-server version the client trained from.
+        num_samples: size of the client's local shard (FedAvg weighting).
+        train_loss: mean training loss over the local epoch.
+        momentum_norm: L2 norm of the client's momentum vector after the
+            epoch — used for gradient-gap bookkeeping on the server side.
+        num_batches: number of mini-batch steps taken.
+    """
+
+    user_id: int
+    params: np.ndarray
+    delta: np.ndarray
+    base_version: int
+    num_samples: int
+    train_loss: float
+    momentum_norm: float
+    num_batches: int
+
+
+class FLClient:
+    """One participant of the federated system.
+
+    Args:
+        user_id: participant index.
+        partition: the participant's local data shard.
+        model: a private :class:`Sequential` instance (never shared between
+            clients; global parameters are loaded into it before training).
+        learning_rate: ``eta`` of Eq. (1).
+        momentum: ``beta`` of Eq. (1).
+        batch_size: mini-batch size (20 in the paper).
+        local_epochs: local epochs per round (1 in the paper).
+        seed: seed for the client-local shuffling RNG.
+    """
+
+    def __init__(
+        self,
+        user_id: int,
+        partition: DataPartition,
+        model: Sequential,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        batch_size: int = 20,
+        local_epochs: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0 or local_epochs <= 0:
+            raise ValueError("batch_size and local_epochs must be positive")
+        self.user_id = user_id
+        self.partition = partition
+        self.model = model
+        self.batch_size = batch_size
+        self.local_epochs = local_epochs
+        self.optimizer = MomentumSGD(learning_rate=learning_rate, momentum=momentum)
+        self._rng = np.random.default_rng(seed)
+        self.rounds_completed = 0
+
+    # -- staleness hooks -----------------------------------------------------------
+
+    @property
+    def learning_rate(self) -> float:
+        """The client's learning rate ``eta``."""
+        return self.optimizer.learning_rate
+
+    @property
+    def momentum(self) -> float:
+        """The client's momentum coefficient ``beta``."""
+        return self.optimizer.momentum
+
+    def momentum_norm(self) -> float:
+        """L2 norm of the client's current momentum vector ``v_t``."""
+        return self.optimizer.velocity_norm()
+
+    # -- training ---------------------------------------------------------------------
+
+    def local_train(self, global_params: np.ndarray, base_version: int) -> LocalUpdate:
+        """Run one local round starting from ``global_params``.
+
+        The round is ``local_epochs`` passes over the local shard in shuffled
+        mini-batches, with the persistent momentum state of this client.
+
+        Returns:
+            The :class:`LocalUpdate` to upload to the parameter server.
+        """
+        self.model.set_flat_params(global_params)
+        self.model.train_mode(True)
+        losses = []
+        num_batches = 0
+        for _ in range(self.local_epochs):
+            for xb, yb in self.partition.batches(self.batch_size, rng=self._rng):
+                loss = self.model.train_step_gradients(xb, yb)
+                self.optimizer.step(self.model)
+                losses.append(loss)
+                num_batches += 1
+        self.rounds_completed += 1
+        new_params = self.model.get_flat_params()
+        return LocalUpdate(
+            user_id=self.user_id,
+            params=new_params,
+            delta=new_params - global_params,
+            base_version=base_version,
+            num_samples=len(self.partition),
+            train_loss=float(np.mean(losses)) if losses else 0.0,
+            momentum_norm=self.momentum_norm(),
+            num_batches=num_batches,
+        )
+
+    def evaluate_local(self) -> float:
+        """Training-set accuracy on the client's own shard (diagnostics)."""
+        predictions = self.model.predict(self.partition.x)
+        return float(np.mean(predictions == self.partition.y))

@@ -1,0 +1,332 @@
+"""Neural-network layers with explicit forward and backward passes.
+
+The on-device training substrate of the paper is a Java deep-learning
+framework (DL4J) running LeNet-5.  Here the layers are implemented directly
+on NumPy so the whole stack is dependency-free and deterministic.  Every
+layer follows the same protocol:
+
+* ``forward(x)`` caches whatever the backward pass needs and returns the
+  activations,
+* ``backward(grad_out)`` returns the gradient with respect to the input and
+  stores parameter gradients in ``layer.grads`` (aligned with
+  ``layer.params``).
+
+Shapes follow the ``(batch, ...)`` convention; convolutional layers use
+``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Conv2D",
+    "MaxPool2D",
+    "Dropout",
+    "SoftmaxCrossEntropy",
+]
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses with parameters populate ``params``/``grads`` with matching
+    keys; parameter-free layers leave them empty.
+    """
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_out`` and return the input gradient."""
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def train_mode(self, training: bool = True) -> None:
+        """Switch between training and evaluation behaviour (dropout only)."""
+        self.training = training
+
+
+class Linear(Layer):
+    """Fully-connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.params["w"] = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.params["b"] = np.zeros(out_features)
+        self.zero_grads()
+        self._cache_x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.params["w"].shape[0]:
+            raise ValueError(
+                f"Linear expected input of shape (batch, {self.params['w'].shape[0]}), got {x.shape}"
+            )
+        self._cache_x = x
+        return x @ self.params["w"] + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_x
+        self.grads["w"] = x.T @ grad_out
+        self.grads["b"] = grad_out.sum(axis=0)
+        return grad_out @ self.params["w"].T
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation (LeNet's classic nonlinearity)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._out**2)
+
+
+class Flatten(Layer):
+    """Flatten ``(batch, ...)`` inputs to ``(batch, features)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity in evaluation mode."""
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int) -> Tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns for convolution-as-matmul."""
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel):
+        i_max = i + stride * out_h
+        for j in range(kernel):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(batch * out_h * out_w, -1)
+    return cols, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`, accumulating overlapping patches."""
+    batch, channels, height, width = x_shape
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kernel):
+        i_max = i + stride * out_h
+        for j in range(kernel):
+            j_max = j + stride * out_w
+            x[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    return x
+
+
+class Conv2D(Layer):
+    """2-D convolution (valid padding) implemented with im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("conv dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.params["w"] = rng.normal(
+            0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size)
+        )
+        self.params["b"] = np.zeros(out_channels)
+        self.zero_grads()
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...], int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, out_h, out_w = _im2col(x, self.kernel_size, self.stride)
+        w_col = self.params["w"].reshape(self.out_channels, -1)
+        out = cols @ w_col.T + self.params["b"]
+        out = out.reshape(x.shape[0], out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (cols, x.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, x_shape, out_h, out_w = self._cache
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        w_col = self.params["w"].reshape(self.out_channels, -1)
+        self.grads["w"] = (grad_flat.T @ cols).reshape(self.params["w"].shape)
+        self.grads["b"] = grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ w_col
+        return _col2im(grad_cols, x_shape, self.kernel_size, self.stride, out_h, out_w)
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping 2-D max pooling."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        p = self.pool_size
+        if height % p or width % p:
+            raise ValueError("input spatial dims must be divisible by pool_size")
+        reshaped = x.reshape(batch, channels, height // p, p, width // p, p)
+        out = reshaped.max(axis=(3, 5))
+        mask = reshaped == out[:, :, :, None, :, None]
+        self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        mask, x_shape = self._cache
+        p = self.pool_size
+        grad = mask * grad_out[:, :, :, None, :, None]
+        return grad.reshape(x_shape)
+
+
+class SoftmaxCrossEntropy:
+    """Combined softmax activation and cross-entropy loss.
+
+    Not a :class:`Layer` — it terminates the network: ``forward`` returns the
+    scalar loss and ``backward`` returns the gradient of the loss with
+    respect to the logits.
+    """
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Compute mean cross-entropy of ``logits`` against integer ``labels``."""
+        if logits.ndim != 2:
+            raise ValueError("logits must have shape (batch, classes)")
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError("labels and logits must agree on batch size")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._labels = labels
+        batch = logits.shape[0]
+        correct = probs[np.arange(batch), labels]
+        return float(-np.mean(np.log(np.clip(correct, 1e-12, None))))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._labels] -= 1.0
+        return grad / batch
+
+    @staticmethod
+    def predictions(logits: np.ndarray) -> np.ndarray:
+        """Class predictions from raw logits."""
+        return logits.argmax(axis=1)

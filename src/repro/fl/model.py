@@ -1,0 +1,195 @@
+"""Sequential model container with flat-parameter views.
+
+The schedulers and staleness metrics of the paper work on the *parameter
+vector* of the global model (norm differences, averaging, momentum vectors),
+so the container exposes the whole network as a single flat ``numpy`` vector
+(:meth:`Sequential.get_flat_params` / :meth:`Sequential.set_flat_params`)
+in addition to the usual layer-structured access.
+
+Two builders match the paper's setup:
+
+* :func:`build_lenet5` — the LeNet-5 architecture trained on the devices
+  (Section VI), for 3x32x32 CIFAR-10-shaped inputs.
+* :func:`build_mlp` — a small multi-layer perceptron on flattened features,
+  the default for simulation studies because it is 1-2 orders of magnitude
+  faster while exercising exactly the same optimizer/staleness machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.layers import (
+    Conv2D,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+    Tanh,
+)
+
+__all__ = ["Sequential", "build_mlp", "build_lenet5"]
+
+
+class Sequential:
+    """A feed-forward stack of layers with a softmax cross-entropy head."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.loss_fn = SoftmaxCrossEntropy()
+
+    # -- forward / backward ------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network and return the logits."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def loss(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Forward pass plus mean cross-entropy loss."""
+        logits = self.forward(x)
+        return self.loss_fn.forward(logits, labels)
+
+    def backward(self) -> None:
+        """Back-propagate the most recent loss through every layer."""
+        grad = self.loss_fn.backward()
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def train_step_gradients(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Compute the loss and populate every layer's gradients."""
+        self.zero_grads()
+        loss = self.loss(x, labels)
+        self.backward()
+        return loss
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch."""
+        return SoftmaxCrossEntropy.predictions(self.forward(x))
+
+    def train_mode(self, training: bool = True) -> None:
+        """Toggle training-time behaviour (dropout)."""
+        for layer in self.layers:
+            layer.train_mode(training)
+
+    def zero_grads(self) -> None:
+        """Reset all parameter gradients."""
+        for layer in self.layers:
+            layer.zero_grads()
+
+    # -- parameter access ----------------------------------------------------------
+
+    def parameter_items(self) -> Iterable[Tuple[Layer, str, np.ndarray]]:
+        """Iterate over ``(layer, name, array)`` for every parameter tensor."""
+        for layer in self.layers:
+            for name, value in layer.params.items():
+                yield layer, name, value
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(value.size for _, _, value in self.parameter_items())
+
+    def get_flat_params(self) -> np.ndarray:
+        """Copy all parameters into a single flat vector."""
+        if not any(layer.params for layer in self.layers):
+            return np.zeros(0)
+        return np.concatenate(
+            [value.ravel().copy() for _, _, value in self.parameter_items()]
+        )
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by ``get_flat_params``."""
+        expected = self.num_parameters()
+        if flat.shape != (expected,):
+            raise ValueError(f"expected a flat vector of length {expected}, got {flat.shape}")
+        offset = 0
+        for layer, name, value in self.parameter_items():
+            size = value.size
+            layer.params[name] = flat[offset : offset + size].reshape(value.shape).copy()
+            offset += size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Copy all parameter gradients into a single flat vector."""
+        chunks = []
+        for layer in self.layers:
+            for name, value in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    grad = np.zeros_like(value)
+                chunks.append(grad.ravel())
+        if not chunks:
+            return np.zeros(0)
+        return np.concatenate(chunks)
+
+    def clone_params(self) -> np.ndarray:
+        """Alias of :meth:`get_flat_params` (reads better at call sites)."""
+        return self.get_flat_params()
+
+
+def build_mlp(
+    input_dim: int = 64,
+    hidden_dims: Sequence[int] = (128, 64),
+    num_classes: int = 10,
+    seed: int = 0,
+) -> Sequential:
+    """Build a small ReLU MLP classifier.
+
+    This is the default simulation model: it exercises the same federated
+    machinery (momentum SGD, staleness, aggregation) as LeNet-5 but runs fast
+    enough for hours-long slotted simulations on a laptop.
+    """
+    if input_dim <= 0 or num_classes <= 0:
+        raise ValueError("input_dim and num_classes must be positive")
+    rng = np.random.default_rng(seed)
+    layers: List[Layer] = []
+    prev = input_dim
+    for width in hidden_dims:
+        layers.append(Linear(prev, width, rng=rng))
+        layers.append(ReLU())
+        prev = width
+    layers.append(Linear(prev, num_classes, rng=rng))
+    return Sequential(layers)
+
+
+def build_lenet5(
+    in_channels: int = 3,
+    image_size: int = 32,
+    num_classes: int = 10,
+    seed: int = 0,
+) -> Sequential:
+    """Build the LeNet-5 architecture used on the devices (Section VI).
+
+    Conv(6, 5x5) - Tanh - MaxPool(2) - Conv(16, 5x5) - Tanh - MaxPool(2) -
+    Flatten - Linear(120) - Tanh - Linear(84) - Tanh - Linear(num_classes).
+    """
+    if image_size < 12:
+        raise ValueError("image_size too small for the LeNet-5 stack")
+    rng = np.random.default_rng(seed)
+    after_conv1 = image_size - 4
+    after_pool1 = after_conv1 // 2
+    after_conv2 = after_pool1 - 4
+    after_pool2 = after_conv2 // 2
+    flat_dim = 16 * after_pool2 * after_pool2
+    layers: List[Layer] = [
+        Conv2D(in_channels, 6, kernel_size=5, rng=rng),
+        Tanh(),
+        MaxPool2D(2),
+        Conv2D(6, 16, kernel_size=5, rng=rng),
+        Tanh(),
+        MaxPool2D(2),
+        Flatten(),
+        Linear(flat_dim, 120, rng=rng),
+        Tanh(),
+        Linear(120, 84, rng=rng),
+        Tanh(),
+        Linear(84, num_classes, rng=rng),
+    ]
+    return Sequential(layers)

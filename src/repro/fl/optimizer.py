@@ -1,0 +1,103 @@
+"""Momentum SGD exactly as Eq. (1) of the paper.
+
+The update maintained per participant is::
+
+    v_t     = beta * v_{t-1} + (1 - beta) * s_t
+    theta_t = theta_{t-1} - eta * v_t
+
+where ``s_t`` is the current (mini-batch) gradient vector, ``beta`` the
+momentum coefficient and ``eta`` the learning rate.  The momentum vector
+``v_t`` is also what the staleness machinery consumes: the linear weight
+prediction of Eq. (3) extrapolates the global parameters ``lag`` updates into
+the future along ``v_t``, and the gradient gap of Eq. (4) is the norm of that
+extrapolation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fl.model import Sequential
+
+__all__ = ["MomentumSGD"]
+
+
+class MomentumSGD:
+    """Flat-vector momentum SGD operating on a :class:`Sequential` model.
+
+    The optimizer works on the flattened parameter vector so its momentum
+    state can be handed directly to the staleness estimators.
+
+    Args:
+        learning_rate: ``eta`` in Eq. (1).
+        momentum: ``beta`` in Eq. (1); 0 disables momentum.
+        weight_decay: optional L2 regularisation coefficient.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Optional[np.ndarray] = None
+
+    @property
+    def velocity(self) -> Optional[np.ndarray]:
+        """The momentum vector ``v_t`` (``None`` before the first step)."""
+        return self._velocity
+
+    def velocity_norm(self) -> float:
+        """L2 norm of the momentum vector (0 before the first step)."""
+        if self._velocity is None:
+            return 0.0
+        return float(np.linalg.norm(self._velocity))
+
+    def reset(self) -> None:
+        """Clear the momentum state."""
+        self._velocity = None
+
+    def load_velocity(self, velocity: Optional[np.ndarray]) -> None:
+        """Restore a previously-saved momentum vector (e.g. across rounds)."""
+        self._velocity = None if velocity is None else velocity.copy()
+
+    def step(self, model: Sequential) -> np.ndarray:
+        """Apply one update using the gradients currently stored in ``model``.
+
+        Returns:
+            The updated flat parameter vector.
+        """
+        params = model.get_flat_params()
+        grads = model.get_flat_grads()
+        if grads.shape != params.shape:
+            raise ValueError("gradient/parameter shape mismatch")
+        if self.weight_decay > 0.0:
+            grads = grads + self.weight_decay * params
+        if self._velocity is None:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.momentum * self._velocity + (1.0 - self.momentum) * grads
+        params = params - self.learning_rate * self._velocity
+        model.set_flat_params(params)
+        return params
+
+    def apply_to_vector(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Vector-space variant of :meth:`step` (no model object involved)."""
+        if grads.shape != params.shape:
+            raise ValueError("gradient/parameter shape mismatch")
+        if self.weight_decay > 0.0:
+            grads = grads + self.weight_decay * params
+        if self._velocity is None:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.momentum * self._velocity + (1.0 - self.momentum) * grads
+        return params - self.learning_rate * self._velocity

@@ -1,0 +1,237 @@
+"""Parameter server with synchronous and asynchronous update rules.
+
+The paper's server is a Python HTTP endpoint (Section VI): for ASync-SGD it
+*replaces* the current copy of the global model whenever a device uploads,
+and devices download the latest copy whenever they become available.  For the
+Sync-SGD (FedAvg) baseline, it waits for every participant of the round and
+averages.
+
+Beyond the update rules, the server is the natural owner of the staleness
+bookkeeping the schedulers need:
+
+* a monotonically-increasing **version** (one increment per applied update),
+  from which the *lag* of Definition 1 is computed as the number of updates
+  applied between a client's download and its upload;
+* the set of **in-flight** training jobs and their expected finish times,
+  from which the server supplies the estimated lag ``l_{d_i}`` that the
+  distributed online controller (Algorithm 2, line 4) needs;
+* the history of applied updates with their lag and gradient-gap values,
+  which feeds the Fig. 5(a) traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.client import LocalUpdate
+
+__all__ = ["AsyncUpdateRule", "ServerUpdate", "ParameterServer"]
+
+
+class AsyncUpdateRule(str, Enum):
+    """How an asynchronous upload is merged into the global model."""
+
+    #: Apply the client's parameter *delta* to the current global model
+    #: (``theta <- theta + (theta_local - theta_base)``), the standard
+    #: asynchronous parameter-server rule.  Concurrent updates accumulate,
+    #: so the number of updates drives convergence speed — the behaviour the
+    #: paper's evaluation relies on.  Default.
+    ACCUMULATE = "accumulate"
+    #: Replace the global model with the uploaded one — the literal rule of
+    #: the paper's Section VI implementation ("the server replaces the
+    #: current copy of the global model upon receiving it").  With many
+    #: concurrent trainers the last writer wins, so this converges like a
+    #: single device; kept as an ablation.
+    REPLACE = "replace"
+    #: Fixed mixing: ``theta <- (1 - alpha) * theta + alpha * theta_local``.
+    MIXING = "mixing"
+    #: Mixing with a weight that decays in the update's lag, a common
+    #: staleness-mitigation rule used as an ablation.
+    STALENESS_WEIGHTED = "staleness_weighted"
+
+
+@dataclass
+class ServerUpdate:
+    """Record of one update applied to the global model."""
+
+    time_s: float
+    user_id: int
+    version_before: int
+    lag: int
+    gradient_gap: float
+    train_loss: float
+    sync_round: bool = False
+
+
+class ParameterServer:
+    """Global-model owner for both Sync-SGD and ASync-SGD.
+
+    Args:
+        initial_params: initial flat parameter vector of the global model.
+        async_rule: merge rule for asynchronous uploads.
+        mixing_alpha: mixing weight for :attr:`AsyncUpdateRule.MIXING` and the
+            base weight for :attr:`AsyncUpdateRule.STALENESS_WEIGHTED`.
+    """
+
+    def __init__(
+        self,
+        initial_params: np.ndarray,
+        async_rule: AsyncUpdateRule = AsyncUpdateRule.ACCUMULATE,
+        mixing_alpha: float = 0.6,
+    ) -> None:
+        if initial_params.ndim != 1:
+            raise ValueError("initial_params must be a flat vector")
+        if not 0.0 < mixing_alpha <= 1.0:
+            raise ValueError("mixing_alpha must be in (0, 1]")
+        self._params = initial_params.copy()
+        self.async_rule = AsyncUpdateRule(async_rule)
+        self.mixing_alpha = mixing_alpha
+        self.version = 0
+        self.update_log: List[ServerUpdate] = []
+        self._inflight: Dict[int, float] = {}
+        self._download_versions: Dict[int, int] = {}
+
+    # -- model access ------------------------------------------------------------------
+
+    def global_params(self) -> np.ndarray:
+        """A copy of the current global parameter vector."""
+        return self._params.copy()
+
+    def num_updates(self) -> int:
+        """Number of updates applied so far (the version counter)."""
+        return self.version
+
+    # -- download / lag bookkeeping ------------------------------------------------------
+
+    def download(self, user_id: int) -> np.ndarray:
+        """A device pulls the current model; the server records the version."""
+        self._download_versions[user_id] = self.version
+        return self.global_params()
+
+    def downloaded_version(self, user_id: int) -> Optional[int]:
+        """Version the user last downloaded (``None`` if it never downloaded)."""
+        return self._download_versions.get(user_id)
+
+    def lag_of(self, base_version: int) -> int:
+        """Lag (Definition 1): updates applied since ``base_version``."""
+        if base_version < 0 or base_version > self.version:
+            raise ValueError("base_version outside the server's history")
+        return self.version - base_version
+
+    # -- in-flight jobs and lag estimation -------------------------------------------------
+
+    def register_inflight(self, user_id: int, expected_finish_s: float) -> None:
+        """Record that ``user_id`` started training, finishing around ``expected_finish_s``."""
+        self._inflight[user_id] = expected_finish_s
+
+    def unregister_inflight(self, user_id: int) -> None:
+        """Remove a completed or cancelled in-flight job."""
+        self._inflight.pop(user_id, None)
+
+    def inflight_count(self) -> int:
+        """Number of currently running training jobs."""
+        return len(self._inflight)
+
+    def estimate_lag(self, user_id: int, now_s: float, duration_s: float) -> int:
+        """Estimate the lag a job started now by ``user_id`` would incur.
+
+        The server knows the expected finish time of every running job
+        (Algorithm 2 line 4: the lag ``l_{d_i}`` is "supplied by the server
+        with the estimated arrival time of the running tasks").  Every other
+        job expected to finish within ``[now, now + duration]`` will bump the
+        global version before this user uploads.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        horizon = now_s + duration_s
+        return sum(
+            1
+            for uid, finish in self._inflight.items()
+            if uid != user_id and now_s <= finish <= horizon
+        )
+
+    # -- asynchronous updates -----------------------------------------------------------------
+
+    def async_update(self, update: LocalUpdate, time_s: float, gradient_gap: float = 0.0) -> ServerUpdate:
+        """Apply an asynchronous upload to the global model.
+
+        Args:
+            update: the client's upload.
+            time_s: wall-clock time of the upload (for the update log).
+            gradient_gap: the gap value measured for this update (Eq. 4),
+                recorded for the Fig. 5(a)/(d) traces.
+        """
+        if update.params.shape != self._params.shape:
+            raise ValueError("uploaded parameter vector has the wrong shape")
+        lag = self.lag_of(update.base_version)
+        if self.async_rule is AsyncUpdateRule.ACCUMULATE:
+            self._params = self._params + update.delta
+        elif self.async_rule is AsyncUpdateRule.REPLACE:
+            self._params = update.params.copy()
+        elif self.async_rule is AsyncUpdateRule.MIXING:
+            alpha = self.mixing_alpha
+            self._params = (1.0 - alpha) * self._params + alpha * update.params
+        else:  # STALENESS_WEIGHTED
+            alpha = self.mixing_alpha / (1.0 + lag)
+            self._params = (1.0 - alpha) * self._params + alpha * update.params
+        record = ServerUpdate(
+            time_s=time_s,
+            user_id=update.user_id,
+            version_before=self.version,
+            lag=lag,
+            gradient_gap=gradient_gap,
+            train_loss=update.train_loss,
+        )
+        self.version += 1
+        self.update_log.append(record)
+        self.unregister_inflight(update.user_id)
+        return record
+
+    # -- synchronous (FedAvg) rounds -------------------------------------------------------------
+
+    def sync_round(self, updates: Sequence[LocalUpdate], time_s: float) -> List[ServerUpdate]:
+        """Apply one synchronous FedAvg round.
+
+        All participants trained from the same global model; their parameter
+        vectors are averaged weighted by local dataset size.  The version is
+        incremented once per participant so that lag statistics remain
+        comparable between the synchronous and asynchronous runs.
+        """
+        if not updates:
+            raise ValueError("a synchronous round needs at least one update")
+        weights = np.array([u.num_samples for u in updates], dtype=float)
+        if weights.sum() <= 0:
+            raise ValueError("total sample count must be positive")
+        weights = weights / weights.sum()
+        stacked = np.stack([u.params for u in updates])
+        self._params = (weights[:, None] * stacked).sum(axis=0)
+        records = []
+        for update in updates:
+            record = ServerUpdate(
+                time_s=time_s,
+                user_id=update.user_id,
+                version_before=self.version,
+                lag=0,
+                gradient_gap=0.0,
+                train_loss=update.train_loss,
+                sync_round=True,
+            )
+            self.version += 1
+            self.update_log.append(record)
+            self.unregister_inflight(update.user_id)
+            records.append(record)
+        return records
+
+    # -- diagnostics -------------------------------------------------------------------------------
+
+    def lag_history(self) -> List[int]:
+        """Lag of every applied update, in application order."""
+        return [u.lag for u in self.update_log]
+
+    def gap_history(self) -> List[float]:
+        """Gradient gap of every applied update, in application order."""
+        return [u.gradient_gap for u in self.update_log]

@@ -1,0 +1,181 @@
+"""Application arrival processes.
+
+The evaluation sets "the probability of application arrival to 0.001 in each
+time slot, i.e., an average of 1 app arrival for every 1000 s", with the
+application "chosen uniformly randomly from the 8 representative
+applications" and running for the Table II co-running time measured on the
+user's device.
+
+Arrivals are generated ahead of the run for the full horizon:
+
+* the engine replays them slot by slot (a user never has two overlapping
+  apps — the process suppresses arrivals while an app is running), and
+* the offline policy receives the same object as its look-ahead *oracle*
+  (:meth:`ArrivalSchedule.next_arrival`), which is exactly the "all future
+  occurrences of applications are known" assumption of Section IV.
+
+Two processes are provided: the uniform Bernoulli process used in the paper
+and a diurnal process (the Section VIII future-work pattern) in which the
+arrival probability follows a day/night profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.apps import APP_CATALOG, AppSpec, ForegroundApp, sample_app
+from repro.device.models import DeviceSpec
+from repro.energy.measurements import MeasurementTable
+
+__all__ = ["BernoulliArrivalProcess", "DiurnalArrivalProcess", "ArrivalSchedule"]
+
+
+class BernoulliArrivalProcess:
+    """Constant per-slot arrival probability (the paper's process)."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+
+    def probability_at(self, slot: int, slot_seconds: float) -> float:
+        """Arrival probability in ``slot`` (constant)."""
+        return self.probability
+
+
+class DiurnalArrivalProcess:
+    """Day/night arrival probability (Section VIII future-work pattern).
+
+    The probability follows a raised cosine over a 24-hour period: close to
+    ``peak_probability`` in the middle of the day and close to
+    ``trough_probability`` at night.
+
+    Args:
+        peak_probability: per-slot arrival probability at the daily peak.
+        trough_probability: per-slot arrival probability at the nightly trough.
+        period_s: length of one day in simulated seconds.
+        phase_s: offset of the peak within the period.
+    """
+
+    def __init__(
+        self,
+        peak_probability: float = 0.002,
+        trough_probability: float = 0.0001,
+        period_s: float = 86_400.0,
+        phase_s: float = 0.0,
+    ) -> None:
+        if not 0.0 <= trough_probability <= peak_probability <= 1.0:
+            raise ValueError("need 0 <= trough <= peak <= 1")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.peak_probability = peak_probability
+        self.trough_probability = trough_probability
+        self.period_s = period_s
+        self.phase_s = phase_s
+
+    def probability_at(self, slot: int, slot_seconds: float) -> float:
+        """Arrival probability in ``slot`` following the diurnal profile."""
+        time_s = slot * slot_seconds + self.phase_s
+        phase = 2.0 * math.pi * (time_s % self.period_s) / self.period_s
+        weight = 0.5 * (1.0 - math.cos(phase))  # 0 at midnight, 1 at midday
+        return self.trough_probability + weight * (
+            self.peak_probability - self.trough_probability
+        )
+
+
+class ArrivalSchedule:
+    """Pre-generated application arrivals for every user over the horizon."""
+
+    def __init__(self, arrivals: Dict[int, List[ForegroundApp]]) -> None:
+        self._arrivals = {user: sorted(apps, key=lambda a: a.arrival_slot) for user, apps in arrivals.items()}
+        self._by_slot: Dict[int, Dict[int, ForegroundApp]] = {}
+        for user, apps in self._arrivals.items():
+            for app in apps:
+                self._by_slot.setdefault(user, {})[app.arrival_slot] = app
+
+    # -- generation --------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        num_users: int,
+        total_slots: int,
+        slot_seconds: float,
+        process,
+        device_specs: Sequence[DeviceSpec],
+        rng: np.random.Generator,
+        table: Optional[MeasurementTable] = None,
+        app_names: Optional[Sequence[str]] = None,
+        app_weights: Optional[Sequence[float]] = None,
+    ) -> "ArrivalSchedule":
+        """Generate arrivals for all users.
+
+        A new application may only arrive while no application is running;
+        its duration is the Table II co-running time measured for the user's
+        device and the sampled application, converted to slots.
+        """
+        if len(device_specs) != num_users:
+            raise ValueError("device_specs must have one entry per user")
+        table = table or MeasurementTable()
+        arrivals: Dict[int, List[ForegroundApp]] = {u: [] for u in range(num_users)}
+        for user in range(num_users):
+            device = device_specs[user]
+            busy_until = -1
+            for slot in range(total_slots):
+                if slot <= busy_until:
+                    continue
+                probability = process.probability_at(slot, slot_seconds)
+                if rng.random() >= probability:
+                    continue
+                spec = sample_app(rng, names=app_names, weights=app_weights)
+                duration_s = table.corun_time(device.name, spec.name)
+                duration_slots = max(1, int(round(duration_s / slot_seconds)))
+                app = ForegroundApp(
+                    spec=spec, arrival_slot=slot, duration_slots=duration_slots
+                )
+                arrivals[user].append(app)
+                busy_until = app.end_slot() - 1
+        return cls(arrivals)
+
+    # -- replay (engine) -----------------------------------------------------------
+
+    def app_starting_at(self, user_id: int, slot: int) -> Optional[ForegroundApp]:
+        """The application the user launches exactly at ``slot``, if any."""
+        return self._by_slot.get(user_id, {}).get(slot)
+
+    def arrivals_for(self, user_id: int) -> List[ForegroundApp]:
+        """All arrivals of ``user_id`` in arrival order."""
+        return list(self._arrivals.get(user_id, []))
+
+    def total_arrivals(self) -> int:
+        """Total number of application launches across all users."""
+        return sum(len(apps) for apps in self._arrivals.values())
+
+    # -- oracle (offline policy) ------------------------------------------------------
+
+    def next_arrival(
+        self, user_id: int, start_slot: int, end_slot: int
+    ) -> Optional[Tuple[int, str]]:
+        """First arrival of ``user_id`` within ``[start_slot, end_slot)``.
+
+        Returns ``(arrival_slot, app_name)`` or ``None``.  This is the
+        future knowledge the offline knapsack scheduler is allowed to use.
+        """
+        if end_slot <= start_slot:
+            raise ValueError("end_slot must be greater than start_slot")
+        for app in self._arrivals.get(user_id, []):
+            if app.arrival_slot >= end_slot:
+                break
+            if app.arrival_slot >= start_slot:
+                return app.arrival_slot, app.name
+        return None
+
+    def arrival_rate(self, total_slots: int, num_users: int) -> float:
+        """Empirical per-user, per-slot arrival rate of the schedule."""
+        if total_slots <= 0 or num_users <= 0:
+            raise ValueError("total_slots and num_users must be positive")
+        return self.total_arrivals() / (total_slots * num_users)

@@ -1,0 +1,581 @@
+"""The slotted simulation engine (the Section VII.B evaluation harness).
+
+One engine instance simulates the full federated system for one scheduling
+policy: the device fleet, application arrivals, the scheduling decisions, the
+actual NumPy model training, the parameter server, the staleness bookkeeping
+and the energy accounting.  The timeline of one slot is:
+
+1. expire finished foreground applications and launch newly-arriving ones;
+2. hand the policy a :class:`~repro.core.policies.SlotContext` and, for every
+   *ready* user (model downloaded, no training job running), a
+   :class:`~repro.core.policies.DeviceObservation`; start training jobs for
+   every ``SCHEDULE`` decision and apply the Eq. (12) gap dynamics;
+3. advance every device by one slot, accumulating the Eq. (10) energy;
+   finished jobs run their local epoch (momentum SGD on the user's shard)
+   and upload to the parameter server, which applies the asynchronous rule
+   (or buffers the update until the synchronous round completes);
+4. update the policy queues with the slot's arrivals, services and gap sum;
+5. sample the traces and periodically evaluate the global model.
+
+Staleness semantics: a user *downloads* the global model the moment it
+becomes ready (Definition 1 measures lag from that instant), so waiting for
+a co-running opportunity increases both the lag and the gradient gap of the
+eventual update — exactly the trade-off the schedulers navigate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.messages import ModelDownload, ModelUpload
+from repro.comm.network import NetworkModel
+from repro.comm.transport import ModelTransport
+from repro.core.offline import OfflinePolicy
+from repro.core.policies import (
+    Aggregation,
+    Decision,
+    DeviceObservation,
+    SchedulingPolicy,
+    SlotContext,
+)
+from repro.core.staleness import GapTracker, gradient_gap, gradient_gap_from_params
+from repro.device.device import DeviceState, MobileDevice
+from repro.device.models import DeviceSpec, build_device_fleet
+from repro.energy.battery import Battery
+from repro.energy.measurements import MeasurementTable
+from repro.energy.power_model import EnergyAccountant, PowerModel
+from repro.fl.client import FLClient, LocalUpdate
+from repro.fl.dataset import SyntheticCifar10, partition_dirichlet, partition_iid
+from repro.fl.metrics import AccuracyTracker, evaluate_model
+from repro.fl.model import Sequential, build_mlp
+from repro.fl.server import ParameterServer
+from repro.sim.arrivals import ArrivalSchedule, BernoulliArrivalProcess, DiurnalArrivalProcess
+from repro.sim.config import SimulationConfig
+from repro.sim.rng import spawn_generators
+from repro.sim.trace import SimulationTrace, SlotSample, UpdateSample
+
+__all__ = ["SimulationEngine", "SimulationResult"]
+
+
+@dataclass
+class _UserState:
+    """Mutable per-user scheduling state."""
+
+    ready: bool = False
+    waiting_slots: int = 0
+    base_version: int = 0
+    base_params: Optional[np.ndarray] = None
+    uploaded_this_round: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark or example needs from one simulation run."""
+
+    config: SimulationConfig
+    policy_name: str
+    trace: SimulationTrace
+    accuracy: AccuracyTracker
+    accountant: EnergyAccountant
+    num_updates: int
+    decision_evaluations: int
+    device_names: List[str]
+    queue_history: List[float] = field(default_factory=list)
+    virtual_queue_history: List[float] = field(default_factory=list)
+    comm_bytes_mb: float = 0.0
+    comm_failures: int = 0
+    final_battery_soc: List[float] = field(default_factory=list)
+
+    # -- energy ----------------------------------------------------------------
+
+    def total_energy_j(self) -> float:
+        """System-wide total energy in joules."""
+        return self.accountant.total_j()
+
+    def total_energy_kj(self) -> float:
+        """System-wide total energy in kilojoules (the Fig. 4/6 unit)."""
+        return self.accountant.total_kj()
+
+    def energy_saving_vs(self, other: "SimulationResult") -> float:
+        """Fractional energy saving of this run relative to ``other``."""
+        if other.total_energy_j() <= 0:
+            raise ValueError("the baseline run consumed no energy")
+        return 1.0 - self.total_energy_j() / other.total_energy_j()
+
+    # -- accuracy -----------------------------------------------------------------
+
+    def final_accuracy(self) -> float:
+        """Accuracy of the global model at the end of the run."""
+        return self.accuracy.final_accuracy()
+
+    def best_accuracy(self) -> float:
+        """Best accuracy reached during the run."""
+        return self.accuracy.best_accuracy()
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """First time (s) the global model reached ``target`` accuracy."""
+        return self.accuracy.time_to_accuracy(target)
+
+    # -- queues ---------------------------------------------------------------------
+
+    def mean_queue_length(self) -> float:
+        """Time-averaged task-queue backlog (0 for queue-less policies)."""
+        if not self.queue_history:
+            return 0.0
+        return float(np.mean(self.queue_history))
+
+    def mean_virtual_queue_length(self) -> float:
+        """Time-averaged virtual-queue backlog (0 for queue-less policies)."""
+        if not self.virtual_queue_history:
+            return 0.0
+        return float(np.mean(self.virtual_queue_history))
+
+    def final_virtual_queue_length(self) -> float:
+        """Virtual-queue backlog at the end of the run."""
+        if not self.virtual_queue_history:
+            return 0.0
+        return float(self.virtual_queue_history[-1])
+
+    # -- battery ----------------------------------------------------------------------
+
+    def mean_final_battery_soc(self) -> float:
+        """Mean end-of-run state of charge (1.0 when batteries are disabled)."""
+        if not self.final_battery_soc:
+            return 1.0
+        return float(np.mean(self.final_battery_soc))
+
+
+class SimulationEngine:
+    """Simulate the federated mobile system under one scheduling policy.
+
+    Args:
+        config: run configuration.
+        policy: the scheduling policy to evaluate.
+        dataset: optionally share a pre-built dataset across runs (policy
+            comparisons should use the same dataset and seed).
+        measurement_table: optionally override the Table II/III calibration.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: SchedulingPolicy,
+        dataset: Optional[SyntheticCifar10] = None,
+        measurement_table: Optional[MeasurementTable] = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.table = measurement_table or MeasurementTable()
+
+        rngs = spawn_generators(
+            config.seed,
+            ["devices", "arrivals", "dataset", "clients", "network", "apps"],
+        )
+
+        # -- device fleet -----------------------------------------------------
+        self.device_specs: List[DeviceSpec] = build_device_fleet(
+            config.num_users,
+            rngs["devices"],
+            mix=config.device_mix,
+            names=config.device_names,
+        )
+        self.devices: List[MobileDevice] = [
+            MobileDevice(user_id=i, spec=spec, slot_seconds=config.slot_seconds)
+            for i, spec in enumerate(self.device_specs)
+        ]
+        self.power_model = PowerModel(
+            table=self.table,
+            include_scheduler_overhead=config.include_scheduler_overhead,
+        )
+        # Batteries (optional): dev boards are bench-powered and never gated.
+        self.batteries: List[Optional[Battery]] = []
+        for spec in self.device_specs:
+            if config.battery_capacity_j is None or spec.is_dev_board():
+                self.batteries.append(None)
+            else:
+                self.batteries.append(
+                    Battery(
+                        capacity_j=config.battery_capacity_j,
+                        charge_j=config.battery_capacity_j,
+                        charge_rate_w=max(config.battery_charge_rate_w, 0.0),
+                        min_participation_soc=config.min_battery_soc,
+                    )
+                )
+
+        # -- dataset and FL substrate -------------------------------------------
+        self.dataset = dataset or SyntheticCifar10(
+            num_train=config.num_train_samples,
+            num_test=config.num_test_samples,
+            num_classes=config.num_classes,
+            feature_dim=config.feature_dim,
+            class_separation=config.class_separation,
+            noise_std=config.noise_std,
+            label_noise=config.label_noise,
+            clusters_per_class=config.clusters_per_class,
+            seed=config.seed,
+        )
+        x_train, y_train = self.dataset.train_set()
+        if config.non_iid_alpha is None:
+            partitions = partition_iid(x_train, y_train, config.num_users, rngs["dataset"])
+        else:
+            partitions = partition_dirichlet(
+                x_train,
+                y_train,
+                config.num_users,
+                rngs["dataset"],
+                alpha=config.non_iid_alpha,
+                num_classes=config.num_classes,
+            )
+        self.clients: List[FLClient] = []
+        for user in range(config.num_users):
+            model = build_mlp(
+                input_dim=self.dataset.input_dim(),
+                hidden_dims=config.hidden_dims,
+                num_classes=config.num_classes,
+                seed=config.seed,
+            )
+            self.clients.append(
+                FLClient(
+                    user_id=user,
+                    partition=partitions[user],
+                    model=model,
+                    learning_rate=config.learning_rate,
+                    momentum=config.momentum,
+                    batch_size=config.batch_size,
+                    local_epochs=config.local_epochs,
+                    seed=config.seed + 1000 + user,
+                )
+            )
+        self.eval_model: Sequential = build_mlp(
+            input_dim=self.dataset.input_dim(),
+            hidden_dims=config.hidden_dims,
+            num_classes=config.num_classes,
+            seed=config.seed,
+        )
+        self.server = ParameterServer(
+            self.eval_model.get_flat_params(),
+            async_rule=config.async_rule,
+            mixing_alpha=config.mixing_alpha,
+        )
+
+        # -- arrivals and communication -------------------------------------------
+        if config.diurnal_arrivals:
+            process = DiurnalArrivalProcess(peak_probability=2.0 * config.app_arrival_prob)
+        else:
+            process = BernoulliArrivalProcess(config.app_arrival_prob)
+        self.arrivals = ArrivalSchedule.generate(
+            num_users=config.num_users,
+            total_slots=config.total_slots,
+            slot_seconds=config.slot_seconds,
+            process=process,
+            device_specs=self.device_specs,
+            rng=rngs["arrivals"],
+            table=self.table,
+            app_weights=config.app_weights,
+        )
+        if isinstance(policy, OfflinePolicy):
+            policy.attach_oracle(self.arrivals)
+        self.transport = ModelTransport(
+            NetworkModel(rng=rngs["network"], wifi_probability=config.wifi_probability),
+            account_radio_energy=config.account_radio_energy,
+        )
+
+        # -- bookkeeping ------------------------------------------------------------
+        self.gap_tracker = GapTracker(epsilon=config.epsilon)
+        self.accountant = EnergyAccountant()
+        self.trace = SimulationTrace(trace_interval_slots=config.trace_interval_slots)
+        self.accuracy = AccuracyTracker()
+        self._user_states = [_UserState() for _ in range(config.num_users)]
+        self._sync_buffer: Dict[int, LocalUpdate] = {}
+        self._has_run = False
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _make_ready(self, user: int, slot: int) -> None:
+        """The user downloads the current model and joins the ready pool."""
+        state = self._user_states[user]
+        state.ready = True
+        state.waiting_slots = 0
+        state.base_version = self.server.version
+        state.base_params = self.server.download(user)
+        self.transport.download(
+            ModelDownload(user_id=user, server_version=self.server.version),
+            time_s=slot * self.config.slot_seconds,
+        )
+
+    def _observation(self, user: int, slot: int) -> DeviceObservation:
+        device = self.devices[user]
+        client = self.clients[user]
+        spec = device.spec
+        app_name = device.current_app.name if device.current_app is not None else None
+        duration_slots = device.training_duration_slots()
+        estimated_lag = self.server.estimate_lag(
+            user,
+            now_s=slot * self.config.slot_seconds,
+            duration_s=duration_slots * self.config.slot_seconds,
+        )
+        return DeviceObservation(
+            user_id=user,
+            slot=slot,
+            slot_seconds=self.config.slot_seconds,
+            device_name=spec.name,
+            app_running=device.app_running,
+            app_name=app_name,
+            power_corun_w=self.power_model.corun_power(spec.name, app_name),
+            power_app_w=self.power_model.app_power(spec.name, app_name),
+            power_training_w=self.power_model.training_power(spec.name),
+            power_idle_w=self.power_model.idle_power(spec.name),
+            estimated_lag=estimated_lag,
+            momentum_norm=client.momentum_norm(),
+            learning_rate=client.learning_rate,
+            momentum_coeff=client.momentum,
+            training_duration_slots=duration_slots,
+            waiting_slots=self._user_states[user].waiting_slots,
+            current_gap=self.gap_tracker.current_gap(user),
+        )
+
+    def _apply_async_update(self, user: int, slot: int) -> None:
+        """Run the finished user's local epoch and apply it asynchronously."""
+        state = self._user_states[user]
+        update = self.clients[user].local_train(state.base_params, state.base_version)
+        time_s = slot * self.config.slot_seconds
+        realized_gap = gradient_gap_from_params(state.base_params, self.server.global_params())
+        record = self.server.async_update(update, time_s=time_s, gradient_gap=realized_gap)
+        self.transport.upload(
+            ModelUpload(
+                user_id=user,
+                round_number=self.clients[user].rounds_completed,
+                base_version=state.base_version,
+            ),
+            time_s=time_s,
+        )
+        self.gap_tracker.on_update_applied(user, realized_gap)
+        self.policy.notify_update_applied(user, record.lag, realized_gap)
+        self.trace.record_update(
+            UpdateSample(
+                time_s=time_s,
+                user_id=user,
+                lag=record.lag,
+                gradient_gap=realized_gap,
+                train_loss=update.train_loss,
+                sync_round=False,
+            )
+        )
+
+    def _maybe_complete_sync_round(self, slot: int) -> List[int]:
+        """Aggregate the synchronous round if every user has uploaded."""
+        if len(self._sync_buffer) < self.config.num_users:
+            return []
+        time_s = slot * self.config.slot_seconds
+        updates = [self._sync_buffer[user] for user in sorted(self._sync_buffer)]
+        params_before_round = self.server.global_params()
+        records = self.server.sync_round(updates, time_s=time_s)
+        # In lock-step aggregation the per-round gradient gap is the movement
+        # of the global model over the round (sampled "at the time of
+        # aggregation", Fig. 5a); it is the same for every member of the round.
+        round_gap = gradient_gap_from_params(params_before_round, self.server.global_params())
+        for record, update in zip(records, updates):
+            self.gap_tracker.on_update_applied(update.user_id, 0.0)
+            self.trace.record_update(
+                UpdateSample(
+                    time_s=time_s,
+                    user_id=update.user_id,
+                    lag=record.lag,
+                    gradient_gap=round_gap,
+                    train_loss=update.train_loss,
+                    sync_round=True,
+                )
+            )
+        self._sync_buffer.clear()
+        released = []
+        for user, state in enumerate(self._user_states):
+            state.uploaded_this_round = False
+            released.append(user)
+        return released
+
+    def _evaluate(self, slot: int) -> None:
+        """Evaluate the current global model on the held-out test set."""
+        self.eval_model.set_flat_params(self.server.global_params())
+        x_test, y_test = self.dataset.test_set()
+        accuracy, loss = evaluate_model(self.eval_model, x_test, y_test)
+        self.accuracy.record(
+            time_s=slot * self.config.slot_seconds,
+            accuracy=accuracy,
+            loss=loss,
+            num_updates=self.server.num_updates(),
+        )
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run the simulation and return its result.
+
+        The engine is single-shot: build a new engine for another run.
+        """
+        if self._has_run:
+            raise RuntimeError("this engine has already run; create a new one")
+        self._has_run = True
+        config = self.config
+        sync_mode = self.policy.aggregation is Aggregation.SYNC
+        self.policy.reset()
+        if isinstance(self.policy, OfflinePolicy):
+            self.policy.attach_oracle(self.arrivals)
+
+        # All users download the initial model and arrive at slot 0.
+        pending_arrivals = list(range(config.num_users))
+        self._evaluate(0)
+
+        for slot in range(config.total_slots):
+            time_s = slot * config.slot_seconds
+
+            # 1. Applications: expire finished ones, launch new arrivals.
+            for user, device in enumerate(self.devices):
+                if device.current_app is not None and not device.current_app.is_running(slot):
+                    device.current_app = None
+                app = self.arrivals.app_starting_at(user, slot)
+                if app is not None and device.current_app is None:
+                    device.launch_app(app)
+
+            # 2. Arrivals -> ready pool.
+            num_arrivals = len(pending_arrivals)
+            for user in pending_arrivals:
+                self._make_ready(user, slot)
+            pending_arrivals = []
+
+            ready_users = [
+                user
+                for user, state in enumerate(self._user_states)
+                if state.ready
+                and self.devices[user].available
+                and (self.batteries[user] is None or self.batteries[user].can_participate())
+            ]
+            training_users = [u for u, d in enumerate(self.devices) if d.training_running]
+            context = SlotContext(
+                slot=slot,
+                slot_seconds=config.slot_seconds,
+                num_arrivals=num_arrivals,
+                num_ready=len(ready_users),
+                num_training=len(training_users),
+                num_users=config.num_users,
+            )
+            self.policy.begin_slot(context)
+
+            # 3. Decisions for every ready user.
+            num_scheduled = 0
+            decided_idle_users: List[int] = []
+            for user in ready_users:
+                observation = self._observation(user, slot)
+                decision = self.policy.decide(observation)
+                device = self.devices[user]
+                if decision is Decision.SCHEDULE:
+                    job = device.start_training(slot, self._user_states[user].base_version)
+                    self.server.register_inflight(
+                        user, expected_finish_s=(slot + job.duration_slots) * config.slot_seconds
+                    )
+                    scheduled_gap = gradient_gap(
+                        observation.momentum_norm,
+                        observation.learning_rate,
+                        observation.momentum_coeff,
+                        observation.estimated_lag,
+                    )
+                    self.gap_tracker.on_scheduled(user, scheduled_gap)
+                    self._user_states[user].ready = False
+                    num_scheduled += 1
+                    self.trace.record_decision(scheduled=True, corun=device.app_running)
+                else:
+                    self.gap_tracker.accumulate_idle(user)
+                    self._user_states[user].waiting_slots += 1
+                    decided_idle_users.append(user)
+                    self.trace.record_decision(scheduled=False)
+
+            # 4. Advance every device by one slot.
+            for user, device in enumerate(self.devices):
+                outcome = device.step(slot, self.power_model)
+                overhead_j = 0.0
+                if (
+                    config.include_scheduler_overhead
+                    and user in decided_idle_users
+                    and outcome.state is DeviceState.IDLE
+                ):
+                    overhead_j = (
+                        self.power_model.overhead_power(device.spec.name)
+                        - self.power_model.idle_power(device.spec.name)
+                    ) * config.slot_seconds
+                self.accountant.record(user, outcome.state, outcome.energy_j, overhead_j)
+
+                battery = self.batteries[user]
+                if battery is not None:
+                    battery.discharge(outcome.energy_j + overhead_j)
+                    if outcome.state is DeviceState.IDLE and battery.charge_rate_w > 0:
+                        battery.charge(config.slot_seconds)
+
+                if outcome.training_finished:
+                    state = self._user_states[user]
+                    if sync_mode:
+                        update = self.clients[user].local_train(
+                            state.base_params, state.base_version
+                        )
+                        self._sync_buffer[user] = update
+                        state.uploaded_this_round = True
+                        self.server.unregister_inflight(user)
+                    else:
+                        self._apply_async_update(user, slot)
+                        pending_arrivals.append(user)
+
+            if sync_mode:
+                released = self._maybe_complete_sync_round(slot)
+                pending_arrivals.extend(released)
+
+            # 5. Close the slot: queues, traces, evaluation.
+            gap_sum = self.gap_tracker.total_gap()
+            self.policy.end_slot(context, num_scheduled, gap_sum)
+            self.accountant.close_slot()
+
+            queue_length = getattr(getattr(self.policy, "task_queue", None), "length", 0.0)
+            virtual_length = getattr(
+                getattr(self.policy, "virtual_queue", None), "length", 0.0
+            )
+            self.trace.maybe_record_slot(
+                SlotSample(
+                    slot=slot,
+                    time_s=time_s,
+                    cumulative_energy_j=self.accountant.total_j(),
+                    queue_length=queue_length,
+                    virtual_queue_length=virtual_length,
+                    gap_sum=gap_sum,
+                    num_training=len(training_users),
+                    num_ready=len(ready_users),
+                )
+            )
+            if slot % config.trace_interval_slots == 0:
+                for user in range(config.num_users):
+                    self.trace.record_user_gap(
+                        user, time_s, self.gap_tracker.current_gap(user)
+                    )
+            if slot > 0 and slot % config.eval_interval_slots == 0:
+                self._evaluate(slot)
+
+        self._evaluate(config.total_slots)
+
+        queue_history = list(getattr(getattr(self.policy, "task_queue", None), "history", lambda: [])())
+        virtual_history = list(
+            getattr(getattr(self.policy, "virtual_queue", None), "history", lambda: [])()
+        )
+        return SimulationResult(
+            config=config,
+            policy_name=self.policy.name,
+            trace=self.trace,
+            accuracy=self.accuracy,
+            accountant=self.accountant,
+            num_updates=self.server.num_updates(),
+            decision_evaluations=self.policy.decision_cost_evaluations(),
+            device_names=[spec.name for spec in self.device_specs],
+            queue_history=queue_history,
+            virtual_queue_history=virtual_history,
+            comm_bytes_mb=self.transport.total_bytes_mb(),
+            comm_failures=self.transport.failure_count(),
+            final_battery_soc=[b.soc for b in self.batteries if b is not None],
+        )

@@ -1,0 +1,140 @@
+"""Per-slot traces recorded during a simulation run.
+
+The Fig. 4/5/6 experiments need several time series from a run: cumulative
+system energy, the task and virtual queue backlogs, the per-slot gradient-gap
+sum, per-user gap traces, the lag/gap of every applied update, and the
+accuracy-versus-time curve.  :class:`SimulationTrace` collects all of them;
+series that would be too dense are sampled every ``trace_interval_slots``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SlotSample", "UpdateSample", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class SlotSample:
+    """One sampled point of the per-slot system series."""
+
+    slot: int
+    time_s: float
+    cumulative_energy_j: float
+    queue_length: float
+    virtual_queue_length: float
+    gap_sum: float
+    num_training: int
+    num_ready: int
+
+
+@dataclass(frozen=True)
+class UpdateSample:
+    """One update applied at the parameter server."""
+
+    time_s: float
+    user_id: int
+    lag: int
+    gradient_gap: float
+    train_loss: float
+    sync_round: bool
+
+
+class SimulationTrace:
+    """Collects every time series the evaluation figures need."""
+
+    def __init__(self, trace_interval_slots: int = 10) -> None:
+        if trace_interval_slots <= 0:
+            raise ValueError("trace_interval_slots must be positive")
+        self.trace_interval_slots = trace_interval_slots
+        self.slot_samples: List[SlotSample] = []
+        self.update_samples: List[UpdateSample] = []
+        self.per_user_gaps: Dict[int, List[Tuple[float, float]]] = {}
+        self.decisions: Dict[str, int] = {"schedule": 0, "idle": 0}
+        self.corun_jobs = 0
+        self.background_jobs = 0
+
+    # -- recording -----------------------------------------------------------------
+
+    def maybe_record_slot(self, sample: SlotSample) -> None:
+        """Record a slot sample if it falls on the sampling grid."""
+        if sample.slot % self.trace_interval_slots == 0:
+            self.slot_samples.append(sample)
+
+    def record_update(self, sample: UpdateSample) -> None:
+        """Record one applied update."""
+        self.update_samples.append(sample)
+
+    def record_user_gap(self, user_id: int, time_s: float, gap: float) -> None:
+        """Record one point of a user's gradient-gap trace (Fig. 5d)."""
+        self.per_user_gaps.setdefault(user_id, []).append((time_s, gap))
+
+    def record_decision(self, scheduled: bool, corun: bool = False) -> None:
+        """Count one scheduling decision (and whether it started a co-run job)."""
+        if scheduled:
+            self.decisions["schedule"] += 1
+            if corun:
+                self.corun_jobs += 1
+            else:
+                self.background_jobs += 1
+        else:
+            self.decisions["idle"] += 1
+
+    # -- accessors -------------------------------------------------------------------
+
+    def times(self) -> List[float]:
+        """Sampled slot times in seconds."""
+        return [s.time_s for s in self.slot_samples]
+
+    def energy_series_kj(self) -> List[float]:
+        """Cumulative system energy (kJ) at each sampled slot."""
+        return [s.cumulative_energy_j / 1000.0 for s in self.slot_samples]
+
+    def queue_series(self) -> List[float]:
+        """Task-queue backlog at each sampled slot."""
+        return [s.queue_length for s in self.slot_samples]
+
+    def virtual_queue_series(self) -> List[float]:
+        """Virtual-queue backlog at each sampled slot."""
+        return [s.virtual_queue_length for s in self.slot_samples]
+
+    def gap_sum_series(self) -> List[float]:
+        """Per-slot gradient-gap sum at each sampled slot."""
+        return [s.gap_sum for s in self.slot_samples]
+
+    def update_lags(self) -> List[int]:
+        """Lag of every applied update (Fig. 5a lower panel)."""
+        return [u.lag for u in self.update_samples]
+
+    def update_gaps(self) -> List[float]:
+        """Gradient gap of every applied update (Fig. 5a upper panel)."""
+        return [u.gradient_gap for u in self.update_samples]
+
+    def update_times(self) -> List[float]:
+        """Time of every applied update."""
+        return [u.time_s for u in self.update_samples]
+
+    def user_gap_trace(self, user_id: int) -> List[Tuple[float, float]]:
+        """The (time, gap) trace of one user (Fig. 5d)."""
+        return list(self.per_user_gaps.get(user_id, []))
+
+    def gap_variance_across_users(self) -> float:
+        """Variance of the final per-user mean gaps (the Fig. 5d comparison)."""
+        import numpy as np
+
+        means = [
+            float(np.mean([g for _, g in trace]))
+            for trace in self.per_user_gaps.values()
+            if trace
+        ]
+        if len(means) < 2:
+            return 0.0
+        return float(np.var(means))
+
+    def schedule_fraction(self) -> float:
+        """Fraction of decisions that scheduled training."""
+        total = self.decisions["schedule"] + self.decisions["idle"]
+        if total == 0:
+            return 0.0
+        return self.decisions["schedule"] / total

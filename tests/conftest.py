@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite.
+
+Simulation runs are comparatively expensive, so the fixtures that run full
+(smoke-scale) simulations are session-scoped and shared across the
+integration tests that assert on different aspects of the same run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlinePolicy
+from repro.core.policies import ImmediatePolicy
+from repro.energy.measurements import MeasurementTable
+from repro.fl.dataset import SyntheticCifar10
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine, SimulationResult
+
+
+@pytest.fixture(scope="session")
+def table() -> MeasurementTable:
+    """The Table II/III calibration data."""
+    return MeasurementTable()
+
+
+@pytest.fixture(scope="session")
+def smoke_config() -> SimulationConfig:
+    """A seconds-scale simulation configuration used by integration tests.
+
+    The synthetic task is made easier than the paper-scale default (single
+    Gaussian cluster per class, higher learning rate) so that the few dozen
+    updates a 700-slot run produces already move accuracy well above chance.
+    """
+    return SimulationConfig(
+        num_users=6,
+        total_slots=700,
+        app_arrival_prob=0.01,
+        seed=7,
+        num_train_samples=600,
+        num_test_samples=300,
+        eval_interval_slots=350,
+        trace_interval_slots=10,
+        class_separation=2.5,
+        clusters_per_class=1,
+        label_noise=0.0,
+        learning_rate=0.05,
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_dataset(smoke_config) -> SyntheticCifar10:
+    """Dataset shared by every smoke-scale simulation."""
+    cfg = smoke_config
+    return SyntheticCifar10(
+        num_train=cfg.num_train_samples,
+        num_test=cfg.num_test_samples,
+        num_classes=cfg.num_classes,
+        feature_dim=cfg.feature_dim,
+        class_separation=cfg.class_separation,
+        noise_std=cfg.noise_std,
+        label_noise=cfg.label_noise,
+        clusters_per_class=cfg.clusters_per_class,
+        seed=cfg.seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def immediate_result(smoke_config, smoke_dataset) -> SimulationResult:
+    """One smoke-scale run of the Immediate policy."""
+    return SimulationEngine(smoke_config, ImmediatePolicy(), dataset=smoke_dataset).run()
+
+
+@pytest.fixture(scope="session")
+def online_result(smoke_config, smoke_dataset) -> SimulationResult:
+    """One smoke-scale run of the online policy at V=4000, Lb=500."""
+    policy = OnlinePolicy(v=4000.0, staleness_bound=500.0)
+    return SimulationEngine(smoke_config, policy, dataset=smoke_dataset).run()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator for unit tests."""
+    return np.random.default_rng(123)
+
+
+def make_observation(**overrides):
+    """Build a DeviceObservation with Pixel 2 defaults for policy unit tests."""
+    from repro.core.policies import DeviceObservation
+
+    defaults = dict(
+        user_id=0,
+        slot=10,
+        slot_seconds=1.0,
+        device_name="pixel2",
+        app_running=False,
+        app_name=None,
+        power_corun_w=2.5,
+        power_app_w=2.1,
+        power_training_w=1.35,
+        power_idle_w=0.689,
+        estimated_lag=2,
+        momentum_norm=1.0,
+        learning_rate=0.01,
+        momentum_coeff=0.9,
+        training_duration_slots=223,
+        waiting_slots=0,
+        current_gap=0.0,
+    )
+    defaults.update(overrides)
+    return DeviceObservation(**defaults)
+
+
+@pytest.fixture()
+def observation_factory():
+    """Factory fixture wrapping :func:`make_observation`."""
+    return make_observation

@@ -1,0 +1,92 @@
+"""Integration tests for the JobScheduler battery-participation condition.
+
+Section III.B / VI of the paper: a device only pulls the model and trains
+"depending on the network condition or battery energy"; the Android
+JobScheduler exposes charge-level conditions.  These tests exercise the
+optional battery gating of the simulation engine.
+"""
+
+import pytest
+
+from repro.core.policies import ImmediatePolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+
+
+def _config(**overrides):
+    base = dict(
+        num_users=4,
+        total_slots=600,
+        app_arrival_prob=0.0,
+        seed=5,
+        num_train_samples=400,
+        num_test_samples=200,
+        eval_interval_slots=300,
+        device_names=["pixel2", "nexus6p", "nexus6", "pixel2"],
+        class_separation=2.5,
+        clusters_per_class=1,
+        label_noise=0.0,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestBatteryGating:
+    def test_batteries_disabled_by_default(self):
+        result = SimulationEngine(_config(), ImmediatePolicy()).run()
+        assert result.final_battery_soc == []
+        assert result.mean_final_battery_soc() == 1.0
+
+    def test_batteries_drain_during_training(self):
+        config = _config(battery_capacity_j=200_000.0)
+        result = SimulationEngine(config, ImmediatePolicy()).run()
+        assert result.final_battery_soc
+        assert all(0.0 <= soc < 1.0 for soc in result.final_battery_soc)
+
+    def test_low_battery_blocks_participation(self):
+        """With tiny batteries the devices stop training once below threshold."""
+        unlimited = SimulationEngine(_config(), ImmediatePolicy()).run()
+        gated = SimulationEngine(
+            _config(battery_capacity_j=1_200.0, min_battery_soc=0.75), ImmediatePolicy()
+        ).run()
+        assert gated.num_updates < unlimited.num_updates
+        # Batteries ended near (or below) the participation threshold.
+        assert all(soc <= 0.85 for soc in gated.final_battery_soc)
+
+    def test_gated_run_consumes_less_energy(self):
+        unlimited = SimulationEngine(_config(), ImmediatePolicy()).run()
+        gated = SimulationEngine(
+            _config(battery_capacity_j=1_200.0, min_battery_soc=0.75), ImmediatePolicy()
+        ).run()
+        assert gated.total_energy_j() < unlimited.total_energy_j()
+
+    def test_charging_restores_participation(self):
+        """A charged device keeps contributing more updates than a draining one."""
+        draining = SimulationEngine(
+            _config(battery_capacity_j=3_000.0, min_battery_soc=0.5), ImmediatePolicy()
+        ).run()
+        charging = SimulationEngine(
+            _config(battery_capacity_j=3_000.0, min_battery_soc=0.5,
+                    battery_charge_rate_w=25.0),
+            ImmediatePolicy(),
+        ).run()
+        assert charging.num_updates >= draining.num_updates
+
+    def test_dev_board_is_never_gated(self):
+        """The bench-powered HiKey970 ignores the battery condition."""
+        config = _config(
+            device_names=["hikey970", "hikey970", "hikey970", "hikey970"],
+            battery_capacity_j=1_000.0,
+            min_battery_soc=0.9,
+        )
+        result = SimulationEngine(config, ImmediatePolicy()).run()
+        assert result.num_updates > 0
+        assert result.final_battery_soc == []
+
+    def test_invalid_battery_configuration(self):
+        with pytest.raises(ValueError):
+            _config(battery_capacity_j=0.0)
+        with pytest.raises(ValueError):
+            _config(min_battery_soc=1.5)
+        with pytest.raises(ValueError):
+            _config(battery_charge_rate_w=-1.0)

@@ -1,0 +1,126 @@
+"""Tests for the Table II / Table III calibration data."""
+
+import math
+
+import pytest
+
+from repro.energy.measurements import (
+    APPS,
+    DEVICES,
+    IDLE_POWER_W,
+    MeasurementTable,
+    TABLE_II,
+    TRAINING_POWER_W,
+    energy_saving_fraction,
+)
+
+
+class TestTableContents:
+    def test_all_devices_present(self, table):
+        assert set(table.devices()) == set(DEVICES)
+
+    def test_all_apps_present_per_device(self, table):
+        for device in DEVICES:
+            assert set(table.apps(device)) == set(APPS)
+
+    def test_training_row_values(self, table):
+        assert table.training_power("pixel2") == pytest.approx(1.35)
+        assert table.training_time("pixel2") == pytest.approx(223.0)
+        assert table.training_power("hikey970") == pytest.approx(7.87)
+        assert table.training_time("nexus6") == pytest.approx(204.0)
+
+    def test_idle_power_matches_table3(self, table):
+        assert table.idle_power("nexus6") == pytest.approx(0.238)
+        assert table.idle_power("nexus6p") == pytest.approx(0.486)
+        assert table.idle_power("pixel2") == pytest.approx(0.689)
+
+    def test_overhead_power_above_idle(self, table):
+        for device in DEVICES:
+            assert table.overhead_power(device) > table.idle_power(device)
+
+    def test_power_ordering_eq10(self, table):
+        """On big.LITTLE devices: P_a' > P_b > P_d (corun above training above idle)."""
+        for device in ("pixel2", "hikey970", "nexus6p"):
+            for app in APPS:
+                assert table.corun_power(device, app) > table.idle_power(device)
+            assert table.training_power(device) > table.idle_power(device)
+
+    def test_corun_power_above_app_power(self, table):
+        """Adding the training task never reduces instantaneous power."""
+        for device in DEVICES:
+            for app in APPS:
+                assert table.corun_power(device, app) >= table.app_power(device, app)
+
+    def test_rows_iterates_all_pairs(self, table):
+        rows = list(table.rows())
+        assert len(rows) == len(DEVICES) * len(APPS)
+
+
+class TestDerivedQuantities:
+    def test_energy_saving_formula(self):
+        # Pixel2 / Map from the paper: ~30% saving.
+        saving = energy_saving_fraction(1.35, 223.0, 1.60, 2.20, 196.0)
+        assert saving == pytest.approx(0.30, abs=0.01)
+
+    def test_energy_saving_negative_case(self):
+        # Nexus6 / CandyCrush: co-running costs more energy (-39%).
+        saving = energy_saving_fraction(1.8, 204.0, 1.3, 2.3, 997.0)
+        assert saving == pytest.approx(-0.39, abs=0.02)
+
+    def test_energy_saving_rejects_nonpositive_separate_energy(self):
+        with pytest.raises(ValueError):
+            energy_saving_fraction(0.0, 0.0, 0.0, 1.0, 10.0)
+
+    def test_derived_saving_matches_reported_within_tolerance(self, table):
+        """Every derived Table II saving is within 4 points of the printed one.
+
+        Table II prints power to two significant digits, so the re-derived
+        saving can differ by a few percentage points from the printed value.
+        """
+        for device, app, row in table.rows():
+            derived = table.energy_saving(device, app)
+            assert derived == pytest.approx(row.reported_saving, abs=0.04), (device, app)
+
+    def test_newer_devices_save_more_than_nexus6(self, table):
+        assert table.mean_saving("pixel2") > table.mean_saving("nexus6")
+        assert table.mean_saving("hikey970") > table.mean_saving("nexus6")
+
+    def test_hikey_and_pixel_savings_in_paper_band(self, table):
+        """Observation 1: co-running offers roughly 30-50% savings."""
+        assert 0.30 <= table.mean_saving("hikey970") <= 0.50
+        assert 0.20 <= table.mean_saving("pixel2") <= 0.50
+
+    def test_decision_overhead_below_ten_percent(self, table):
+        for device in table.devices():
+            assert 0.0 < table.decision_overhead(device) < 0.10
+
+    def test_separate_and_corun_energy_consistent_with_saving(self, table):
+        for device, app, _ in table.rows():
+            separate = table.separate_energy_j(device, app)
+            corun = table.corun_energy_j(device, app)
+            saving = table.energy_saving(device, app)
+            assert saving == pytest.approx(1.0 - corun / separate)
+
+
+class TestErrorHandling:
+    def test_unknown_device_raises(self, table):
+        with pytest.raises(KeyError):
+            table.training_power("iphone")
+        with pytest.raises(KeyError):
+            table.apps("iphone")
+
+    def test_unknown_app_raises(self, table):
+        with pytest.raises(KeyError):
+            table.measurement("pixel2", "fortnite")
+
+    def test_custom_table_is_isolated(self):
+        custom = MeasurementTable(
+            table={"pixel2": dict(TABLE_II["pixel2"])},
+            training_power={"pixel2": TRAINING_POWER_W["pixel2"]},
+            training_time={"pixel2": 223.0},
+            idle_power={"pixel2": IDLE_POWER_W["pixel2"]},
+            overhead_power={"pixel2": 0.736},
+        )
+        assert custom.devices() == ["pixel2"]
+        with pytest.raises(KeyError):
+            custom.training_power("nexus6")

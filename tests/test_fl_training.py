@@ -1,0 +1,286 @@
+"""Tests for the optimizer, FL client, parameter server and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import FLClient, LocalUpdate
+from repro.fl.dataset import SyntheticCifar10, partition_iid
+from repro.fl.metrics import AccuracyTracker, evaluate_model, time_to_accuracy
+from repro.fl.model import build_mlp
+from repro.fl.optimizer import MomentumSGD
+from repro.fl.server import AsyncUpdateRule, ParameterServer
+
+
+@pytest.fixture()
+def small_dataset():
+    return SyntheticCifar10(num_train=200, num_test=80, feature_dim=16,
+                            class_separation=2.5, clusters_per_class=1,
+                            label_noise=0.0, seed=0)
+
+
+@pytest.fixture()
+def client(small_dataset, rng):
+    parts = partition_iid(small_dataset.x_train, small_dataset.y_train, 4, rng)
+    model = build_mlp(input_dim=16, hidden_dims=(16,), num_classes=10, seed=0)
+    return FLClient(user_id=0, partition=parts[0], model=model,
+                    learning_rate=0.05, momentum=0.9, batch_size=10, seed=0)
+
+
+class TestMomentumSGD:
+    def test_matches_eq1_closed_form(self):
+        """One step must equal v = beta*v + (1-beta)*g, theta -= eta*v."""
+        optimizer = MomentumSGD(learning_rate=0.1, momentum=0.5)
+        params = np.array([1.0, -2.0])
+        grads = np.array([0.5, 0.5])
+        updated = optimizer.apply_to_vector(params, grads)
+        expected_v = 0.5 * np.zeros(2) + 0.5 * grads
+        assert np.allclose(updated, params - 0.1 * expected_v)
+        updated2 = optimizer.apply_to_vector(updated, grads)
+        expected_v2 = 0.5 * expected_v + 0.5 * grads
+        assert np.allclose(updated2, updated - 0.1 * expected_v2)
+
+    def test_zero_momentum_is_plain_sgd(self):
+        optimizer = MomentumSGD(learning_rate=0.2, momentum=0.0)
+        params = np.array([1.0])
+        grads = np.array([2.0])
+        assert np.allclose(optimizer.apply_to_vector(params, grads), [0.6])
+
+    def test_velocity_norm_tracks_state(self):
+        optimizer = MomentumSGD(learning_rate=0.1, momentum=0.9)
+        assert optimizer.velocity_norm() == 0.0
+        optimizer.apply_to_vector(np.zeros(3), np.ones(3))
+        assert optimizer.velocity_norm() > 0.0
+        optimizer.reset()
+        assert optimizer.velocity is None
+
+    def test_load_velocity_copies(self):
+        optimizer = MomentumSGD()
+        velocity = np.ones(4)
+        optimizer.load_velocity(velocity)
+        velocity[:] = 5.0
+        assert np.allclose(optimizer.velocity, 1.0)
+
+    def test_weight_decay_shrinks_params(self):
+        plain = MomentumSGD(learning_rate=0.1, momentum=0.0)
+        decayed = MomentumSGD(learning_rate=0.1, momentum=0.0, weight_decay=0.1)
+        params = np.array([10.0])
+        grads = np.array([0.0])
+        assert decayed.apply_to_vector(params, grads)[0] < plain.apply_to_vector(params, grads)[0]
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            MomentumSGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            MomentumSGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            MomentumSGD(weight_decay=-0.1)
+
+    def test_step_updates_model_params(self, rng):
+        model = build_mlp(input_dim=6, hidden_dims=(4,), num_classes=3, seed=0)
+        optimizer = MomentumSGD(learning_rate=0.1)
+        before = model.get_flat_params()
+        model.train_step_gradients(rng.normal(size=(8, 6)), rng.integers(0, 3, size=8))
+        optimizer.step(model)
+        assert not np.allclose(before, model.get_flat_params())
+
+
+class TestFLClient:
+    def test_local_train_returns_update(self, client):
+        base = client.model.get_flat_params()
+        update = client.local_train(base, base_version=3)
+        assert isinstance(update, LocalUpdate)
+        assert update.user_id == 0
+        assert update.base_version == 3
+        assert update.num_samples == len(client.partition)
+        assert update.num_batches > 0
+        assert update.params.shape == base.shape
+        assert np.allclose(update.delta, update.params - base)
+
+    def test_momentum_persists_across_rounds(self, client):
+        base = client.model.get_flat_params()
+        assert client.momentum_norm() == 0.0
+        client.local_train(base, 0)
+        norm_after_first = client.momentum_norm()
+        assert norm_after_first > 0.0
+        assert client.rounds_completed == 1
+
+    def test_training_starts_from_supplied_global(self, client):
+        global_params = np.zeros_like(client.model.get_flat_params())
+        update = client.local_train(global_params, 0)
+        # The update must be a perturbation of the supplied global model, not
+        # of whatever the client model held before.
+        assert np.linalg.norm(update.params) < 10.0
+
+    def test_local_accuracy_improves(self, client):
+        base = client.model.get_flat_params()
+        params = base
+        for _ in range(20):
+            update = client.local_train(params, 0)
+            params = update.params
+        assert client.evaluate_local() > 0.5
+
+    def test_invalid_construction(self, small_dataset, rng):
+        parts = partition_iid(small_dataset.x_train, small_dataset.y_train, 2, rng)
+        model = build_mlp(input_dim=16, hidden_dims=(4,), num_classes=10)
+        with pytest.raises(ValueError):
+            FLClient(0, parts[0], model, batch_size=0)
+        with pytest.raises(ValueError):
+            FLClient(0, parts[0], model, local_epochs=0)
+
+
+class TestParameterServer:
+    def _update(self, user, base, params, base_version=0):
+        return LocalUpdate(
+            user_id=user,
+            params=params,
+            delta=params - base,
+            base_version=base_version,
+            num_samples=10,
+            train_loss=1.0,
+            momentum_norm=0.5,
+            num_batches=5,
+        )
+
+    def test_download_records_version(self):
+        server = ParameterServer(np.zeros(4))
+        server.download(3)
+        assert server.downloaded_version(3) == 0
+        assert server.downloaded_version(9) is None
+
+    def test_accumulate_rule_applies_delta(self):
+        base = np.zeros(4)
+        server = ParameterServer(base, async_rule=AsyncUpdateRule.ACCUMULATE)
+        server.async_update(self._update(0, base, np.ones(4)), time_s=1.0)
+        server.async_update(self._update(1, base, np.full(4, 2.0)), time_s=2.0)
+        assert np.allclose(server.global_params(), 3.0)
+        assert server.version == 2
+
+    def test_replace_rule_overwrites(self):
+        base = np.zeros(4)
+        server = ParameterServer(base, async_rule=AsyncUpdateRule.REPLACE)
+        server.async_update(self._update(0, base, np.ones(4)), time_s=1.0)
+        server.async_update(self._update(1, base, np.full(4, 2.0)), time_s=2.0)
+        assert np.allclose(server.global_params(), 2.0)
+
+    def test_mixing_rule(self):
+        base = np.zeros(2)
+        server = ParameterServer(base, async_rule=AsyncUpdateRule.MIXING, mixing_alpha=0.5)
+        server.async_update(self._update(0, base, np.full(2, 4.0)), time_s=0.0)
+        assert np.allclose(server.global_params(), 2.0)
+
+    def test_staleness_weighted_rule_downweights_stale_updates(self):
+        base = np.zeros(2)
+        fresh = ParameterServer(base, async_rule=AsyncUpdateRule.STALENESS_WEIGHTED, mixing_alpha=0.8)
+        fresh.async_update(self._update(0, base, np.full(2, 1.0), base_version=0), time_s=0.0)
+        value_fresh = fresh.global_params()[0]
+
+        stale = ParameterServer(base, async_rule=AsyncUpdateRule.STALENESS_WEIGHTED, mixing_alpha=0.8)
+        # Simulate two earlier updates so the next one has lag 2.
+        stale.async_update(self._update(1, base, base.copy(), base_version=0), time_s=0.0)
+        stale.async_update(self._update(2, base, base.copy(), base_version=0), time_s=0.0)
+        stale.async_update(self._update(0, base, np.full(2, 1.0), base_version=0), time_s=1.0)
+        assert stale.global_params()[0] < value_fresh
+
+    def test_lag_computation(self):
+        server = ParameterServer(np.zeros(2))
+        base = np.zeros(2)
+        assert server.lag_of(0) == 0
+        server.async_update(self._update(0, base, np.ones(2)), time_s=0.0)
+        server.async_update(self._update(1, base, np.ones(2)), time_s=0.0)
+        assert server.lag_of(0) == 2
+        with pytest.raises(ValueError):
+            server.lag_of(5)
+
+    def test_sync_round_weighted_average(self):
+        base = np.zeros(2)
+        server = ParameterServer(base)
+        updates = [
+            LocalUpdate(0, np.full(2, 2.0), np.full(2, 2.0), 0, num_samples=30,
+                        train_loss=1.0, momentum_norm=0.0, num_batches=1),
+            LocalUpdate(1, np.full(2, 8.0), np.full(2, 8.0), 0, num_samples=10,
+                        train_loss=1.0, momentum_norm=0.0, num_batches=1),
+        ]
+        records = server.sync_round(updates, time_s=5.0)
+        assert np.allclose(server.global_params(), 3.5)
+        assert server.version == 2
+        assert all(r.sync_round for r in records)
+
+    def test_sync_round_requires_updates(self):
+        server = ParameterServer(np.zeros(2))
+        with pytest.raises(ValueError):
+            server.sync_round([], time_s=0.0)
+
+    def test_inflight_lag_estimation(self):
+        server = ParameterServer(np.zeros(2))
+        server.register_inflight(1, expected_finish_s=50.0)
+        server.register_inflight(2, expected_finish_s=300.0)
+        server.register_inflight(3, expected_finish_s=120.0)
+        # A job by user 0 lasting 200 s should see users 1 and 3 finish first.
+        assert server.estimate_lag(0, now_s=0.0, duration_s=200.0) == 2
+        # The requesting user's own job never counts.
+        assert server.estimate_lag(1, now_s=0.0, duration_s=200.0) == 1
+        server.unregister_inflight(1)
+        assert server.estimate_lag(0, now_s=0.0, duration_s=200.0) == 1
+        with pytest.raises(ValueError):
+            server.estimate_lag(0, now_s=0.0, duration_s=0.0)
+
+    def test_update_log_histories(self):
+        base = np.zeros(2)
+        server = ParameterServer(base)
+        server.async_update(self._update(0, base, np.ones(2)), time_s=1.0, gradient_gap=0.7)
+        assert server.lag_history() == [0]
+        assert server.gap_history() == [0.7]
+
+    def test_shape_and_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ParameterServer(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            ParameterServer(np.zeros(2), mixing_alpha=0.0)
+        server = ParameterServer(np.zeros(2))
+        with pytest.raises(ValueError):
+            server.async_update(self._update(0, np.zeros(3), np.ones(3)), time_s=0.0)
+
+
+class TestMetrics:
+    def test_evaluate_model_perfect_separation(self, small_dataset):
+        model = build_mlp(input_dim=16, hidden_dims=(32,), num_classes=10, seed=0)
+        optimizer = MomentumSGD(learning_rate=0.1, momentum=0.9)
+        x, y = small_dataset.train_set()
+        for _ in range(80):
+            model.train_step_gradients(x, y)
+            optimizer.step(model)
+        accuracy, loss = evaluate_model(model, *small_dataset.test_set())
+        assert accuracy > 0.8
+        assert loss < 1.5
+
+    def test_evaluate_model_empty_set_rejected(self):
+        model = build_mlp(input_dim=4, hidden_dims=(4,), num_classes=2)
+        with pytest.raises(ValueError):
+            evaluate_model(model, np.zeros((0, 4)), np.zeros(0, dtype=int))
+
+    def test_tracker_records_and_queries(self):
+        tracker = AccuracyTracker()
+        tracker.record(0.0, 0.1, 2.3, 0)
+        tracker.record(100.0, 0.4, 1.8, 10)
+        tracker.record(200.0, 0.55, 1.5, 20)
+        assert tracker.final_accuracy() == pytest.approx(0.55)
+        assert tracker.best_accuracy() == pytest.approx(0.55)
+        assert tracker.time_to_accuracy(0.4) == pytest.approx(100.0)
+        assert tracker.time_to_accuracy(0.9) is None
+
+    def test_tracker_rejects_time_regression(self):
+        tracker = AccuracyTracker()
+        tracker.record(10.0, 0.2, 2.0, 1)
+        with pytest.raises(ValueError):
+            tracker.record(5.0, 0.3, 1.9, 2)
+
+    def test_time_to_accuracy_standalone(self):
+        assert time_to_accuracy([0, 10, 20], [0.1, 0.5, 0.6], 0.5) == 10.0
+        assert time_to_accuracy([0, 10], [0.1, 0.2], 0.5) is None
+        with pytest.raises(ValueError):
+            time_to_accuracy([0, 10], [0.1], 0.5)
+
+    def test_empty_tracker_defaults(self):
+        tracker = AccuracyTracker()
+        assert tracker.final_accuracy() == 0.0
+        assert tracker.best_accuracy() == 0.0

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.offline import KnapsackItem, KnapsackSolver, lag_upper_bound
+from repro.core.online import OnlineController
+from repro.core.queues import TaskQueue, VirtualQueue
+from repro.core.staleness import GapTracker, gradient_gap, momentum_lag_factor
+from repro.energy.measurements import energy_saving_fraction
+from repro.fl.model import build_mlp
+from repro.fl.optimizer import MomentumSGD
+
+# Keep hypothesis examples modest: each example is cheap but the suite is large.
+DEFAULT_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+class TestQueueProperties:
+    @DEFAULT_SETTINGS
+    @given(st.lists(st.tuples(st.floats(0, 50), st.floats(0, 50)), min_size=1, max_size=100))
+    def test_task_queue_never_negative_and_bounded(self, events):
+        queue = TaskQueue()
+        total_arrivals = 0.0
+        for arrivals, services in events:
+            queue.update(arrivals, services)
+            total_arrivals += arrivals
+            assert queue.length >= 0.0
+            assert queue.length <= total_arrivals
+
+    @DEFAULT_SETTINGS
+    @given(
+        st.floats(0.1, 100.0),
+        st.lists(st.floats(0, 200), min_size=1, max_size=100),
+    )
+    def test_virtual_queue_never_negative(self, bound, gaps):
+        queue = VirtualQueue(staleness_bound=bound)
+        for gap in gaps:
+            queue.update(gap)
+            assert queue.length >= 0.0
+
+    @DEFAULT_SETTINGS
+    @given(st.floats(0.1, 100.0), st.lists(st.floats(0, 200), min_size=1, max_size=50))
+    def test_virtual_queue_history_length(self, bound, gaps):
+        queue = VirtualQueue(staleness_bound=bound)
+        for gap in gaps:
+            queue.update(gap)
+        assert len(queue.history()) == len(gaps) + 1
+
+
+class TestStalenessProperties:
+    @DEFAULT_SETTINGS
+    @given(st.floats(0.0, 0.99), st.integers(0, 200))
+    def test_lag_factor_bounded_by_geometric_limit(self, beta, lag):
+        factor = momentum_lag_factor(beta, lag)
+        assert 0.0 <= factor <= (1.0 / (1.0 - beta)) + 1e-9
+        assert factor <= lag + 1e-9 or beta > 0.0
+
+    @DEFAULT_SETTINGS
+    @given(
+        st.floats(0.0, 100.0),
+        st.floats(0.001, 1.0),
+        st.floats(0.0, 0.99),
+        st.integers(0, 50),
+        st.integers(0, 50),
+    )
+    def test_gradient_gap_monotone_in_lag(self, norm, lr, beta, lag_a, lag_b):
+        low, high = sorted((lag_a, lag_b))
+        assert gradient_gap(norm, lr, beta, low) <= gradient_gap(norm, lr, beta, high) + 1e-12
+
+    @DEFAULT_SETTINGS
+    @given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=30), st.floats(0.0, 1.0))
+    def test_gap_tracker_total_equals_sum_of_users(self, gaps, epsilon):
+        tracker = GapTracker(epsilon=epsilon)
+        for user, gap in enumerate(gaps):
+            tracker.on_scheduled(user, gap)
+        assert tracker.total_gap() == pytest.approx(sum(gaps))
+        for user in range(len(gaps)):
+            tracker.on_update_applied(user)
+        assert tracker.total_gap() == pytest.approx(0.0)
+
+
+class TestKnapsackProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100.0), st.floats(0.01, 20.0)),
+            min_size=0,
+            max_size=12,
+        ),
+        st.floats(1.0, 50.0),
+    )
+    def test_solution_is_feasible_and_no_worse_than_greedy_singletons(self, raw, capacity):
+        items = [
+            KnapsackItem(user_id=i, energy_saving_j=value, gradient_gap=gap, app_arrival_s=0.0)
+            for i, (value, gap) in enumerate(raw)
+        ]
+        solver = KnapsackSolver(capacity=capacity, resolution=500)
+        solution = solver.solve(items)
+        # Feasibility: the selected gaps respect the budget (up to grid rounding).
+        assert solution.total_gap <= capacity + capacity / 500 + 1e-9
+        # Selected users are unique and valid.
+        assert len(set(solution.selected_user_ids)) == len(solution.selected_user_ids)
+        assert set(solution.selected_user_ids) <= {item.user_id for item in items}
+        # The DP is at least as good as picking the single best feasible item.
+        singleton_best = max(
+            (item.energy_saving_j for item in items if item.gradient_gap <= capacity),
+            default=0.0,
+        )
+        assert solution.total_saving_j >= singleton_best - 1e-9
+
+    @DEFAULT_SETTINGS
+    @given(
+        st.integers(2, 8),
+        st.floats(0.0, 500.0),
+        st.floats(1.0, 300.0),
+    )
+    def test_lag_bound_is_at_most_n_minus_1(self, n, spread, duration):
+        starts = [float(i) * spread for i in range(n)]
+        apps = [start + spread / 2 for start in starts]
+        durations = [duration] * n
+        for i in range(n):
+            bound = lag_upper_bound(i, starts, apps, durations)
+            assert 0 <= bound <= n - 1
+
+
+class TestOnlineControllerProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        st.floats(0.0, 1e5),
+        st.floats(0.0, 30.0),
+        st.floats(0.0, 2000.0),
+        st.floats(0.0, 10.0),
+        st.booleans(),
+    )
+    def test_decision_matches_cost_comparison(self, v, q, h, gap, app_running):
+        from tests.conftest import make_observation
+
+        controller = OnlineController(v=v, epsilon=0.05)
+        observation = make_observation(app_running=app_running, current_gap=gap)
+        costs = controller.evaluate(observation, q, h)
+        decision = controller.decide(observation, q, h)
+        assert decision is costs.best()
+        # The objective values are finite.
+        assert np.isfinite(costs.schedule_cost) and np.isfinite(costs.idle_cost)
+
+    @DEFAULT_SETTINGS
+    @given(st.floats(0.0, 30.0), st.floats(0.0, 500.0))
+    def test_scheduling_preference_monotone_in_queue(self, q, h):
+        """If the controller schedules at backlog Q, it also schedules at Q' > Q."""
+        from tests.conftest import make_observation
+
+        controller = OnlineController(v=4000.0, epsilon=0.05)
+        observation = make_observation(app_running=False, current_gap=1.0)
+        from repro.core.policies import Decision
+
+        if controller.decide(observation, q, h) is Decision.SCHEDULE:
+            assert controller.decide(observation, q + 5.0, h) is Decision.SCHEDULE
+
+
+class TestEnergyProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        st.floats(0.1, 15.0),
+        st.floats(10.0, 1000.0),
+        st.floats(0.1, 15.0),
+        st.floats(0.1, 20.0),
+        st.floats(10.0, 1000.0),
+    )
+    def test_saving_fraction_below_one(self, p_train, t_train, p_app, p_corun, t_app):
+        saving = energy_saving_fraction(p_train, t_train, p_app, p_corun, t_app)
+        assert saving < 1.0
+
+    @DEFAULT_SETTINGS
+    @given(st.floats(0.1, 10.0), st.floats(10.0, 500.0), st.floats(0.1, 10.0), st.floats(10.0, 500.0))
+    def test_saving_positive_when_corun_cheaper_than_app_alone(
+        self, p_train, t_train, p_app, t_app
+    ):
+        """If co-running costs no more than the app alone, saving is positive."""
+        saving = energy_saving_fraction(p_train, t_train, p_app, p_app, t_app)
+        assert saving > 0.0
+
+
+class TestOptimizerProperties:
+    @DEFAULT_SETTINGS
+    @given(st.floats(0.001, 0.5), st.floats(0.0, 0.98), st.integers(1, 5))
+    def test_flat_round_trip_preserved_by_optimizer(self, lr, beta, steps):
+        model = build_mlp(input_dim=6, hidden_dims=(5,), num_classes=3, seed=0)
+        optimizer = MomentumSGD(learning_rate=lr, momentum=beta)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(12, 6))
+        y = rng.integers(0, 3, size=12)
+        for _ in range(steps):
+            model.train_step_gradients(x, y)
+            params = optimizer.step(model)
+            assert np.all(np.isfinite(params))
+        # The flat view and the layer parameters agree.
+        assert np.allclose(model.get_flat_params(), params)

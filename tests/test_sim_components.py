@@ -1,0 +1,199 @@
+"""Tests for the simulation components: RNG, config, arrivals and traces."""
+
+import numpy as np
+import pytest
+
+from repro.device.models import DEVICE_CATALOG
+from repro.sim.arrivals import (
+    ArrivalSchedule,
+    BernoulliArrivalProcess,
+    DiurnalArrivalProcess,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.rng import spawn_generators
+from repro.sim.trace import SimulationTrace, SlotSample, UpdateSample
+
+
+class TestSpawnGenerators:
+    def test_generators_are_independent_and_reproducible(self):
+        first = spawn_generators(42, ["a", "b"])
+        second = spawn_generators(42, ["a", "b"])
+        assert first["a"].random() == second["a"].random()
+        assert first["a"].random() != first["b"].random()
+
+    def test_different_seed_differs(self):
+        a = spawn_generators(1, ["x"])["x"].random()
+        b = spawn_generators(2, ["x"])["x"].random()
+        assert a != b
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, [])
+        with pytest.raises(ValueError):
+            spawn_generators(0, ["a", "a"])
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper(self):
+        config = SimulationConfig()
+        assert config.num_users == 25
+        assert config.total_slots == 10_800
+        assert config.slot_seconds == 1.0
+        assert config.app_arrival_prob == pytest.approx(0.001)
+        assert config.batch_size == 20
+        assert config.total_seconds() == pytest.approx(3 * 3600.0)
+
+    def test_scaled_copy(self):
+        config = SimulationConfig()
+        scaled = config.scaled(total_slots=100, num_users=5)
+        assert scaled.total_slots == 100 and scaled.num_users == 5
+        assert config.total_slots == 10_800  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_users=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(app_arrival_prob=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(slot_seconds=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(device_names=["pixel2"], num_users=2)
+        with pytest.raises(ValueError):
+            SimulationConfig(epsilon=-1.0)
+
+
+class TestArrivalProcesses:
+    def test_bernoulli_constant(self):
+        process = BernoulliArrivalProcess(0.01)
+        assert process.probability_at(0, 1.0) == 0.01
+        assert process.probability_at(9999, 1.0) == 0.01
+        with pytest.raises(ValueError):
+            BernoulliArrivalProcess(1.5)
+
+    def test_diurnal_peaks_at_midday(self):
+        process = DiurnalArrivalProcess(peak_probability=0.01, trough_probability=0.001,
+                                        period_s=86_400.0)
+        midnight = process.probability_at(0, 1.0)
+        midday = process.probability_at(43_200, 1.0)
+        assert midday == pytest.approx(0.01, rel=1e-6)
+        assert midnight == pytest.approx(0.001, rel=1e-6)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivalProcess(peak_probability=0.001, trough_probability=0.01)
+        with pytest.raises(ValueError):
+            DiurnalArrivalProcess(period_s=0.0)
+
+
+class TestArrivalSchedule:
+    def _schedule(self, prob=0.01, slots=2000, users=4, seed=0):
+        specs = [DEVICE_CATALOG["pixel2"]] * users
+        return ArrivalSchedule.generate(
+            num_users=users,
+            total_slots=slots,
+            slot_seconds=1.0,
+            process=BernoulliArrivalProcess(prob),
+            device_specs=specs,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_empirical_rate_close_to_nominal(self):
+        schedule = self._schedule(prob=0.005, slots=20_000, users=5, seed=1)
+        rate = schedule.arrival_rate(20_000, 5)
+        # Arrivals are suppressed while an app runs, so the empirical rate is
+        # a bit below the nominal per-slot probability but the same order.
+        assert 0.001 < rate <= 0.005
+
+    def test_no_overlapping_apps(self):
+        schedule = self._schedule(prob=0.05, slots=5000, users=3, seed=2)
+        for user in range(3):
+            arrivals = schedule.arrivals_for(user)
+            for earlier, later in zip(arrivals, arrivals[1:]):
+                assert later.arrival_slot >= earlier.end_slot()
+
+    def test_app_starting_at_round_trip(self):
+        schedule = self._schedule(seed=3)
+        for user in range(4):
+            for app in schedule.arrivals_for(user):
+                assert schedule.app_starting_at(user, app.arrival_slot) is app
+        assert schedule.app_starting_at(0, 10**9) is None
+
+    def test_next_arrival_oracle(self):
+        schedule = self._schedule(prob=0.02, slots=3000, users=2, seed=4)
+        arrivals = schedule.arrivals_for(0)
+        if not arrivals:
+            pytest.skip("no arrivals generated for this seed")
+        first = arrivals[0]
+        found = schedule.next_arrival(0, 0, first.arrival_slot + 1)
+        assert found == (first.arrival_slot, first.name)
+        assert schedule.next_arrival(0, first.arrival_slot + 1, first.arrival_slot + 2) != found
+
+    def test_next_arrival_validation(self):
+        schedule = self._schedule()
+        with pytest.raises(ValueError):
+            schedule.next_arrival(0, 10, 10)
+
+    def test_zero_probability_produces_no_arrivals(self):
+        schedule = self._schedule(prob=0.0)
+        assert schedule.total_arrivals() == 0
+
+    def test_durations_match_table(self, table):
+        schedule = self._schedule(prob=0.05, slots=3000, users=2, seed=5)
+        for user in range(2):
+            for app in schedule.arrivals_for(user):
+                expected = round(table.corun_time("pixel2", app.name))
+                assert app.duration_slots == expected
+
+    def test_spec_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule.generate(
+                num_users=3,
+                total_slots=10,
+                slot_seconds=1.0,
+                process=BernoulliArrivalProcess(0.1),
+                device_specs=[DEVICE_CATALOG["pixel2"]],
+                rng=np.random.default_rng(0),
+            )
+
+
+class TestSimulationTrace:
+    def _sample(self, slot, energy=100.0):
+        return SlotSample(slot=slot, time_s=float(slot), cumulative_energy_j=energy,
+                          queue_length=1.0, virtual_queue_length=2.0, gap_sum=3.0,
+                          num_training=1, num_ready=2)
+
+    def test_slot_sampling_interval(self):
+        trace = SimulationTrace(trace_interval_slots=10)
+        for slot in range(25):
+            trace.maybe_record_slot(self._sample(slot))
+        assert [s.slot for s in trace.slot_samples] == [0, 10, 20]
+        assert trace.times() == [0.0, 10.0, 20.0]
+        assert trace.energy_series_kj() == [0.1, 0.1, 0.1]
+
+    def test_update_and_decision_records(self):
+        trace = SimulationTrace()
+        trace.record_update(UpdateSample(time_s=5.0, user_id=1, lag=3, gradient_gap=0.4,
+                                         train_loss=1.0, sync_round=False))
+        trace.record_decision(scheduled=True, corun=True)
+        trace.record_decision(scheduled=True, corun=False)
+        trace.record_decision(scheduled=False)
+        assert trace.update_lags() == [3]
+        assert trace.update_gaps() == [0.4]
+        assert trace.corun_jobs == 1 and trace.background_jobs == 1
+        assert trace.schedule_fraction() == pytest.approx(2 / 3)
+
+    def test_per_user_gap_traces_and_variance(self):
+        trace = SimulationTrace()
+        for t in range(5):
+            trace.record_user_gap(0, float(t), 1.0)
+            trace.record_user_gap(1, float(t), float(t))
+        assert len(trace.user_gap_trace(0)) == 5
+        assert trace.user_gap_trace(9) == []
+        assert trace.gap_variance_across_users() > 0.0
+
+    def test_empty_trace_defaults(self):
+        trace = SimulationTrace()
+        assert trace.schedule_fraction() == 0.0
+        assert trace.gap_variance_across_users() == 0.0
+        with pytest.raises(ValueError):
+            SimulationTrace(trace_interval_slots=0)
