@@ -32,6 +32,17 @@ def bench_scale() -> ExperimentScale:
     return _selected_scale()
 
 
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Worker processes for the grid-shaped benchmarks (Fig. 4/5c/6).
+
+    Set ``REPRO_BENCH_JOBS=N`` to fan the independent runs of a sweep across
+    ``N`` processes (``0`` = one per CPU core).  Results are identical to
+    the sequential default — only the wall-clock changes.
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 #: Directory where every reproduced table/figure is persisted as plain text.
 ARTIFACT_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                             "benchmark_artifacts")

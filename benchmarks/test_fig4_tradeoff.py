@@ -28,12 +28,17 @@ STALENESS_BOUNDS = (100.0, 500.0, 1000.0)
 
 
 @pytest.fixture(scope="module")
-def sweep(bench_scale):
-    """Run the full Fig. 4 sweep once for all four panels."""
+def sweep(bench_scale, bench_jobs):
+    """Run the full Fig. 4 sweep once for all four panels.
+
+    With ``REPRO_BENCH_JOBS=N`` the 15 independent runs of the sweep fan
+    out across N worker processes (identical results, lower wall-clock).
+    """
     return fig4_v_sweep(
         v_values=V_VALUES,
         staleness_bounds=STALENESS_BOUNDS,
         scale=bench_scale,
+        jobs=bench_jobs,
     )
 
 

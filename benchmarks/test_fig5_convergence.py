@@ -97,10 +97,13 @@ def test_fig5b_convergence_speed(benchmark, runs):
     assert all(len(curve) >= 3 for curve in curves.values())
 
 
-def test_fig5c_time_to_accuracy(benchmark, bench_scale):
+def test_fig5c_time_to_accuracy(benchmark, bench_scale, bench_jobs):
     table = benchmark.pedantic(
         fig5c_time_to_accuracy,
-        kwargs=dict(targets=TARGETS, seeds=(bench_scale.seed,), scale=bench_scale),
+        kwargs=dict(
+            targets=TARGETS, seeds=(bench_scale.seed,), scale=bench_scale,
+            jobs=bench_jobs,
+        ),
         rounds=1,
         iterations=1,
     )

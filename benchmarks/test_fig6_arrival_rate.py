@@ -24,13 +24,17 @@ SCARCE_PROBS = (0.0001, 0.001)
 
 
 @pytest.fixture(scope="module")
-def energy_sweep(bench_scale):
-    return fig6_arrival_sweep(arrival_probs=ENERGY_PROBS, scale=bench_scale)
+def energy_sweep(bench_scale, bench_jobs):
+    return fig6_arrival_sweep(
+        arrival_probs=ENERGY_PROBS, scale=bench_scale, jobs=bench_jobs
+    )
 
 
 @pytest.fixture(scope="module")
-def scarce_sweep(bench_scale):
-    return fig6_arrival_sweep(arrival_probs=SCARCE_PROBS, scale=bench_scale)
+def scarce_sweep(bench_scale, bench_jobs):
+    return fig6_arrival_sweep(
+        arrival_probs=SCARCE_PROBS, scale=bench_scale, jobs=bench_jobs
+    )
 
 
 def test_fig6a_energy_vs_arrival_rate(benchmark, energy_sweep):

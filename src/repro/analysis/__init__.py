@@ -9,8 +9,21 @@ render or assert on them without re-implementing the experiment logic.
 :mod:`repro.analysis.reporting` renders those structures as fixed-width text
 tables and CSV strings, which is how the benchmark harness prints the
 "same rows/series the paper reports".
+
+:mod:`repro.analysis.runner` orchestrates grids of independent runs — the
+Fig. 4/5/6 sweeps, ``repro-sim sweep`` — across ``multiprocessing`` workers
+with disk-cached, reproducible summaries.
 """
 
+from repro.analysis.runner import (
+    ExperimentSuite,
+    RunSpec,
+    RunSummary,
+    make_policy,
+    run_spec,
+    summarize_result,
+    sweep_grid,
+)
 from repro.analysis.experiments import (
     ExperimentScale,
     fig1_power_schedules,
@@ -28,6 +41,9 @@ from repro.analysis.reporting import format_csv, format_table, summarize_series
 
 __all__ = [
     "ExperimentScale",
+    "ExperimentSuite",
+    "RunSpec",
+    "RunSummary",
     "fig1_power_schedules",
     "fig2_fps_traces",
     "fig4_v_sweep",
@@ -36,9 +52,13 @@ __all__ = [
     "fig6_arrival_sweep",
     "format_csv",
     "format_table",
+    "make_policy",
     "paper_config",
     "run_policy",
+    "run_spec",
+    "summarize_result",
     "summarize_series",
+    "sweep_grid",
     "table2_rows",
     "table3_overhead_rows",
 ]

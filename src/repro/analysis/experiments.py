@@ -8,10 +8,18 @@ horizon and fleet while keeping the workload *shape* (arrival probability is
 scaled up in proportion so the expected number of co-running opportunities
 per user stays comparable).  EXPERIMENTS.md records the scale used for each
 reported artefact.
+
+The grid-shaped runners (Fig. 4's V-sweep, Fig. 5c's seed repetition,
+Fig. 6's arrival-rate sweep) accept ``jobs``: with ``jobs > 1`` the
+independent runs fan out across processes via
+:class:`repro.analysis.runner.ExperimentSuite`.  Workers rebuild the
+synthetic dataset from the config seed, which reproduces the shared-dataset
+sequential path exactly, so ``jobs`` changes wall-clock time, never results.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -130,6 +138,33 @@ def run_policy(
 ) -> SimulationResult:
     """Run one simulation of ``policy`` under ``config``."""
     return SimulationEngine(config, policy, dataset=dataset).run()
+
+
+def _grid_results(
+    config: SimulationConfig,
+    policy_specs: Sequence[Tuple[str, Dict]],
+    jobs: int,
+    config_overrides: Optional[Sequence[Dict]] = None,
+) -> List[SimulationResult]:
+    """Run (policy, kwargs) cells through the parallel experiment suite.
+
+    Args:
+        config: base configuration shared by every cell.
+        policy_specs: ``(policy_name, policy_kwargs)`` per cell.
+        jobs: worker processes for :class:`~repro.analysis.runner.ExperimentSuite`.
+        config_overrides: optional per-cell config overrides, aligned with
+            ``policy_specs``.
+    """
+    from repro.analysis.runner import ExperimentSuite, RunSpec
+
+    base = dataclasses.asdict(config)
+    specs = []
+    for index, (name, kwargs) in enumerate(policy_specs):
+        cell_config = dict(base)
+        if config_overrides is not None:
+            cell_config.update(config_overrides[index])
+        specs.append(RunSpec(policy=name, policy_kwargs=dict(kwargs), config=cell_config))
+    return ExperimentSuite(jobs=jobs).map_results(specs)
 
 
 # ---------------------------------------------------------------------------
@@ -261,42 +296,58 @@ def fig4_v_sweep(
     scale: Optional[ExperimentScale] = None,
     offline_lb: float = 1000.0,
     offline_window: int = 500,
+    jobs: int = 1,
 ) -> VSweepResult:
     """Fig. 4: sweep the control knob ``V`` for several staleness bounds.
 
     Runs the Immediate, Sync-SGD and Offline baselines once, then the online
     policy for every ``(V, Lb)`` pair; returns per-``Lb`` sweep points of
     (energy, mean Q, mean H) plus the raw results.
+
+    Args:
+        jobs: with ``jobs > 1`` the ``3 + |V| x |Lb|`` independent runs fan
+            out across processes; results are identical to the sequential
+            path (each worker rebuilds the seed-determined dataset).
     """
     config = paper_config(scale)
-    dataset = _shared_dataset(config)
-    baselines = {
-        "immediate": run_policy(config, ImmediatePolicy(), dataset),
-        "sync": run_policy(config, SyncPolicy(), dataset),
-        "offline": run_policy(
-            config,
-            OfflinePolicy(staleness_bound=offline_lb, window_slots=offline_window),
-            dataset,
-        ),
-    }
+    grid = [(v, lb) for lb in staleness_bounds for v in v_values]
+    if jobs != 1:  # 0/negative = one worker per core (ExperimentSuite resolves it)
+        policy_specs = [
+            ("immediate", {}),
+            ("sync", {}),
+            ("offline", {"staleness_bound": offline_lb, "window_slots": offline_window}),
+        ] + [
+            ("online", {"v": float(v), "staleness_bound": float(lb)}) for v, lb in grid
+        ]
+        grid_results = _grid_results(config, policy_specs, jobs)
+        baselines = dict(zip(("immediate", "sync", "offline"), grid_results[:3]))
+        results = dict(zip(grid, grid_results[3:]))
+    else:
+        dataset = _shared_dataset(config)
+        baselines = {
+            "immediate": run_policy(config, ImmediatePolicy(), dataset),
+            "sync": run_policy(config, SyncPolicy(), dataset),
+            "offline": run_policy(
+                config,
+                OfflinePolicy(staleness_bound=offline_lb, window_slots=offline_window),
+                dataset,
+            ),
+        }
+        results = {
+            (v, lb): run_policy(config, OnlinePolicy(v=v, staleness_bound=lb), dataset)
+            for v, lb in grid
+        }
     sweeps: Dict[float, List[SweepPoint]] = {}
-    results: Dict[Tuple[float, float], SimulationResult] = {}
     for lb in staleness_bounds:
-        points: List[SweepPoint] = []
-        for v in v_values:
-            result = run_policy(
-                config, OnlinePolicy(v=v, staleness_bound=lb), dataset
+        sweeps[lb] = [
+            SweepPoint(
+                v=v,
+                energy_kj=results[(v, lb)].total_energy_kj(),
+                mean_queue=results[(v, lb)].mean_queue_length(),
+                mean_virtual_queue=results[(v, lb)].mean_virtual_queue_length(),
             )
-            results[(v, lb)] = result
-            points.append(
-                SweepPoint(
-                    v=v,
-                    energy_kj=result.total_energy_kj(),
-                    mean_queue=result.mean_queue_length(),
-                    mean_virtual_queue=result.mean_virtual_queue_length(),
-                )
-            )
-        sweeps[lb] = points
+            for v in v_values
+        ]
     return VSweepResult(baselines=baselines, sweeps=sweeps, results=results)
 
 
@@ -339,24 +390,54 @@ def fig5c_time_to_accuracy(
     scale: Optional[ExperimentScale] = None,
     v: float = 4000.0,
     staleness_bound: float = 500.0,
+    jobs: int = 1,
 ) -> Dict[str, Dict[float, List[Optional[float]]]]:
     """Fig. 5(c): wall-clock time to reach each accuracy objective.
 
     Returns ``{policy: {target: [time_per_seed ...]}}`` where ``None`` marks
     runs that never reached the target within the horizon (the paper reports
     the same for Sync-SGD at the 55% objective).
+
+    Args:
+        jobs: with ``jobs > 1`` the ``4 x |seeds|`` runs fan out across
+            processes (results are seed-deterministic either way).
     """
     base_scale = scale or ExperimentScale.paper()
-    table: Dict[str, Dict[float, List[Optional[float]]]] = {}
-    for seed in seeds:
-        run_scale = ExperimentScale(
-            num_users=base_scale.num_users,
-            total_slots=base_scale.total_slots,
-            app_arrival_prob=base_scale.app_arrival_prob,
-            seed=seed,
-            eval_interval_slots=base_scale.eval_interval_slots,
+    policy_order = ("online", "offline", "immediate", "sync")
+    per_seed_results: List[Dict[str, SimulationResult]] = []
+    if jobs != 1:  # 0/negative = one worker per core (ExperimentSuite resolves it)
+        policy_specs = []
+        config_overrides = []
+        for seed in seeds:
+            policy_specs.extend(
+                [
+                    ("online", {"v": v, "staleness_bound": staleness_bound}),
+                    ("offline", {"staleness_bound": 1000.0, "window_slots": 500}),
+                    ("immediate", {}),
+                    ("sync", {}),
+                ]
+            )
+            config_overrides.extend([{"seed": seed}] * 4)
+        grid_results = _grid_results(
+            paper_config(base_scale), policy_specs, jobs, config_overrides
         )
-        results = fig5_convergence(run_scale, v=v, staleness_bound=staleness_bound)
+        for index in range(len(seeds)):
+            chunk = grid_results[4 * index : 4 * index + 4]
+            per_seed_results.append(dict(zip(policy_order, chunk)))
+    else:
+        for seed in seeds:
+            run_scale = ExperimentScale(
+                num_users=base_scale.num_users,
+                total_slots=base_scale.total_slots,
+                app_arrival_prob=base_scale.app_arrival_prob,
+                seed=seed,
+                eval_interval_slots=base_scale.eval_interval_slots,
+            )
+            per_seed_results.append(
+                fig5_convergence(run_scale, v=v, staleness_bound=staleness_bound)
+            )
+    table: Dict[str, Dict[float, List[Optional[float]]]] = {}
+    for results in per_seed_results:
         for name, result in results.items():
             for target in targets:
                 table.setdefault(name, {}).setdefault(target, []).append(
@@ -376,18 +457,44 @@ def fig6_arrival_sweep(
     v: float = 4000.0,
     staleness_bound: float = 500.0,
     offline_lb: float = 1000.0,
+    jobs: int = 1,
 ) -> Dict[str, List[Tuple[float, float, float]]]:
     """Fig. 6: energy and accuracy versus the application arrival probability.
 
     Returns ``{policy: [(arrival_prob, energy_kj, final_accuracy), ...]}`` for
     the Online, Immediate and Offline schemes.
+
+    Args:
+        jobs: with ``jobs > 1`` the ``3 x |arrival_probs|`` runs fan out
+            across processes; results are identical to the sequential path.
     """
     base_scale = scale or ExperimentScale.paper()
+    policy_order = ("online", "immediate", "offline")
     output: Dict[str, List[Tuple[float, float, float]]] = {
-        "online": [],
-        "immediate": [],
-        "offline": [],
+        name: [] for name in policy_order
     }
+    if jobs != 1:  # 0/negative = one worker per core (ExperimentSuite resolves it)
+        policy_specs = []
+        config_overrides = []
+        for prob in arrival_probs:
+            policy_specs.extend(
+                [
+                    ("online", {"v": v, "staleness_bound": staleness_bound}),
+                    ("immediate", {}),
+                    ("offline", {"staleness_bound": offline_lb}),
+                ]
+            )
+            config_overrides.extend([{"app_arrival_prob": prob}] * 3)
+        grid_results = _grid_results(
+            paper_config(base_scale), policy_specs, jobs, config_overrides
+        )
+        for index, prob in enumerate(arrival_probs):
+            chunk = grid_results[3 * index : 3 * index + 3]
+            for name, result in zip(policy_order, chunk):
+                output[name].append(
+                    (prob, result.total_energy_kj(), result.final_accuracy())
+                )
+        return output
     for prob in arrival_probs:
         config = paper_config(base_scale, app_arrival_prob=prob)
         dataset = _shared_dataset(config)

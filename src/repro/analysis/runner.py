@@ -1,0 +1,389 @@
+"""Parallel experiment orchestration with disk-cached, reproducible results.
+
+The paper's evaluation artefacts are *grids* of independent simulation runs:
+Fig. 4 sweeps the control knob ``V`` for three staleness budgets, Fig. 5(c)
+repeats four schemes over several seeds, Fig. 6 sweeps the application
+arrival probability.  Every run is deterministic given its configuration, so
+the grid is embarrassingly parallel and its results are cacheable.  This
+module supplies both pieces:
+
+* :class:`RunSpec` — one cell of a grid: a policy (by name, with kwargs), a
+  :class:`~repro.sim.config.SimulationConfig` override dict, and the engine
+  backend.  A spec has a canonical JSON form and a stable content hash.
+* :class:`RunSummary` — the headline numbers of one finished run (energy,
+  accuracy, queue backlogs, decision counts, ...), JSON-serialisable so it
+  can live in the on-disk cache.
+* :class:`ExperimentSuite` — fans a list of specs across ``multiprocessing``
+  workers, short-circuiting specs whose summary is already cached under
+  their config hash.  ``jobs=1`` degrades to a plain sequential loop.
+* :func:`sweep_grid` — builds the (policy, V, seed, arrival-rate) cartesian
+  product used by the Fig. 4/6-style sweeps and ``repro-sim sweep``.
+
+Determinism: a worker rebuilds the synthetic dataset from the config seed,
+so the same spec produces the same :class:`~repro.sim.engine.SimulationResult`
+whether it runs in-process, in a worker, or under a different ``--jobs``
+setting (``tests/test_runner.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.offline import OfflinePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.policies import ImmediatePolicy, SchedulingPolicy, SyncPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine, SimulationResult
+
+__all__ = [
+    "RunSpec",
+    "RunSummary",
+    "ExperimentSuite",
+    "make_policy",
+    "run_spec",
+    "summarize_result",
+    "sweep_grid",
+]
+
+#: Bump to invalidate previously cached summaries when their schema changes.
+CACHE_VERSION = 1
+
+#: Registered policy constructors, keyed by the CLI / spec name.
+_POLICY_FACTORIES = {
+    "immediate": ImmediatePolicy,
+    "sync": SyncPolicy,
+    "offline": OfflinePolicy,
+    "online": OnlinePolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by its canonical name.
+
+    Args:
+        name: one of ``immediate``, ``sync``, ``offline``, ``online``.
+        kwargs: forwarded to the policy constructor (e.g. ``v``,
+            ``staleness_bound`` for the online scheduler).
+    """
+    try:
+        factory = _POLICY_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {sorted(_POLICY_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+@dataclass
+class RunSpec:
+    """One fully-specified simulation run inside an experiment grid.
+
+    Attributes:
+        policy: policy name understood by :func:`make_policy`.
+        policy_kwargs: constructor arguments for the policy (``V``, ``Lb``,
+            the offline window, ...).
+        config: :class:`~repro.sim.config.SimulationConfig` field overrides;
+            unspecified fields keep the paper's Section VII.B defaults.
+        backend: simulation backend (``"fleet"`` vectorized by default).
+        label: optional display name for tables and progress lines.
+    """
+
+    policy: str
+    policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    backend: str = "fleet"
+    label: Optional[str] = None
+
+    def build_config(self) -> SimulationConfig:
+        """Materialize the simulation configuration of this spec."""
+        return SimulationConfig(**self.config)
+
+    def build_policy(self) -> SchedulingPolicy:
+        """Materialize a fresh policy instance for this spec."""
+        return make_policy(self.policy, **self.policy_kwargs)
+
+    def display_name(self) -> str:
+        """The label, or a policy/kwargs-derived fallback."""
+        if self.label:
+            return self.label
+        if self.policy_kwargs:
+            args = ",".join(f"{k}={v}" for k, v in sorted(self.policy_kwargs.items()))
+            return f"{self.policy}({args})"
+        return self.policy
+
+    def canonical(self) -> str:
+        """Canonical JSON form (sorted keys) used for hashing and caching.
+
+        The display label is deliberately excluded: it does not change the
+        simulated system, so relabelled grids still hit the cache.
+        """
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "policy": self.policy,
+            "policy_kwargs": self.policy_kwargs,
+            "config": self.config,
+            "backend": self.backend,
+        }
+        return json.dumps(payload, sort_keys=True, default=str)
+
+    def config_hash(self) -> str:
+        """Stable content hash of the spec (the disk-cache key)."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RunSummary:
+    """Headline numbers of one finished simulation run.
+
+    Everything the sweep tables and Fig. 4/6-style plots need, without the
+    heavyweight traces, so summaries are cheap to cache as JSON and to ship
+    back from worker processes.  Energy is reported in kilojoules — the
+    unit of the paper's Fig. 4/6 axes and of the ``V`` knob convention
+    (see :mod:`repro.core.online`).
+    """
+
+    spec_hash: str
+    policy: str
+    label: str
+    energy_j: float
+    energy_kj: float
+    final_accuracy: float
+    best_accuracy: float
+    num_updates: int
+    decision_evaluations: int
+    mean_queue_length: float
+    mean_virtual_queue_length: float
+    final_virtual_queue_length: float
+    schedule_fraction: float
+    corun_jobs: int
+    background_jobs: int
+    comm_bytes_mb: float
+    comm_failures: int
+    mean_final_battery_soc: float
+    wall_time_s: float
+    from_cache: bool = False
+
+    def to_json(self) -> str:
+        """Serialize for the on-disk cache."""
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunSummary":
+        """Rebuild a summary previously written by :meth:`to_json`."""
+        return cls(**json.loads(payload))
+
+
+def run_spec(spec: RunSpec) -> SimulationResult:
+    """Execute one spec and return the full :class:`SimulationResult`.
+
+    Module-level (not a method) so ``multiprocessing`` can pickle it by
+    reference; the dataset is rebuilt from the config seed inside the
+    worker, which reproduces the shared-dataset sequential runs exactly.
+    """
+    return SimulationEngine(
+        spec.build_config(), spec.build_policy(), backend=spec.backend
+    ).run()
+
+
+def summarize_result(
+    spec: RunSpec, result: SimulationResult, wall_time_s: float = 0.0
+) -> RunSummary:
+    """Condense a full simulation result into a cacheable summary."""
+    return RunSummary(
+        spec_hash=spec.config_hash(),
+        policy=spec.policy,
+        label=spec.display_name(),
+        energy_j=result.total_energy_j(),
+        energy_kj=result.total_energy_kj(),
+        final_accuracy=result.final_accuracy(),
+        best_accuracy=result.best_accuracy(),
+        num_updates=result.num_updates,
+        decision_evaluations=result.decision_evaluations,
+        mean_queue_length=result.mean_queue_length(),
+        mean_virtual_queue_length=result.mean_virtual_queue_length(),
+        final_virtual_queue_length=result.final_virtual_queue_length(),
+        schedule_fraction=result.trace.schedule_fraction(),
+        corun_jobs=result.trace.corun_jobs,
+        background_jobs=result.trace.background_jobs,
+        comm_bytes_mb=result.comm_bytes_mb,
+        comm_failures=result.comm_failures,
+        mean_final_battery_soc=result.mean_final_battery_soc(),
+        wall_time_s=wall_time_s,
+    )
+
+
+def _execute_summary(spec: RunSpec) -> RunSummary:
+    """Worker entry point: run one spec and summarise it."""
+    start = time.perf_counter()
+    result = run_spec(spec)
+    return summarize_result(spec, result, wall_time_s=time.perf_counter() - start)
+
+
+class ExperimentSuite:
+    """Fan a grid of simulation runs across processes, with a disk cache.
+
+    Args:
+        cache_dir: directory for cached :class:`RunSummary` JSON files,
+            keyed by :meth:`RunSpec.config_hash`; ``None`` disables caching.
+        jobs: worker processes. ``1`` runs sequentially in-process;
+            ``0`` or negative resolves to ``os.cpu_count()``.
+        start_method: ``multiprocessing`` start method; defaults to
+            ``"fork"`` where available (cheap on Linux) and the platform
+            default elsewhere.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.cache_dir = cache_dir
+        self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    # -- cache -------------------------------------------------------------------
+
+    def _cache_path(self, spec: RunSpec) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{spec.config_hash()}.json")
+
+    def load_cached(self, spec: RunSpec) -> Optional[RunSummary]:
+        """The cached summary for ``spec``, or ``None`` on a cache miss."""
+        path = self._cache_path(spec)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                summary = RunSummary.from_json(handle.read())
+        except (OSError, ValueError, TypeError, KeyError):
+            return None  # unreadable/stale entry: fall through to a re-run
+        summary.from_cache = True
+        return summary
+
+    def store(self, spec: RunSpec, summary: RunSummary) -> None:
+        """Persist a summary under the spec's config hash (atomic rename)."""
+        path = self._cache_path(spec)
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(summary.to_json())
+        os.replace(tmp_path, path)
+
+    # -- execution -----------------------------------------------------------------
+
+    def _map(self, function, items: Sequence) -> List:
+        """Order-preserving map, sequential or across a process pool."""
+        if self.jobs <= 1 or len(items) <= 1:
+            return [function(item) for item in items]
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(processes=min(self.jobs, len(items))) as pool:
+            return pool.map(function, items)
+
+    def run(self, specs: Sequence[RunSpec], refresh: bool = False) -> List[RunSummary]:
+        """Run a grid of specs, returning one summary per spec, in order.
+
+        Cached specs are served from disk without simulating; the remaining
+        specs are executed across the worker pool and their summaries
+        written back to the cache.
+
+        Args:
+            specs: the grid cells to run.
+            refresh: ignore (and overwrite) existing cache entries.
+        """
+        summaries: List[Optional[RunSummary]] = [None] * len(specs)
+        missing: List[Tuple[int, RunSpec]] = []
+        for index, spec in enumerate(specs):
+            cached = None if refresh else self.load_cached(spec)
+            if cached is not None:
+                summaries[index] = cached
+            else:
+                missing.append((index, spec))
+        if missing:
+            fresh = self._map(_execute_summary, [spec for _, spec in missing])
+            for (index, spec), summary in zip(missing, fresh):
+                self.store(spec, summary)
+                summaries[index] = summary
+        return list(summaries)  # type: ignore[arg-type]
+
+    def map_results(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Run specs and return *full* results (never cached).
+
+        For consumers that need traces and accuracy curves — the Fig. 4/5/6
+        runners — rather than headline summaries.
+        """
+        return self._map(run_spec, specs)
+
+
+def sweep_grid(
+    v_values: Sequence[float],
+    policies: Sequence[str] = ("online",),
+    seeds: Sequence[int] = (0,),
+    arrival_probs: Sequence[Optional[float]] = (None,),
+    staleness_bound: float = 500.0,
+    base_config: Optional[Dict[str, Any]] = None,
+    backend: str = "fleet",
+) -> List[RunSpec]:
+    """Cartesian (policy, V, seed, arrival-rate) grid of :class:`RunSpec`.
+
+    Non-online policies ignore ``v_values`` (they have no control knob), so
+    they contribute one spec per (seed, arrival-rate) cell.
+
+    Args:
+        v_values: Lyapunov control-knob values for the online scheduler.
+        policies: policy names understood by :func:`make_policy`.
+        seeds: master seeds.
+        arrival_probs: per-slot application arrival probabilities; ``None``
+            keeps the base configuration's value.
+        staleness_bound: ``Lb`` handed to the online scheduler.
+        base_config: shared :class:`SimulationConfig` overrides.
+        backend: engine backend for every spec.
+    """
+    base = dict(base_config or {})
+    specs: List[RunSpec] = []
+    for policy in policies:
+        for seed in seeds:
+            for prob in arrival_probs:
+                config = dict(base, seed=seed)
+                if prob is not None:
+                    config["app_arrival_prob"] = prob
+                suffix = f" seed={seed}" if len(seeds) > 1 else ""
+                if prob is not None and len(arrival_probs) > 1:
+                    suffix += f" p={prob:g}"
+                if policy == "online":
+                    for v in v_values:
+                        specs.append(
+                            RunSpec(
+                                policy="online",
+                                policy_kwargs={
+                                    "v": float(v),
+                                    "staleness_bound": float(staleness_bound),
+                                },
+                                config=config,
+                                backend=backend,
+                                label=f"online V={v:g}{suffix}",
+                            )
+                        )
+                else:
+                    specs.append(
+                        RunSpec(
+                            policy=policy,
+                            config=config,
+                            backend=backend,
+                            label=f"{policy}{suffix}",
+                        )
+                    )
+    return specs

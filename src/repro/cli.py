@@ -9,9 +9,12 @@ Installed as the ``repro-sim`` console script::
     repro-sim simulate --policy online --v 4000 --slots 3600
     repro-sim compare --slots 3600        # all four schemes on one workload
     repro-sim sweep --v-values 0 10000 40000 100000
+    repro-sim sweep --jobs 4 --cache-dir .repro-cache   # parallel + cached
 
 Every subcommand prints plain-text tables (and optional ASCII charts) so the
-tool works in the offline environments the library targets.
+tool works in the offline environments the library targets.  Simulation
+subcommands accept ``--backend {fleet,loop}``: the vectorized fleet backend
+(default) and the per-user reference loop produce bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -51,14 +54,19 @@ def _build_policy(args: argparse.Namespace) -> SchedulingPolicy:
     raise ValueError(f"unknown policy {name!r}")
 
 
+def _config_kwargs(args: argparse.Namespace) -> dict:
+    """The SimulationConfig overrides every simulation subcommand shares."""
+    return {
+        "num_users": args.users,
+        "total_slots": args.slots,
+        "app_arrival_prob": args.arrival_prob,
+        "seed": args.seed,
+        "eval_interval_slots": max(args.slots // 20, 60),
+    }
+
+
 def _build_config(args: argparse.Namespace) -> SimulationConfig:
-    return SimulationConfig(
-        num_users=args.users,
-        total_slots=args.slots,
-        app_arrival_prob=args.arrival_prob,
-        seed=args.seed,
-        eval_interval_slots=max(args.slots // 20, 60),
-    )
+    return SimulationConfig(**_config_kwargs(args))
 
 
 def _build_dataset(config: SimulationConfig) -> SyntheticCifar10:
@@ -153,7 +161,9 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args)
     dataset = _build_dataset(config)
-    result = SimulationEngine(config, _build_policy(args), dataset=dataset).run()
+    result = SimulationEngine(
+        config, _build_policy(args), dataset=dataset, backend=args.backend
+    ).run()
     print(format_table(_RESULT_HEADERS, [_result_row(args.policy, result, None)],
                        float_format=".3f", title="Simulation summary"))
     if args.plot:
@@ -178,7 +188,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = {}
     for name, policy in policies.items():
         print(f"running {name} ...", file=sys.stderr)
-        results[name] = SimulationEngine(config, policy, dataset=dataset).run()
+        results[name] = SimulationEngine(
+            config, policy, dataset=dataset, backend=args.backend
+        ).run()
     baseline = results["immediate"]
     rows = [_result_row(name, result, baseline) for name, result in results.items()]
     print(format_table(_RESULT_HEADERS, rows, float_format=".3f",
@@ -194,27 +206,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    config = _build_config(args)
-    dataset = _build_dataset(config)
-    immediate = SimulationEngine(config, ImmediatePolicy(), dataset=dataset).run()
-    rows = []
-    for v in args.v_values:
-        result = SimulationEngine(
-            config, OnlinePolicy(v=v, staleness_bound=args.staleness_bound), dataset=dataset
-        ).run()
-        rows.append([
+    from repro.analysis.runner import ExperimentSuite, RunSpec, sweep_grid
+
+    config_kwargs = _config_kwargs(args)
+    baseline_spec = RunSpec(
+        policy="immediate", config=dict(config_kwargs), backend=args.backend,
+        label="immediate",
+    )
+    online_specs = sweep_grid(
+        v_values=args.v_values,
+        seeds=(args.seed,),
+        staleness_bound=args.staleness_bound,
+        base_config=config_kwargs,
+        backend=args.backend,
+    )
+    suite = ExperimentSuite(cache_dir=args.cache_dir, jobs=args.jobs)
+    summaries = suite.run([baseline_spec, *online_specs])
+    immediate, online = summaries[0], summaries[1:]
+    cached = sum(1 for s in summaries if s.from_cache)
+    if cached:
+        print(f"{cached}/{len(summaries)} runs served from cache", file=sys.stderr)
+    rows = [
+        [
             v,
-            result.total_energy_kj(),
-            100.0 * result.energy_saving_vs(immediate),
-            result.mean_queue_length(),
-            result.mean_virtual_queue_length(),
-        ])
+            summary.energy_kj,
+            100.0 * (1.0 - summary.energy_j / immediate.energy_j),
+            summary.mean_queue_length,
+            summary.mean_virtual_queue_length,
+        ]
+        for v, summary in zip(args.v_values, online)
+    ]
     print(format_table(
         ["V", "energy (kJ)", "saving vs immediate %", "mean Q(t)", "mean H(t)"],
         rows,
         float_format=".2f",
         title=f"V sweep (Lb={args.staleness_bound:.0f}); immediate = "
-              f"{immediate.total_energy_kj():.1f} kJ",
+              f"{immediate.energy_kj:.1f} kJ",
     ))
     return 0
 
@@ -233,6 +260,9 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--staleness-bound", type=float, default=500.0)
     parser.add_argument("--offline-bound", type=float, default=1000.0)
     parser.add_argument("--window", type=int, default=500)
+    parser.add_argument("--backend", choices=["fleet", "loop"], default="fleet",
+                        help="vectorized fleet backend (default) or the per-user "
+                             "reference loop; both give identical results")
     parser.add_argument("--plot", action="store_true", help="print ASCII accuracy curves")
 
 
@@ -276,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_arguments(sweep)
     sweep.add_argument("--v-values", type=float, nargs="+",
                        default=[0.0, 1e4, 4e4, 1e5])
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep grid "
+                            "(0 = one per CPU core)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="cache run summaries here, keyed by config hash; "
+                            "repeated sweeps skip finished runs")
     sweep.set_defaults(func=_cmd_sweep)
 
     return parser

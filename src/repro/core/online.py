@@ -36,17 +36,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.policies import (
     Aggregation,
     Decision,
     DeviceObservation,
+    ObservationBatch,
     SchedulingPolicy,
     SlotContext,
 )
 from repro.core.queues import TaskQueue, VirtualQueue
-from repro.core.staleness import gradient_gap
+from repro.core.staleness import gradient_gap, gradient_gap_batch
 
-__all__ = ["DecisionCosts", "OnlineController", "OnlinePolicy"]
+__all__ = ["DecisionCosts", "BatchDecisionCosts", "OnlineController", "OnlinePolicy"]
 
 #: Joules per kilojoule — the objective works in kJ to match the paper's V axis.
 _J_PER_KJ = 1000.0
@@ -66,6 +69,29 @@ class DecisionCosts:
         if self.schedule_cost <= self.idle_cost:
             return Decision.SCHEDULE
         return Decision.IDLE
+
+
+@dataclass(frozen=True)
+class BatchDecisionCosts:
+    """The Eq. (21) objective values for a whole ready pool at once.
+
+    Array analogue of :class:`DecisionCosts`: every field holds one value
+    per ready user, aligned with the :class:`ObservationBatch` that produced
+    it.
+    """
+
+    schedule_cost: np.ndarray
+    idle_cost: np.ndarray
+    schedule_gap: np.ndarray
+    idle_gap: np.ndarray
+
+    def best(self) -> np.ndarray:
+        """Boolean mask of users whose minimising decision is ``SCHEDULE``.
+
+        Mirrors :meth:`DecisionCosts.best`, including the tie rule
+        (``schedule_cost <= idle_cost`` schedules).
+        """
+        return self.schedule_cost <= self.idle_cost
 
 
 class OnlineController:
@@ -124,6 +150,48 @@ class OnlineController:
     ) -> Decision:
         """Return the decision minimising the Eq. (21) objective."""
         return self.evaluate(observation, q_length, h_length).best()
+
+    def evaluate_batch(
+        self,
+        batch: ObservationBatch,
+        q_length: float,
+        h_length: float,
+    ) -> BatchDecisionCosts:
+        """Evaluate both branches of Eq. (21) for every ready user at once.
+
+        This is the whole-fleet form of :meth:`evaluate`: the per-slot
+        energies of Eq. (10), the Eq. (4) gap estimate and the Eq. (12) idle
+        increment are computed as NumPy array expressions with exactly the
+        same per-element operation order as the scalar rule, so the batched
+        and per-user evaluations agree bit for bit.
+        """
+        slot_s = batch.slot_seconds
+        schedule_energy_kj = (
+            np.where(batch.app_running, batch.power_corun_w, batch.power_training_w)
+            * slot_s
+            / _J_PER_KJ
+        )
+        idle_energy_kj = (
+            np.where(batch.app_running, batch.power_app_w, batch.power_idle_w)
+            * slot_s
+            / _J_PER_KJ
+        )
+        schedule_gap = gradient_gap_batch(
+            batch.momentum_norm,
+            batch.learning_rate,
+            batch.momentum_coeff,
+            batch.estimated_lag,
+        )
+        idle_gap = batch.current_gap + self.epsilon
+
+        schedule_cost = self.v * schedule_energy_kj - q_length + h_length * schedule_gap
+        idle_cost = self.v * idle_energy_kj + h_length * idle_gap
+        return BatchDecisionCosts(
+            schedule_cost=schedule_cost,
+            idle_cost=idle_cost,
+            schedule_gap=schedule_gap,
+            idle_gap=idle_gap,
+        )
 
 
 class OnlinePolicy(SchedulingPolicy):
@@ -189,6 +257,54 @@ class OnlinePolicy(SchedulingPolicy):
         )
         self.decision_log.append((observation.slot, observation.user_id, decision))
         return decision
+
+    def decide_all(self, batch: ObservationBatch) -> np.ndarray:
+        """Batched Eq. (22)/(23) decisions for a whole slot's ready pool.
+
+        Evaluates the drift-plus-penalty objective for every ready user with
+        one :meth:`OnlineController.evaluate_batch` call instead of one
+        :meth:`decide` call per user.  The queue backlogs ``Q(t)`` / ``H(t)``
+        are frozen for the duration of the slot in both paths, exactly as
+        the paper's controller broadcasts them once per slot.
+
+        One sequential effect survives batching: the loop engine registers a
+        scheduled job in flight immediately, so a user decided later in the
+        same slot sees a larger lag estimate ``l_{d_i}``.  Because the
+        schedule cost of Eq. (21) is non-decreasing in the lag (the Eq. (4)
+        gap factor grows with it) while the idle cost ignores it, a user the
+        speculative batch keeps idle stays idle under any larger lag — only
+        speculative *schedulers* can flip.  The repair pass therefore walks
+        just those, folds in the earlier same-slot schedules via
+        :meth:`~repro.core.policies.ObservationBatch.coupled_lag`, and
+        re-evaluates the scalar rule when the lag actually changed; decisions
+        match the per-user loop bit for bit.
+        """
+        n = len(batch)
+        self._decision_evaluations += n
+        if self.distributed:
+            self.messages_to_server += 2 * n  # duration d_i, then alpha_i(t)
+            self.messages_to_users += 3 * n  # l_{d_i}, Q(t), H(t)
+        else:
+            self.messages_to_server += 3 * n  # s_i(t), ||v_t||, d_i
+            self.messages_to_users += 1 * n  # alpha_i(t)
+        q_length = self.task_queue.length
+        h_length = self.virtual_queue.length
+        schedule = self.controller.evaluate_batch(batch, q_length, h_length).best()
+        coupling = batch.coupling()
+        for index in np.nonzero(schedule)[0]:
+            index = int(index)
+            lag = coupling.lag(index)
+            if lag != int(batch.estimated_lag[index]):
+                observation = batch.observation(index, lag_override=lag)
+                if self.controller.decide(observation, q_length, h_length) is Decision.IDLE:
+                    schedule[index] = False
+                    continue
+            coupling.record(index)
+        self.decision_log.extend(
+            (batch.slot, int(user), Decision.SCHEDULE if flag else Decision.IDLE)
+            for user, flag in zip(batch.user_ids, schedule)
+        )
+        return schedule
 
     def end_slot(self, context: SlotContext, num_scheduled: int, gap_sum: float) -> None:
         self.task_queue.update(arrivals=self._arrivals_this_slot, services=num_scheduled)

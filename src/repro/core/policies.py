@@ -24,12 +24,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 __all__ = [
     "Decision",
     "Aggregation",
     "DeviceObservation",
+    "ObservationBatch",
+    "SameSlotCoupling",
     "SlotContext",
     "SchedulingPolicy",
     "ImmediatePolicy",
@@ -102,6 +106,162 @@ class DeviceObservation:
 
 
 @dataclass
+class ObservationBatch:
+    """Struct-of-arrays view of every ready device's observation in one slot.
+
+    The vectorized fleet backend (:mod:`repro.sim.fleet`) builds one batch
+    per slot instead of one :class:`DeviceObservation` per ready user, so
+    batch-aware policies (:meth:`SchedulingPolicy.decide_all`) can evaluate
+    the Eq. (21)-(23) decision rule for the whole fleet with NumPy array
+    arithmetic.  Every array has one entry per ready user, in ascending
+    ``user_id`` order — the same order in which the loop engine iterates the
+    ready pool, so decision logs are comparable across backends.
+
+    Attributes:
+        slot: current slot index (shared by all entries).
+        slot_seconds: slot length in seconds (shared by all entries).
+        user_ids: ``int64`` indices of the ready users.
+        app_running: boolean ``s_i(t)`` application status of Eq. (10).
+        power_corun_w / power_app_w / power_training_w / power_idle_w:
+            the four power levels of Eq. (10), app-specific where an
+            application runs and device-average otherwise.
+        estimated_lag: server-supplied lag estimates ``l_{d_i}``
+            (Algorithm 2, line 4), ``int64``.
+        momentum_norm: ``||v_t||_2`` per ready user.
+        learning_rate / momentum_coeff: ``eta`` / ``beta`` per ready user.
+        training_duration_slots: ``d_i`` in slots, ``int64``.
+        waiting_slots: slots spent waiting since the user became ready.
+        current_gap: accumulated Eq. (12) gradient gap per ready user.
+        device_names: catalog name per ready user (only needed to
+            materialize per-user :class:`DeviceObservation` fallbacks).
+        app_names: running-application name per ready user (``None`` when
+            the device runs no foreground application).
+    """
+
+    slot: int
+    slot_seconds: float
+    user_ids: np.ndarray
+    app_running: np.ndarray
+    power_corun_w: np.ndarray
+    power_app_w: np.ndarray
+    power_training_w: np.ndarray
+    power_idle_w: np.ndarray
+    estimated_lag: np.ndarray
+    momentum_norm: np.ndarray
+    learning_rate: np.ndarray
+    momentum_coeff: np.ndarray
+    training_duration_slots: np.ndarray
+    waiting_slots: np.ndarray
+    current_gap: np.ndarray
+    device_names: Sequence[str]
+    app_names: Sequence[Optional[str]]
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    def observation(self, index: int, lag_override: Optional[int] = None) -> DeviceObservation:
+        """Materialize entry ``index`` as a scalar :class:`DeviceObservation`.
+
+        Used by :meth:`SchedulingPolicy.decide_all`'s generic fallback so
+        policies without a batched rule (e.g. the offline knapsack planner)
+        run unmodified under the vectorized backend.
+
+        Args:
+            index: position within the batch.
+            lag_override: replace :attr:`estimated_lag` with a corrected
+                value (the same-slot coupling of :meth:`coupled_lag`).
+        """
+        lag = int(self.estimated_lag[index]) if lag_override is None else lag_override
+        return DeviceObservation(
+            user_id=int(self.user_ids[index]),
+            slot=self.slot,
+            slot_seconds=self.slot_seconds,
+            device_name=self.device_names[index],
+            app_running=bool(self.app_running[index]),
+            app_name=self.app_names[index],
+            power_corun_w=float(self.power_corun_w[index]),
+            power_app_w=float(self.power_app_w[index]),
+            power_training_w=float(self.power_training_w[index]),
+            power_idle_w=float(self.power_idle_w[index]),
+            estimated_lag=lag,
+            momentum_norm=float(self.momentum_norm[index]),
+            learning_rate=float(self.learning_rate[index]),
+            momentum_coeff=float(self.momentum_coeff[index]),
+            training_duration_slots=int(self.training_duration_slots[index]),
+            waiting_slots=int(self.waiting_slots[index]),
+            current_gap=float(self.current_gap[index]),
+        )
+
+    def iter_observations(self) -> Iterator[DeviceObservation]:
+        """Yield one scalar observation per ready user, in batch order."""
+        for index in range(len(self)):
+            yield self.observation(index)
+
+    def coupling(self) -> "SameSlotCoupling":
+        """A fresh same-slot lag-coupling tracker for this batch.
+
+        Every consumer that walks the batch in ascending order and commits
+        ``schedule`` decisions (the generic :meth:`SchedulingPolicy.decide_all`
+        fallback, the online policy's repair pass, the engine's fleet
+        scheduling loop) must share this one state machine so their lag
+        views stay identical.
+        """
+        return SameSlotCoupling(self)
+
+    def coupled_lag(self, index: int, scheduled_counts: Dict[int, int]) -> int:
+        """Lag estimate for ``index`` including earlier same-slot schedules.
+
+        The per-user loop engine registers a scheduled job in flight
+        *immediately*, so later users in the same slot see it in their
+        server-supplied lag estimate ``l_{d_i}``.  :attr:`estimated_lag`
+        snapshots the in-flight set at the start of the slot; this method
+        adds the jobs scheduled earlier in the slot whose expected finish
+        time ``(slot + d_j) * slot_seconds`` falls inside this user's
+        ``[now, now + d_i * slot_seconds]`` window — the exact float
+        comparisons of :meth:`repro.fl.server.ParameterServer.estimate_lag`.
+
+        Args:
+            index: position within the batch.
+            scheduled_counts: number of users scheduled so far this slot,
+                keyed by their training duration in slots.
+        """
+        lag = int(self.estimated_lag[index])
+        if not scheduled_counts:
+            return lag
+        now_s = self.slot * self.slot_seconds
+        horizon = now_s + self.training_duration_slots[index] * self.slot_seconds
+        for duration, count in scheduled_counts.items():
+            finish = (self.slot + duration) * self.slot_seconds
+            if now_s <= finish <= horizon:
+                lag += count
+        return lag
+
+
+class SameSlotCoupling:
+    """Sequential lag coupling between same-slot ``schedule`` decisions.
+
+    The loop engine registers a scheduled job in flight immediately, so a
+    user decided later in the same slot sees it in its lag estimate.  This
+    tracker replays that effect for batched consumers: call :meth:`lag`
+    for the entry being decided, then :meth:`record` for every entry whose
+    final decision is ``schedule``, walking the batch in ascending order.
+    """
+
+    def __init__(self, batch: "ObservationBatch") -> None:
+        self.batch = batch
+        self._scheduled_counts: Dict[int, int] = {}
+
+    def lag(self, index: int) -> int:
+        """Lag estimate for ``index`` including earlier same-slot schedules."""
+        return self.batch.coupled_lag(index, self._scheduled_counts)
+
+    def record(self, index: int) -> None:
+        """Commit entry ``index`` as scheduled (its job is now in flight)."""
+        duration = int(self.batch.training_duration_slots[index])
+        self._scheduled_counts[duration] = self._scheduled_counts.get(duration, 0) + 1
+
+
+@dataclass
 class SlotContext:
     """System-wide information handed to the policy at slot boundaries.
 
@@ -137,6 +297,33 @@ class SchedulingPolicy(ABC):
     def decide(self, observation: DeviceObservation) -> Decision:
         """Return the control decision for one ready device."""
 
+    def decide_all(self, batch: ObservationBatch) -> np.ndarray:
+        """Return the decisions for a whole slot's ready pool at once.
+
+        The vectorized engine backend calls this once per slot with an
+        :class:`ObservationBatch` instead of calling :meth:`decide` once per
+        ready user.  Returns a boolean array aligned with
+        ``batch.user_ids`` where ``True`` means :attr:`Decision.SCHEDULE`.
+
+        The default implementation materializes each entry and delegates to
+        :meth:`decide`, so any policy works under the vectorized backend;
+        policies with an array form of their rule (the Lyapunov online
+        scheduler's Eq. 22/23) override this with a NumPy evaluation.
+
+        Entries are decided in batch (ascending user) order and the lag
+        estimate handed to each observation includes the users scheduled
+        earlier in the same slot (:meth:`ObservationBatch.coupled_lag`),
+        replicating the loop engine's immediate in-flight registration.
+        """
+        decisions = np.zeros(len(batch), dtype=bool)
+        coupling = batch.coupling()
+        for index in range(len(batch)):
+            observation = batch.observation(index, lag_override=coupling.lag(index))
+            if self.decide(observation) is Decision.SCHEDULE:
+                decisions[index] = True
+                coupling.record(index)
+        return decisions
+
     def end_slot(self, context: SlotContext, num_scheduled: int, gap_sum: float) -> None:
         """Called once after all decisions of the slot have been made.
 
@@ -171,6 +358,9 @@ class ImmediatePolicy(SchedulingPolicy):
     def decide(self, observation: DeviceObservation) -> Decision:
         return Decision.SCHEDULE
 
+    def decide_all(self, batch: ObservationBatch) -> np.ndarray:
+        return np.ones(len(batch), dtype=bool)
+
 
 class SyncPolicy(SchedulingPolicy):
     """Classic synchronous federated learning (FedAvg / Sync-SGD).
@@ -188,3 +378,6 @@ class SyncPolicy(SchedulingPolicy):
 
     def decide(self, observation: DeviceObservation) -> Decision:
         return Decision.SCHEDULE
+
+    def decide_all(self, batch: ObservationBatch) -> np.ndarray:
+        return np.ones(len(batch), dtype=bool)

@@ -32,8 +32,10 @@ import numpy as np
 
 __all__ = [
     "momentum_lag_factor",
+    "momentum_lag_factor_batch",
     "linear_weight_prediction",
     "gradient_gap",
+    "gradient_gap_batch",
     "gradient_gap_from_params",
     "GapTracker",
 ]
@@ -55,6 +57,39 @@ def momentum_lag_factor(momentum: float, lag: int) -> float:
     if momentum == 0.0:
         return 1.0
     return (1.0 - momentum**lag) / (1.0 - momentum)
+
+
+def momentum_lag_factor_batch(momentum: np.ndarray, lags: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`momentum_lag_factor` over per-user arrays.
+
+    Evaluates ``(1 - beta**lag) / (1 - beta)`` for every (``beta``, ``lag``)
+    pair.  ``beta**lag`` is deliberately computed with *scalar* Python
+    exponentiation per unique ``(beta, lag)`` pair rather than ``np.power``:
+    the two can round the last bit differently, and the fleet backend
+    guarantees bitwise-identical decisions to the per-user loop path.  Lags
+    take few distinct values in practice (one per device model plus the
+    in-flight estimate), so the grouping costs next to nothing.
+
+    Args:
+        momentum: ``beta`` per user, shape ``(n,)``.
+        lags: non-negative integer lag per user, shape ``(n,)``.
+
+    Returns:
+        The Eq. (4) geometric-series factor per user, ``float64``.
+    """
+    momentum = np.asarray(momentum, dtype=np.float64)
+    lags = np.asarray(lags)
+    out = np.empty(lags.shape, dtype=np.float64)
+    if momentum.size and np.all(momentum == momentum.flat[0]):
+        beta = float(momentum.flat[0])
+        for lag in np.unique(lags):
+            out[lags == lag] = momentum_lag_factor(beta, int(lag))
+    else:
+        for index in range(lags.size):
+            out.flat[index] = momentum_lag_factor(
+                float(momentum.flat[index]), int(lags.flat[index])
+            )
+    return out
 
 
 def linear_weight_prediction(
@@ -105,6 +140,35 @@ def gradient_gap(
     if learning_rate <= 0:
         raise ValueError("learning_rate must be positive")
     return learning_rate * momentum_lag_factor(momentum, lag) * momentum_norm
+
+
+def gradient_gap_batch(
+    momentum_norms: np.ndarray,
+    learning_rates: np.ndarray,
+    momentums: np.ndarray,
+    lags: np.ndarray,
+) -> np.ndarray:
+    """Vectorized gradient gap of Eq. (4) for a whole ready pool.
+
+    Computes ``g = eta * (1 - beta**lag)/(1 - beta) * ||v_t||_2`` per user
+    with the same multiplication order as the scalar :func:`gradient_gap`,
+    so the batched Eq. (22)/(23) decision rule reproduces the per-user loop
+    bit for bit.
+
+    Args:
+        momentum_norms: ``||v_t||_2`` per user.
+        learning_rates: ``eta`` per user.
+        momentums: ``beta`` per user.
+        lags: predicted intervening updates ``l_tau`` per user (``int``).
+    """
+    momentum_norms = np.asarray(momentum_norms, dtype=np.float64)
+    learning_rates = np.asarray(learning_rates, dtype=np.float64)
+    if momentum_norms.size and momentum_norms.min() < 0:
+        raise ValueError("momentum_norm must be non-negative")
+    if learning_rates.size and learning_rates.min() <= 0:
+        raise ValueError("learning_rate must be positive")
+    factor = momentum_lag_factor_batch(momentums, lags)
+    return learning_rates * factor * momentum_norms
 
 
 def gradient_gap_from_params(theta_old: np.ndarray, theta_new: np.ndarray) -> float:

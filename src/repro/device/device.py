@@ -17,6 +17,13 @@ The device does not decide anything itself: the scheduling policy
 (:mod:`repro.core`) issues ``schedule``/``idle`` decisions and the simulation
 engine (:mod:`repro.sim.engine`) calls :meth:`MobileDevice.step` once per
 slot, collecting energy, training completions and thermal state.
+
+This class is the *scalar reference implementation*: the engine's default
+vectorized backend (:mod:`repro.sim.fleet`) replays :meth:`MobileDevice.step`
+as fleet-wide array kernels and is held to bitwise-identical behaviour.  If
+you change the step semantics here (power selection, progress accounting,
+slowdowns), mirror the change in :meth:`repro.sim.fleet.FleetState.advance`
+— ``tests/test_fleet.py`` will catch any divergence.
 """
 
 from __future__ import annotations

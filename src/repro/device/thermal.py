@@ -9,6 +9,12 @@ where cache contention leads to throttling and elongated training time).
 The model is deliberately simple — a first-order thermal RC — because the
 scheduler only needs a realistic *execution-time inflation* and a flag for
 "the device is throttling", not an accurate temperature trace.
+
+The vectorized fleet backend (:mod:`repro.sim.fleet`) reads this model's
+constants at construction time and replays :meth:`ThermalModel.step` and
+:meth:`ThermalModel.training_slowdown` as array kernels; keep the two in
+sync when changing the dynamics (the equivalence tests compare them bit
+for bit).
 """
 
 from __future__ import annotations

@@ -7,6 +7,12 @@ and VI: the Android ``JobScheduler`` can require the device to be charging or
 above a charge threshold).  This module provides the small battery substrate
 those conditions need: a coulomb-counting state of charge, charge/discharge
 cycles, and a crude cycle-ageing counter.
+
+The vectorized fleet backend (:mod:`repro.sim.fleet`) replays
+:meth:`Battery.discharge` / :meth:`Battery.charge` and the participation
+condition as array kernels over the whole fleet; mirror any change to the
+charging semantics there (the equivalence tests compare end-of-run SoC bit
+for bit).
 """
 
 from __future__ import annotations

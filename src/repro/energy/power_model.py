@@ -163,7 +163,14 @@ class EnergyBreakdown:
 
 
 class EnergyAccountant:
-    """Accumulate per-user and system-wide energy, broken down by state."""
+    """Accumulate per-user and system-wide energy, broken down by state.
+
+    The vectorized backend's :class:`repro.sim.fleet.FleetEnergyAccountant`
+    mirrors this API over per-user arrays, including this class's reduction
+    order (:meth:`total_j` is a left-to-right Python sum over users) —
+    that order is part of the backends' bitwise-equivalence contract, so
+    change both together.
+    """
 
     def __init__(self) -> None:
         self._per_user: Dict[int, EnergyBreakdown] = defaultdict(EnergyBreakdown)

@@ -154,6 +154,40 @@ class ParameterServer:
             if uid != user_id and now_s <= finish <= horizon
         )
 
+    def estimate_lags(
+        self, user_ids: np.ndarray, now_s: float, durations_s: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`estimate_lag` for a whole ready pool.
+
+        Counts, for every user in ``user_ids``, the in-flight jobs of *other*
+        users expected to finish within ``[now_s, now_s + duration_s]``.
+        Used by the fleet backend to build an
+        :class:`~repro.core.policies.ObservationBatch` without one Python
+        call per ready user; agrees exactly with the scalar method.
+
+        Args:
+            user_ids: ready users, shape ``(r,)``.
+            now_s: current wall-clock time.
+            durations_s: per-user training duration in seconds, shape ``(r,)``.
+
+        Returns:
+            ``int64`` lag estimates, shape ``(r,)``.
+        """
+        user_ids = np.asarray(user_ids)
+        durations_s = np.asarray(durations_s, dtype=np.float64)
+        if durations_s.size and durations_s.min() <= 0:
+            raise ValueError("duration_s must be positive")
+        if not self._inflight:
+            return np.zeros(user_ids.shape, dtype=np.int64)
+        inflight_uids = np.fromiter(self._inflight.keys(), dtype=np.int64)
+        finishes = np.fromiter(self._inflight.values(), dtype=np.float64)
+        horizons = now_s + durations_s
+        in_window = (finishes[None, :] >= now_s) & (
+            finishes[None, :] <= horizons[:, None]
+        )
+        other = inflight_uids[None, :] != user_ids[:, None]
+        return (in_window & other).sum(axis=1).astype(np.int64)
+
     # -- asynchronous updates -----------------------------------------------------------------
 
     def async_update(self, update: LocalUpdate, time_s: float, gradient_gap: float = 0.0) -> ServerUpdate:

@@ -12,12 +12,16 @@ provides that simulator:
 * :mod:`repro.sim.trace` — per-slot traces (energy, queues, gaps, accuracy).
 * :mod:`repro.sim.engine` — the engine tying devices, the FL substrate and
   the scheduling policy together; returns a :class:`SimulationResult`.
+* :mod:`repro.sim.fleet` — the vectorized struct-of-arrays fleet backend
+  (the default); the engine's ``backend="loop"`` keeps the per-user
+  reference loops, and the two are bitwise-equivalent.
 * :mod:`repro.sim.rng` — seeded random-generator helpers.
 """
 
 from repro.sim.arrivals import ArrivalSchedule, BernoulliArrivalProcess, DiurnalArrivalProcess
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.sim.fleet import FleetEnergyAccountant, FleetState
 from repro.sim.rng import spawn_generators
 from repro.sim.trace import SimulationTrace
 
@@ -25,6 +29,8 @@ __all__ = [
     "ArrivalSchedule",
     "BernoulliArrivalProcess",
     "DiurnalArrivalProcess",
+    "FleetEnergyAccountant",
+    "FleetState",
     "SimulationConfig",
     "SimulationEngine",
     "SimulationResult",

@@ -157,7 +157,16 @@ class SimulationEngine:
         dataset: optionally share a pre-built dataset across runs (policy
             comparisons should use the same dataset and seed).
         measurement_table: optionally override the Table II/III calibration.
+        backend: ``"fleet"`` (default) advances the device fleet with the
+            vectorized struct-of-arrays kernels of :mod:`repro.sim.fleet`;
+            ``"loop"`` keeps the original per-user Python loops.  The two
+            backends produce bitwise-identical decisions, energy and gap
+            traces for the same configuration and seed
+            (``tests/test_fleet.py``); the loop backend is retained as the
+            executable specification and for that equivalence check.
     """
+
+    BACKENDS = ("fleet", "loop")
 
     def __init__(
         self,
@@ -165,7 +174,11 @@ class SimulationEngine:
         policy: SchedulingPolicy,
         dataset: Optional[SyntheticCifar10] = None,
         measurement_table: Optional[MeasurementTable] = None,
+        backend: str = "fleet",
     ) -> None:
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
+        self.backend = backend
         self.config = config
         self.policy = policy
         self.table = measurement_table or MeasurementTable()
@@ -337,22 +350,26 @@ class SimulationEngine:
             current_gap=self.gap_tracker.current_gap(user),
         )
 
-    def _apply_async_update(self, user: int, slot: int) -> None:
-        """Run the finished user's local epoch and apply it asynchronously."""
-        state = self._user_states[user]
-        update = self.clients[user].local_train(state.base_params, state.base_version)
+    def _apply_async_update(
+        self, user: int, slot: int, base_params: np.ndarray, base_version: int
+    ) -> float:
+        """Run the finished user's local epoch and apply it asynchronously.
+
+        Shared by both backends (the caller handles its own gap-tracker
+        bookkeeping); returns the realised Eq. (2) gradient gap.
+        """
+        update = self.clients[user].local_train(base_params, base_version)
         time_s = slot * self.config.slot_seconds
-        realized_gap = gradient_gap_from_params(state.base_params, self.server.global_params())
+        realized_gap = gradient_gap_from_params(base_params, self.server.global_params())
         record = self.server.async_update(update, time_s=time_s, gradient_gap=realized_gap)
         self.transport.upload(
             ModelUpload(
                 user_id=user,
                 round_number=self.clients[user].rounds_completed,
-                base_version=state.base_version,
+                base_version=base_version,
             ),
             time_s=time_s,
         )
-        self.gap_tracker.on_update_applied(user, realized_gap)
         self.policy.notify_update_applied(user, record.lag, realized_gap)
         self.trace.record_update(
             UpdateSample(
@@ -364,6 +381,7 @@ class SimulationEngine:
                 sync_round=False,
             )
         )
+        return realized_gap
 
     def _maybe_complete_sync_round(self, slot: int) -> List[int]:
         """Aggregate the synchronous round if every user has uploaded."""
@@ -413,11 +431,20 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         """Run the simulation and return its result.
 
-        The engine is single-shot: build a new engine for another run.
+        Dispatches to the vectorized fleet backend or the per-user loop
+        backend (see the ``backend`` constructor argument); both produce
+        bitwise-identical results.  The engine is single-shot: build a new
+        engine for another run.
         """
         if self._has_run:
             raise RuntimeError("this engine has already run; create a new one")
         self._has_run = True
+        if self.backend == "fleet":
+            return self._run_fleet()
+        return self._run_loop()
+
+    def _run_loop(self) -> SimulationResult:
+        """The original per-user reference implementation of the slot loop."""
         config = self.config
         sync_mode = self.policy.aggregation is Aggregation.SYNC
         self.policy.reset()
@@ -522,7 +549,10 @@ class SimulationEngine:
                         state.uploaded_this_round = True
                         self.server.unregister_inflight(user)
                     else:
-                        self._apply_async_update(user, slot)
+                        realized_gap = self._apply_async_update(
+                            user, slot, state.base_params, state.base_version
+                        )
+                        self.gap_tracker.on_update_applied(user, realized_gap)
                         pending_arrivals.append(user)
 
             if sync_mode:
@@ -578,4 +608,172 @@ class SimulationEngine:
             comm_bytes_mb=self.transport.total_bytes_mb(),
             comm_failures=self.transport.failure_count(),
             final_battery_soc=[b.soc for b in self.batteries if b is not None],
+        )
+
+    # -- vectorized backend ------------------------------------------------------------
+
+    def _run_fleet(self) -> SimulationResult:
+        """Vectorized slot loop over a :class:`repro.sim.fleet.FleetState`.
+
+        Follows the same five-step slot timeline as :meth:`_run_loop`, but
+        steps 1 (application churn), 3 (device advancement with the
+        Eq. (10) energy accumulation) and the Eq. (12) gap dynamics operate
+        on struct-of-arrays state, and step 2's decisions go through the
+        policy's batched :meth:`~repro.core.policies.SchedulingPolicy.decide_all`.
+        Per-user Python work remains only where real events happen: app
+        launches, schedule decisions, and finished training jobs (which run
+        the actual NumPy local epoch, exactly as before).
+        """
+        from repro.sim.fleet import FleetState
+
+        config = self.config
+        sync_mode = self.policy.aggregation is Aggregation.SYNC
+        self.policy.reset()
+        if isinstance(self.policy, OfflinePolicy):
+            self.policy.attach_oracle(self.arrivals)
+        fleet = FleetState(
+            config=config,
+            device_specs=self.device_specs,
+            power_model=self.power_model,
+            batteries=self.batteries,
+            clients=self.clients,
+            arrivals=self.arrivals,
+        )
+
+        # All users download the initial model and arrive at slot 0.
+        pending_arrivals = list(range(config.num_users))
+        self._evaluate(0)
+
+        for slot in range(config.total_slots):
+            time_s = slot * config.slot_seconds
+
+            # 1. Applications: expire finished ones, launch new arrivals.
+            fleet.begin_slot_apps(slot)
+
+            # 2. Arrivals -> ready pool.
+            num_arrivals = len(pending_arrivals)
+            for user in pending_arrivals:
+                fleet.make_ready(user, self.server.version, self.server.download(user))
+                self.transport.download(
+                    ModelDownload(user_id=user, server_version=self.server.version),
+                    time_s=time_s,
+                )
+            pending_arrivals = []
+
+            ready_users = fleet.ready_users()
+            context = SlotContext(
+                slot=slot,
+                slot_seconds=config.slot_seconds,
+                num_arrivals=num_arrivals,
+                num_ready=len(ready_users),
+                num_training=int(fleet.training_active.sum()),
+                num_users=config.num_users,
+            )
+            self.policy.begin_slot(context)
+
+            # 3. Batched decisions for the ready pool.
+            num_scheduled = 0
+            decided_idle = np.zeros(config.num_users, dtype=bool)
+            if len(ready_users):
+                batch = fleet.observation_batch(slot, ready_users, self.server)
+                schedule = self.policy.decide_all(batch)
+                coupling = batch.coupling()
+                for index in np.nonzero(schedule)[0]:
+                    index = int(index)
+                    user = int(ready_users[index])
+                    corun = bool(fleet.app_active[user])
+                    duration = fleet.start_training(user)
+                    self.server.register_inflight(
+                        user, expected_finish_s=(slot + duration) * config.slot_seconds
+                    )
+                    # The Eq. (4) gap at schedule time uses the same
+                    # sequentially-coupled lag the policy decided with.
+                    lag = coupling.lag(index)
+                    coupling.record(index)
+                    fleet.gaps[user] = gradient_gap(
+                        float(batch.momentum_norm[index]),
+                        float(batch.learning_rate[index]),
+                        float(batch.momentum_coeff[index]),
+                        lag,
+                    )
+                    num_scheduled += 1
+                    self.trace.record_decision(scheduled=True, corun=corun)
+                idle_users = ready_users[~schedule]
+                fleet.gaps[idle_users] += config.epsilon
+                fleet.waiting_slots[idle_users] += 1
+                decided_idle[idle_users] = True
+                self.trace.decisions["idle"] += len(idle_users)
+
+            # 4. Advance the whole fleet by one slot.
+            outcome = fleet.advance(decided_idle)
+            for user in outcome.finished_users:
+                user = int(user)
+                if sync_mode:
+                    update = self.clients[user].local_train(
+                        fleet.base_params[user], int(fleet.base_version[user])
+                    )
+                    fleet.momentum_norms[user] = self.clients[user].momentum_norm()
+                    self._sync_buffer[user] = update
+                    self.server.unregister_inflight(user)
+                else:
+                    self._apply_async_update(
+                        user, slot, fleet.base_params[user], int(fleet.base_version[user])
+                    )
+                    fleet.momentum_norms[user] = self.clients[user].momentum_norm()
+                    fleet.gaps[user] = 0.0
+                    pending_arrivals.append(user)
+
+            if sync_mode:
+                released = self._maybe_complete_sync_round(slot)
+                if released:
+                    fleet.gaps[np.asarray(released, dtype=np.int64)] = 0.0
+                pending_arrivals.extend(released)
+
+            # 5. Close the slot: queues, traces, evaluation.
+            gap_sum = fleet.total_gap()
+            self.policy.end_slot(context, num_scheduled, gap_sum)
+            fleet.accountant.close_slot()
+
+            if slot % config.trace_interval_slots == 0:
+                queue_length = getattr(getattr(self.policy, "task_queue", None), "length", 0.0)
+                virtual_length = getattr(
+                    getattr(self.policy, "virtual_queue", None), "length", 0.0
+                )
+                self.trace.maybe_record_slot(
+                    SlotSample(
+                        slot=slot,
+                        time_s=time_s,
+                        cumulative_energy_j=fleet.accountant.total_j(),
+                        queue_length=queue_length,
+                        virtual_queue_length=virtual_length,
+                        gap_sum=gap_sum,
+                        num_training=context.num_training,
+                        num_ready=context.num_ready,
+                    )
+                )
+                for user in range(config.num_users):
+                    self.trace.record_user_gap(user, time_s, float(fleet.gaps[user]))
+            if slot > 0 and slot % config.eval_interval_slots == 0:
+                self._evaluate(slot)
+
+        self._evaluate(config.total_slots)
+
+        queue_history = list(getattr(getattr(self.policy, "task_queue", None), "history", lambda: [])())
+        virtual_history = list(
+            getattr(getattr(self.policy, "virtual_queue", None), "history", lambda: [])()
+        )
+        return SimulationResult(
+            config=config,
+            policy_name=self.policy.name,
+            trace=self.trace,
+            accuracy=self.accuracy,
+            accountant=fleet.accountant,
+            num_updates=self.server.num_updates(),
+            decision_evaluations=self.policy.decision_cost_evaluations(),
+            device_names=[spec.name for spec in self.device_specs],
+            queue_history=queue_history,
+            virtual_queue_history=virtual_history,
+            comm_bytes_mb=self.transport.total_bytes_mb(),
+            comm_failures=self.transport.failure_count(),
+            final_battery_soc=fleet.final_battery_soc(),
         )

@@ -1,0 +1,498 @@
+"""Vectorized struct-of-arrays fleet backend for the simulation engine.
+
+The paper's evaluation (Section VII.B) simulates 25 users, and the original
+engine mirrors that scale: :meth:`repro.sim.engine.SimulationEngine.run`
+iterates pure-Python ``for`` loops over every user in every slot, so the
+wall-clock cost of a run is O(slots x users) *interpreter* time.  This
+module makes fleet size a NumPy axis instead:
+
+* :class:`FleetState` holds the per-user simulation state as parallel
+  ``float64`` / ``int64`` / ``bool`` arrays — ready flags, waiting slots,
+  base model versions, foreground-application status, Eq. (12) gradient
+  gaps, battery state of charge and the per-slot Eq. (10) power draw —
+  plus the static per-device calibration (the four Table II/III power
+  levels, training durations, thermal constants).
+* :meth:`FleetState.advance` replaces the per-user ``MobileDevice.step``
+  loop with array kernels: Eq. (10) power selection, first-order thermal
+  update, Observation 2 contention slowdown, training-progress decrement
+  and battery charge/discharge all happen fleet-wide per slot.
+* :class:`FleetEnergyAccountant` accumulates the Eq. (10) energy breakdown
+  in per-user arrays while remaining API-compatible with
+  :class:`repro.energy.power_model.EnergyAccountant`.
+
+**Bitwise equivalence.**  The backend is held to a strict contract: with
+the same configuration and seed, the vectorized engine produces *bitwise
+identical* decisions, energy traces and gap traces to the per-user loop
+engine (``tests/test_fleet.py`` enforces this).  Three implementation rules
+make that possible:
+
+1. every array expression uses the same per-element operation order as the
+   scalar code it replaces (IEEE-754 ``float64`` arithmetic is then
+   identical);
+2. reductions that the loop engine performs with Python's left-to-right
+   ``sum`` (system energy, the per-slot gap sum ``G(t)``) are computed by
+   summing ``ndarray.tolist()`` left-to-right rather than with NumPy's
+   pairwise ``np.sum``;
+3. ``beta**lag`` is evaluated with scalar Python exponentiation per unique
+   lag (see :func:`repro.core.staleness.momentum_lag_factor_batch`), never
+   ``np.power``.
+
+The loop engine touches every user's gap in ascending user order in slot 0
+(all users are ready then), so its insertion-ordered dict reductions
+coincide with ascending-user array reductions — rule 2 relies on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policies import ObservationBatch
+from repro.device.apps import ForegroundApp
+from repro.device.models import DeviceSpec
+from repro.device.thermal import ThermalModel
+from repro.energy.battery import Battery
+from repro.energy.power_model import DeviceState, EnergyBreakdown, PowerModel
+from repro.fl.client import FLClient
+from repro.sim.arrivals import ArrivalSchedule
+from repro.sim.config import SimulationConfig
+
+__all__ = ["FleetEnergyAccountant", "FleetState", "SlotAdvance"]
+
+#: Contention penalty for homogeneous (non-big.LITTLE) CPUs (Observation 2,
+#: mirrored from :meth:`repro.device.thermal.ThermalModel.training_slowdown`).
+_HOMOGENEOUS_CONTENTION = 1.10
+
+
+class FleetEnergyAccountant:
+    """Array-backed energy accounting for the vectorized backend.
+
+    Accumulates the Eq. (10) per-slot energies into one ``float64`` array
+    per activity state (plus the Table III scheduler overhead) instead of
+    one :class:`~repro.energy.power_model.EnergyBreakdown` object per user.
+    The accessor API mirrors :class:`~repro.energy.power_model.EnergyAccountant`
+    so :class:`~repro.sim.engine.SimulationResult` works with either.
+
+    Reduction order matters for the bitwise-equivalence contract: the loop
+    accountant computes ``total_j`` as a left-to-right Python ``sum`` of
+    per-user totals in user order, so :meth:`total_j` does exactly that
+    over ``tolist()`` values instead of calling ``np.sum``.
+    """
+
+    def __init__(self, num_users: int) -> None:
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        self.num_users = num_users
+        self.idle_j = np.zeros(num_users)
+        self.app_j = np.zeros(num_users)
+        self.training_j = np.zeros(num_users)
+        self.corunning_j = np.zeros(num_users)
+        self.overhead_j = np.zeros(num_users)
+        self._per_slot_total: List[float] = []
+
+    # -- recording -----------------------------------------------------------------
+
+    def record_slot(
+        self,
+        energy_j: np.ndarray,
+        idle_mask: np.ndarray,
+        app_mask: np.ndarray,
+        training_mask: np.ndarray,
+        corun_mask: np.ndarray,
+        overhead_j: np.ndarray,
+    ) -> None:
+        """Record one slot of fleet-wide energy, split by activity state."""
+        self.idle_j[idle_mask] += energy_j[idle_mask]
+        self.app_j[app_mask] += energy_j[app_mask]
+        self.training_j[training_mask] += energy_j[training_mask]
+        self.corunning_j[corun_mask] += energy_j[corun_mask]
+        self.overhead_j += overhead_j
+
+    def close_slot(self) -> None:
+        """Snapshot the running system-wide total at the end of a slot."""
+        self._per_slot_total.append(self.total_j())
+
+    # -- accessors (EnergyAccountant-compatible) -------------------------------------
+
+    def user_breakdown(self, user_id: int) -> EnergyBreakdown:
+        """Energy breakdown for one user."""
+        return EnergyBreakdown(
+            idle_j=float(self.idle_j[user_id]),
+            app_j=float(self.app_j[user_id]),
+            training_j=float(self.training_j[user_id]),
+            corunning_j=float(self.corunning_j[user_id]),
+            overhead_j=float(self.overhead_j[user_id]),
+        )
+
+    def total_j(self) -> float:
+        """System-wide total energy in joules (loop-accountant reduction order)."""
+        totals = (
+            self.idle_j + self.app_j + self.training_j + self.corunning_j + self.overhead_j
+        )
+        return float(sum(totals.tolist()))
+
+    def total_kj(self) -> float:
+        """System-wide total energy in kilojoules."""
+        return self.total_j() / 1000.0
+
+    def training_related_j(self) -> float:
+        """Energy attributable to training (training-alone + co-running)."""
+        return float(sum((self.training_j + self.corunning_j).tolist()))
+
+    def per_slot_totals(self) -> list:
+        """Cumulative system energy at the end of each recorded slot."""
+        return list(self._per_slot_total)
+
+
+@dataclass
+class SlotAdvance:
+    """What happened fleet-wide during one vectorized slot advance.
+
+    Attributes:
+        energy_j: per-user Eq. (10) energy consumed this slot.
+        finished_users: ascending user ids whose training job completed.
+        state_masks: the four Eq. (10) activity masks occupied this slot,
+            keyed by :class:`~repro.energy.power_model.DeviceState`.
+    """
+
+    energy_j: np.ndarray
+    finished_users: np.ndarray
+    state_masks: Dict[DeviceState, np.ndarray]
+
+
+class FleetState:
+    """Struct-of-arrays state of the whole device fleet.
+
+    One instance replaces the per-user ``MobileDevice`` / ``Battery`` /
+    ``GapTracker`` object graph for a single simulation run.  The engine
+    orchestrates slots exactly as before (arrivals, decisions, parameter
+    server, traces); this class supplies the vectorized kernels:
+
+    * :meth:`begin_slot_apps` — foreground-application expiry and launches
+      (step 1 of the slot timeline in :mod:`repro.sim.engine`);
+    * :meth:`ready_users` — the ready pool, including the Android
+      JobScheduler battery-participation condition (Section III.B);
+    * :meth:`observation_batch` — the Eq. (22)/(23) decision inputs for
+      every ready user as one :class:`~repro.core.policies.ObservationBatch`;
+    * :meth:`advance` — device advancement with Eq. (10) energy
+      accumulation, thermal dynamics and training progress (step 3);
+    * the Eq. (12) gap dynamics, operated on directly by the engine via
+      :attr:`gaps` / :meth:`total_gap`.
+
+    Args:
+        config: the run configuration.
+        device_specs: static device description per user.
+        power_model: the Eq. (10) power function (Table II/III calibrated).
+        batteries: per-user battery or ``None`` (dev boards, disabled).
+        clients: the FL clients (source of ``eta``, ``beta``, ``||v_t||``).
+        arrivals: the pre-generated application arrival schedule.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        device_specs: Sequence[DeviceSpec],
+        power_model: PowerModel,
+        batteries: Sequence[Optional[Battery]],
+        clients: Sequence[FLClient],
+        arrivals: ArrivalSchedule,
+    ) -> None:
+        n = config.num_users
+        if not (len(device_specs) == len(batteries) == len(clients) == n):
+            raise ValueError("device_specs, batteries and clients must match num_users")
+        self.config = config
+        self.num_users = n
+        self.slot_seconds = config.slot_seconds
+        self.power_model = power_model
+
+        # -- static per-device calibration ------------------------------------
+        names = [spec.name for spec in device_specs]
+        self.device_names = np.asarray(names, dtype=object)
+        self.idle_w = np.array([power_model.idle_power(d) for d in names])
+        self.training_w = np.array([power_model.training_power(d) for d in names])
+        self.overhead_w = np.array([power_model.overhead_power(d) for d in names])
+        self.mean_app_w = np.array([power_model.app_power(d) for d in names])
+        self.mean_corun_w = np.array([power_model.corun_power(d) for d in names])
+        self.duration_slots = np.array(
+            [
+                max(1, int(round(spec.training_time_s / config.slot_seconds)))
+                for spec in device_specs
+            ],
+            dtype=np.int64,
+        )
+        self.heterogeneous = np.array(
+            [spec.heterogeneous for spec in device_specs], dtype=bool
+        )
+
+        # -- thermal model (first-order RC, one instance read per device) -----
+        import math
+
+        thermals = [ThermalModel(spec) for spec in device_specs]
+        self.ambient_c = np.array([t.ambient_c for t in thermals])
+        self.thermal_alpha = np.array(
+            [1.0 - math.exp(-config.slot_seconds / t.tau_s) for t in thermals]
+        )
+        self.degrees_per_watt = np.array([t.degrees_per_watt for t in thermals])
+        self.throttle_temp_c = np.array([t.throttle_temp_c for t in thermals])
+        self.throttle_slowdown = np.array([t.throttle_slowdown for t in thermals])
+        self.temperature_c = self.ambient_c.copy()
+
+        # -- FL-side observation inputs ---------------------------------------
+        self.learning_rates = np.array([c.learning_rate for c in clients])
+        self.momentum_coeffs = np.array([c.momentum for c in clients])
+        #: ``||v_t||_2`` cache — a client's momentum vector only changes when
+        #: it trains, so the engine refreshes the entry after `local_train`.
+        self.momentum_norms = np.array([c.momentum_norm() for c in clients])
+
+        # -- dynamic scheduling / app / training state -------------------------
+        self.ready = np.zeros(n, dtype=bool)
+        self.waiting_slots = np.zeros(n, dtype=np.int64)
+        self.base_version = np.zeros(n, dtype=np.int64)
+        self.base_params: List[Optional[np.ndarray]] = [None] * n
+        self.gaps = np.zeros(n)
+
+        self.app_active = np.zeros(n, dtype=bool)
+        self.app_end_slot = np.zeros(n, dtype=np.int64)
+        self.app_power_w = self.mean_app_w.copy()
+        self.corun_power_w = self.mean_corun_w.copy()
+        self.app_slowdown = np.ones(n)
+        self.app_names = np.array([None] * n, dtype=object)
+
+        self.training_active = np.zeros(n, dtype=bool)
+        self.remaining_slots = np.zeros(n)
+
+        # -- batteries ----------------------------------------------------------
+        self.has_battery = np.array([b is not None for b in batteries], dtype=bool)
+        self.battery_capacity_j = np.array(
+            [b.capacity_j if b is not None else 1.0 for b in batteries]
+        )
+        self.battery_charge_j = np.array(
+            [b.charge_j if b is not None else 1.0 for b in batteries]
+        )
+        self.battery_rate_w = np.array(
+            [b.charge_rate_w if b is not None else 0.0 for b in batteries]
+        )
+        self.battery_min_soc = np.array(
+            [b.min_participation_soc if b is not None else 0.0 for b in batteries]
+        )
+        self.battery_cycle_j = np.zeros(n)
+
+        # -- launch schedule and accounting ------------------------------------
+        self._launches: Dict[int, List[Tuple[int, ForegroundApp]]] = {}
+        for user in range(n):
+            for app in arrivals.arrivals_for(user):
+                self._launches.setdefault(app.arrival_slot, []).append((user, app))
+        for slot_apps in self._launches.values():
+            slot_apps.sort(key=lambda pair: pair[0])
+        self.accountant = FleetEnergyAccountant(n)
+
+    # -- step 1: foreground applications -----------------------------------------
+
+    def begin_slot_apps(self, slot: int) -> None:
+        """Expire finished foreground applications and launch new arrivals.
+
+        Mirrors the loop engine exactly: expiry first (an app whose
+        ``end_slot`` has passed leaves the foreground), then launches, so an
+        arrival may reuse the slot its predecessor freed.
+        """
+        expired = self.app_active & (slot >= self.app_end_slot)
+        if expired.any():
+            self.app_active[expired] = False
+            self.app_power_w[expired] = self.mean_app_w[expired]
+            self.corun_power_w[expired] = self.mean_corun_w[expired]
+            self.app_slowdown[expired] = 1.0
+            self.app_names[expired] = None
+        for user, app in self._launches.get(slot, ()):
+            if self.app_active[user]:
+                continue
+            device = self.device_names[user]
+            self.app_active[user] = True
+            self.app_end_slot[user] = app.end_slot()
+            self.app_power_w[user] = self.power_model.app_power(device, app.name)
+            self.corun_power_w[user] = self.power_model.corun_power(device, app.name)
+            self.app_slowdown[user] = app.spec.training_slowdown
+            self.app_names[user] = app.name
+
+    # -- step 2: ready pool ---------------------------------------------------------
+
+    def make_ready(self, user: int, version: int, params: np.ndarray) -> None:
+        """The user downloads the current model and joins the ready pool."""
+        self.ready[user] = True
+        self.waiting_slots[user] = 0
+        self.base_version[user] = version
+        self.base_params[user] = params
+
+    def battery_ok(self) -> np.ndarray:
+        """The Android JobScheduler battery condition, per user (Section III.B)."""
+        return ~self.has_battery | (
+            self.battery_charge_j / self.battery_capacity_j >= self.battery_min_soc
+        )
+
+    def ready_users(self) -> np.ndarray:
+        """Ascending user ids eligible for a decision this slot."""
+        return np.nonzero(self.ready & ~self.training_active & self.battery_ok())[0]
+
+    # -- decisions ---------------------------------------------------------------------
+
+    def observation_batch(self, slot: int, users: np.ndarray, server) -> ObservationBatch:
+        """Build the Eq. (22)/(23) decision inputs for the ready pool.
+
+        The lag estimates come from
+        :meth:`repro.fl.server.ParameterServer.estimate_lags` and therefore
+        reflect the jobs in flight *at the start of the slot*; decisions made
+        earlier in the same slot are folded in by
+        :meth:`~repro.core.policies.ObservationBatch.coupled_lag`, exactly
+        as the loop engine's incremental ``register_inflight`` would.
+        """
+        now_s = slot * self.slot_seconds
+        durations_s = self.duration_slots[users] * self.slot_seconds
+        lags = server.estimate_lags(users, now_s, durations_s)
+        return ObservationBatch(
+            slot=slot,
+            slot_seconds=self.slot_seconds,
+            user_ids=users,
+            app_running=self.app_active[users],
+            power_corun_w=self.corun_power_w[users],
+            power_app_w=self.app_power_w[users],
+            power_training_w=self.training_w[users],
+            power_idle_w=self.idle_w[users],
+            estimated_lag=lags,
+            momentum_norm=self.momentum_norms[users],
+            learning_rate=self.learning_rates[users],
+            momentum_coeff=self.momentum_coeffs[users],
+            training_duration_slots=self.duration_slots[users],
+            waiting_slots=self.waiting_slots[users],
+            current_gap=self.gaps[users],
+            device_names=self.device_names[users],
+            app_names=self.app_names[users],
+        )
+
+    def start_training(self, user: int) -> int:
+        """Start a training job on ``user`` (the policy decided ``schedule``).
+
+        Returns the nominal duration in slots (``d_i``).
+        """
+        if self.training_active[user]:
+            raise RuntimeError(f"user {user}: training already in progress")
+        duration = int(self.duration_slots[user])
+        self.training_active[user] = True
+        self.remaining_slots[user] = float(duration)
+        self.ready[user] = False
+        return duration
+
+    # -- step 3: fleet-wide device advancement -------------------------------------------
+
+    def advance(self, decided_idle: np.ndarray) -> SlotAdvance:
+        """Advance every device by one slot (the vectorized ``MobileDevice.step``).
+
+        Applies, fleet-wide and in the same per-element operation order as
+        the scalar device runtime: Eq. (10) power selection, the energy
+        accumulation, the first-order thermal update, the Observation 2
+        contention slowdown with thermal throttling, the training-progress
+        decrement, the Table III decision overhead for idle deciders, and
+        the battery discharge/charge cycle.
+
+        Args:
+            decided_idle: per-user mask of ready users the policy kept idle
+                this slot (the Table III overhead applies to them only).
+
+        Returns:
+            The per-user energies, finished trainees and activity masks.
+        """
+        app = self.app_active
+        training = self.training_active
+        corun = training & app
+        training_only = training & ~app
+        app_only = app & ~training
+        idle = ~training & ~app
+
+        # Eq. (10): one of the four power levels per device.
+        power_w = self.idle_w.copy()
+        power_w[app_only] = self.app_power_w[app_only]
+        power_w[training_only] = self.training_w[training_only]
+        power_w[corun] = self.corun_power_w[corun]
+        energy_j = power_w * self.slot_seconds
+
+        # First-order thermal RC: T += (T_target - T) * (1 - exp(-dt/tau)).
+        target = self.ambient_c + self.degrees_per_watt * power_w
+        self.temperature_c += (target - self.temperature_c) * self.thermal_alpha
+
+        # Training progress; co-running jobs suffer contention (Observation 2)
+        # and, when hot enough, thermal throttling.
+        finished_users = np.empty(0, dtype=np.int64)
+        if training.any():
+            progress = np.ones(self.num_users)
+            if corun.any():
+                slowdown = np.ones(self.num_users)
+                slowdown[corun] *= self.app_slowdown[corun]
+                contended = corun & ~self.heterogeneous
+                slowdown[contended] *= _HOMOGENEOUS_CONTENTION
+                throttled = corun & (self.temperature_c >= self.throttle_temp_c)
+                slowdown[throttled] *= self.throttle_slowdown[throttled]
+                progress[corun] = 1.0 / slowdown[corun]
+            self.remaining_slots[training] -= progress[training]
+            finished = training & (self.remaining_slots <= 0.0)
+            if finished.any():
+                self.training_active[finished] = False
+                finished_users = np.nonzero(finished)[0]
+
+        # Table III: deciding-but-idle devices burn the decision-rule power.
+        overhead_j = np.zeros(self.num_users)
+        if self.config.include_scheduler_overhead:
+            deciders = idle & decided_idle
+            overhead_j[deciders] = (
+                self.overhead_w[deciders] - self.idle_w[deciders]
+            ) * self.slot_seconds
+
+        self.accountant.record_slot(
+            energy_j, idle, app_only, training_only, corun, overhead_j
+        )
+
+        # Battery coulomb counting: discharge what the slot drew, then charge
+        # idle devices that are plugged in.
+        if self.has_battery.any():
+            batt = self.has_battery
+            draw = energy_j + overhead_j
+            drawn = np.minimum(draw[batt], self.battery_charge_j[batt])
+            self.battery_charge_j[batt] -= drawn
+            self.battery_cycle_j[batt] += drawn
+            charging = batt & idle & (self.battery_rate_w > 0)
+            if charging.any():
+                added = np.minimum(
+                    self.battery_rate_w[charging] * self.slot_seconds,
+                    self.battery_capacity_j[charging] - self.battery_charge_j[charging],
+                )
+                self.battery_charge_j[charging] += added
+
+        return SlotAdvance(
+            energy_j=energy_j,
+            finished_users=finished_users,
+            state_masks={
+                DeviceState.IDLE: idle,
+                DeviceState.APP_ONLY: app_only,
+                DeviceState.TRAINING_ONLY: training_only,
+                DeviceState.CORUNNING: corun,
+            },
+        )
+
+    # -- Eq. (12) gap dynamics and reporting -----------------------------------------------
+
+    def total_gap(self) -> float:
+        """The per-slot gap sum ``G(t)`` feeding the virtual queue.
+
+        Summed left-to-right in ascending user order — the order in which
+        the loop engine's :class:`~repro.core.staleness.GapTracker` dict was
+        populated (every user is decided in slot 0), so both backends feed
+        the virtual queue the same ``float``.
+        """
+        return float(sum(self.gaps.tolist()))
+
+    def final_battery_soc(self) -> List[float]:
+        """End-of-run state of charge of every battery-powered user."""
+        return [
+            float(self.battery_charge_j[u] / self.battery_capacity_j[u])
+            for u in range(self.num_users)
+            if self.has_battery[u]
+        ]

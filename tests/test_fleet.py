@@ -1,0 +1,202 @@
+"""Equivalence of the vectorized fleet backend and the per-user loop engine.
+
+The contract (see :mod:`repro.sim.fleet`) is *bitwise* identity, not
+approximate agreement: with the same configuration and seed, the two
+backends must produce the same decisions, the same Eq. (10) energy traces,
+the same Eq. (12) gap traces, the same queue backlogs and the same applied
+updates — every floating-point value compared with ``==``.  The loop engine
+stays in the tree as the executable specification; these tests are what
+keep the fast path honest.
+
+The comparison configs keep the paper's 25-user fleet but shrink the
+horizon and the synthetic dataset so the whole module runs in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.offline import OfflinePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.policies import ImmediatePolicy, SyncPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.fleet import FleetEnergyAccountant
+
+
+def _paper_fleet_config(**overrides) -> SimulationConfig:
+    """25 users (the Section VII.B fleet size), short horizon, small data."""
+    base = dict(
+        num_users=25,
+        total_slots=400,
+        app_arrival_prob=0.01,
+        seed=0,
+        num_train_samples=600,
+        num_test_samples=300,
+        eval_interval_slots=200,
+        trace_interval_slots=10,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def _run_both(config: SimulationConfig, make_policy):
+    """Run the same workload under both backends with fresh policy instances.
+
+    Each engine builds its own dataset from the config seed — identical
+    data, so the comparison is still run-for-run exact.
+    """
+    results = {}
+    policies = {}
+    for backend in ("loop", "fleet"):
+        policy = make_policy()
+        engine = SimulationEngine(config, policy, backend=backend)
+        results[backend] = engine.run()
+        policies[backend] = policy
+    return results["loop"], results["fleet"], policies["loop"], policies["fleet"]
+
+
+def _assert_bitwise_equal(config, loop, fleet):
+    """Every observable trace of the two runs must match exactly."""
+    # Decisions and job mix.
+    assert loop.trace.decisions == fleet.trace.decisions
+    assert loop.trace.corun_jobs == fleet.trace.corun_jobs
+    assert loop.trace.background_jobs == fleet.trace.background_jobs
+    # Eq. (10) energy: totals, per-user breakdowns and the per-slot series.
+    assert loop.total_energy_j() == fleet.total_energy_j()
+    assert loop.accountant.per_slot_totals() == fleet.accountant.per_slot_totals()
+    assert loop.accountant.training_related_j() == fleet.accountant.training_related_j()
+    for user in range(config.num_users):
+        assert loop.accountant.user_breakdown(user) == fleet.accountant.user_breakdown(user)
+    # Slot-sampled series (energy, queues, gap sum) and applied updates.
+    assert loop.trace.slot_samples == fleet.trace.slot_samples
+    assert loop.trace.update_samples == fleet.trace.update_samples
+    # Eq. (12) per-user gap traces.
+    for user in range(config.num_users):
+        assert loop.trace.user_gap_trace(user) == fleet.trace.user_gap_trace(user)
+    # Queue backlogs, model updates, accuracy curve, batteries, comms.
+    assert loop.queue_history == fleet.queue_history
+    assert loop.virtual_queue_history == fleet.virtual_queue_history
+    assert loop.num_updates == fleet.num_updates
+    assert loop.decision_evaluations == fleet.decision_evaluations
+    assert loop.accuracy.accuracies() == fleet.accuracy.accuracies()
+    assert loop.accuracy.times() == fleet.accuracy.times()
+    assert loop.final_battery_soc == fleet.final_battery_soc
+    assert loop.comm_bytes_mb == fleet.comm_bytes_mb
+    assert loop.comm_failures == fleet.comm_failures
+    assert loop.device_names == fleet.device_names
+
+
+class TestBackendEquivalence:
+    def test_online_policy_identical(self):
+        """The headline case: the Lyapunov scheduler at the paper's 25 users."""
+        config = _paper_fleet_config()
+        loop, fleet, loop_policy, fleet_policy = _run_both(
+            config, lambda: OnlinePolicy(v=4000.0, staleness_bound=500.0)
+        )
+        _assert_bitwise_equal(config, loop, fleet)
+        # The per-decision log (slot, user, decision) matches entry for entry,
+        # including the same-slot lag coupling between scheduled users.
+        assert loop_policy.decision_log == fleet_policy.decision_log
+        assert loop_policy.messages_to_server == fleet_policy.messages_to_server
+        assert loop_policy.messages_to_users == fleet_policy.messages_to_users
+
+    @pytest.mark.parametrize("v", [0.0, 2000.0, 100000.0])
+    def test_online_policy_identical_across_v(self, v):
+        """Low V schedules eagerly (heavy same-slot coupling), high V idles."""
+        config = _paper_fleet_config(total_slots=250, seed=1)
+        loop, fleet, loop_policy, fleet_policy = _run_both(
+            config, lambda: OnlinePolicy(v=v, staleness_bound=500.0)
+        )
+        _assert_bitwise_equal(config, loop, fleet)
+        assert loop_policy.decision_log == fleet_policy.decision_log
+
+    def test_immediate_policy_identical(self):
+        config = _paper_fleet_config(seed=2, total_slots=300)
+        loop, fleet, _, _ = _run_both(config, ImmediatePolicy)
+        _assert_bitwise_equal(config, loop, fleet)
+
+    def test_sync_policy_identical(self):
+        config = _paper_fleet_config(seed=3, total_slots=300)
+        loop, fleet, _, _ = _run_both(config, SyncPolicy)
+        _assert_bitwise_equal(config, loop, fleet)
+
+    def test_offline_policy_identical_via_fallback(self):
+        """The knapsack planner has no batched rule; the generic per-user
+        fallback of ``decide_all`` must still reproduce the loop exactly."""
+        config = _paper_fleet_config(seed=4, total_slots=300)
+        loop, fleet, _, _ = _run_both(
+            config, lambda: OfflinePolicy(staleness_bound=1000.0, window_slots=100)
+        )
+        _assert_bitwise_equal(config, loop, fleet)
+
+    def test_battery_and_overhead_identical(self):
+        """Battery gating/charging and the Table III decision overhead are
+        vectorized too; both must match the scalar models bit for bit."""
+        config = _paper_fleet_config(
+            seed=5,
+            total_slots=300,
+            battery_capacity_j=5000.0,
+            battery_charge_rate_w=2.0,
+            min_battery_soc=0.3,
+            include_scheduler_overhead=True,
+            diurnal_arrivals=True,
+        )
+        loop, fleet, _, _ = _run_both(config, lambda: OnlinePolicy(v=4000.0))
+        _assert_bitwise_equal(config, loop, fleet)
+        assert fleet.final_battery_soc  # batteries were actually in play
+        assert any(soc < 1.0 for soc in fleet.final_battery_soc)
+
+
+class TestFleetScale:
+    def test_thousand_user_run_completes(self):
+        """Fleet size is a NumPy axis: a 1000-user online run finishes.
+
+        The horizon is short (training jobs span hundreds of slots, so no
+        local epochs complete) — the point is that the per-slot cost of
+        decisions, device advancement and energy accounting no longer
+        scales with Python-loop overhead.
+        """
+        config = SimulationConfig(
+            num_users=1000,
+            total_slots=60,
+            app_arrival_prob=0.01,
+            seed=0,
+            num_train_samples=1000,
+            num_test_samples=200,
+            hidden_dims=(32,),
+            eval_interval_slots=60,
+            trace_interval_slots=20,
+        )
+        policy = OnlinePolicy(v=4000.0, staleness_bound=500.0)
+        result = SimulationEngine(config, policy, backend="fleet").run()
+        assert result.total_energy_j() > 0.0
+        assert policy.decision_cost_evaluations() >= config.num_users
+        assert len(result.queue_history) == config.total_slots + 1
+        assert len(result.accountant.per_slot_totals()) == config.total_slots
+
+
+class TestFleetEnergyAccountant:
+    def test_matches_loop_reduction_order(self):
+        """total_j must be the left-to-right Python sum of per-user totals."""
+        accountant = FleetEnergyAccountant(3)
+        energy = np.array([1.1, 2.2, 3.3])
+        idle = np.array([True, False, False])
+        app = np.array([False, True, False])
+        training = np.array([False, False, True])
+        corun = np.zeros(3, dtype=bool)
+        overhead = np.array([0.5, 0.0, 0.0])
+        accountant.record_slot(energy, idle, app, training, corun, overhead)
+        expected = sum([1.1 + 0.5, 2.2, 3.3])
+        assert accountant.total_j() == expected
+        assert accountant.total_kj() == expected / 1000.0
+        assert accountant.user_breakdown(0).idle_j == 1.1
+        assert accountant.user_breakdown(0).overhead_j == 0.5
+        assert accountant.training_related_j() == 3.3
+        accountant.close_slot()
+        assert accountant.per_slot_totals() == [expected]
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            FleetEnergyAccountant(0)
