@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import __version__ as REPRO_VERSION
 from repro.core.offline import OfflinePolicy
 from repro.core.online import OnlinePolicy
 from repro.core.policies import ImmediatePolicy, SchedulingPolicy, SyncPolicy
@@ -92,6 +93,8 @@ class RunSpec:
         config: :class:`~repro.sim.config.SimulationConfig` field overrides;
             unspecified fields keep the paper's Section VII.B defaults.
         backend: simulation backend (``"fleet"`` vectorized by default).
+        fast_forward: enable the fleet backend's event-horizon fast-forward
+            path (on by default; ignored by the loop backend).
         label: optional display name for tables and progress lines.
     """
 
@@ -99,6 +102,7 @@ class RunSpec:
     policy_kwargs: Dict[str, Any] = field(default_factory=dict)
     config: Dict[str, Any] = field(default_factory=dict)
     backend: str = "fleet"
+    fast_forward: bool = True
     label: Optional[str] = None
 
     def build_config(self) -> SimulationConfig:
@@ -122,14 +126,19 @@ class RunSpec:
         """Canonical JSON form (sorted keys) used for hashing and caching.
 
         The display label is deliberately excluded: it does not change the
-        simulated system, so relabelled grids still hit the cache.
+        simulated system, so relabelled grids still hit the cache.  The
+        package version, the engine backend and the fast-forward switch are
+        all *included*: a code release or an execution-mode switch must not
+        silently serve summaries simulated by different code.
         """
         payload = {
             "cache_version": CACHE_VERSION,
+            "repro_version": REPRO_VERSION,
             "policy": self.policy,
             "policy_kwargs": self.policy_kwargs,
             "config": self.config,
             "backend": self.backend,
+            "fast_forward": self.fast_forward,
         }
         return json.dumps(payload, sort_keys=True, default=str)
 
@@ -188,7 +197,10 @@ def run_spec(spec: RunSpec) -> SimulationResult:
     worker, which reproduces the shared-dataset sequential runs exactly.
     """
     return SimulationEngine(
-        spec.build_config(), spec.build_policy(), backend=spec.backend
+        spec.build_config(),
+        spec.build_policy(),
+        backend=spec.backend,
+        fast_forward=spec.fast_forward,
     ).run()
 
 
@@ -336,6 +348,7 @@ def sweep_grid(
     staleness_bound: float = 500.0,
     base_config: Optional[Dict[str, Any]] = None,
     backend: str = "fleet",
+    fast_forward: bool = True,
 ) -> List[RunSpec]:
     """Cartesian (policy, V, seed, arrival-rate) grid of :class:`RunSpec`.
 
@@ -351,6 +364,7 @@ def sweep_grid(
         staleness_bound: ``Lb`` handed to the online scheduler.
         base_config: shared :class:`SimulationConfig` overrides.
         backend: engine backend for every spec.
+        fast_forward: fast-forward switch for every spec (fleet backend).
     """
     base = dict(base_config or {})
     specs: List[RunSpec] = []
@@ -374,6 +388,7 @@ def sweep_grid(
                                 },
                                 config=config,
                                 backend=backend,
+                                fast_forward=fast_forward,
                                 label=f"online V={v:g}{suffix}",
                             )
                         )
@@ -383,6 +398,7 @@ def sweep_grid(
                             policy=policy,
                             config=config,
                             backend=backend,
+                            fast_forward=fast_forward,
                             label=f"{policy}{suffix}",
                         )
                     )

@@ -162,7 +162,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args)
     dataset = _build_dataset(config)
     result = SimulationEngine(
-        config, _build_policy(args), dataset=dataset, backend=args.backend
+        config, _build_policy(args), dataset=dataset, backend=args.backend,
+        fast_forward=not args.no_fast_forward,
     ).run()
     print(format_table(_RESULT_HEADERS, [_result_row(args.policy, result, None)],
                        float_format=".3f", title="Simulation summary"))
@@ -189,7 +190,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for name, policy in policies.items():
         print(f"running {name} ...", file=sys.stderr)
         results[name] = SimulationEngine(
-            config, policy, dataset=dataset, backend=args.backend
+            config, policy, dataset=dataset, backend=args.backend,
+            fast_forward=not args.no_fast_forward,
         ).run()
     baseline = results["immediate"]
     rows = [_result_row(name, result, baseline) for name, result in results.items()]
@@ -211,7 +213,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config_kwargs = _config_kwargs(args)
     baseline_spec = RunSpec(
         policy="immediate", config=dict(config_kwargs), backend=args.backend,
-        label="immediate",
+        fast_forward=not args.no_fast_forward, label="immediate",
     )
     online_specs = sweep_grid(
         v_values=args.v_values,
@@ -219,6 +221,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         staleness_bound=args.staleness_bound,
         base_config=config_kwargs,
         backend=args.backend,
+        fast_forward=not args.no_fast_forward,
     )
     suite = ExperimentSuite(cache_dir=args.cache_dir, jobs=args.jobs)
     summaries = suite.run([baseline_spec, *online_specs])
@@ -263,6 +266,10 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=["fleet", "loop"], default="fleet",
                         help="vectorized fleet backend (default) or the per-user "
                              "reference loop; both give identical results")
+    parser.add_argument("--no-fast-forward", action="store_true",
+                        help="disable the fleet backend's event-horizon "
+                             "fast-forward (results are identical either way; "
+                             "this only trades speed for a per-slot execution)")
     parser.add_argument("--plot", action="store_true", help="print ASCII accuracy curves")
 
 

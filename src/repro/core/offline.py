@@ -258,9 +258,24 @@ class OfflinePolicy(SchedulingPolicy):
     def attach_oracle(self, oracle) -> None:
         """Provide the arrival oracle (``repro.sim.arrivals.ArrivalSchedule``).
 
-        The engine calls this before the run starts; the policy cannot work
-        without future knowledge, which is exactly why it is offline-only.
+        The engine calls this once, when it is constructed; the policy cannot
+        work without future knowledge, which is exactly why it is
+        offline-only.  Attachment is idempotent — re-attaching the same
+        oracle is a no-op — but swapping in a *different* oracle after any
+        window has been planned raises, so oracle state cannot be silently
+        rebuilt mid-experiment.
+
+        Raises:
+            RuntimeError: if a different oracle is attached after planning
+                has started (call :meth:`reset` first to reuse the policy).
         """
+        if oracle is self._oracle:
+            return
+        if self._last_planned_window != -1:
+            raise RuntimeError(
+                "OfflinePolicy is already planning against another oracle; "
+                "call reset() before attaching a different arrival schedule"
+            )
         self._oracle = oracle
 
     # -- planning ----------------------------------------------------------------

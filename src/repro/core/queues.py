@@ -62,6 +62,21 @@ class TaskQueue:
         self._history.append(self._length)
         return self._length
 
+    def advance_idle(self, slots: int) -> float:
+        """Apply ``slots`` consecutive no-traffic updates at once.
+
+        With no arrivals and no service, ``max(Q + 0 - 0, 0)`` returns ``Q``
+        unchanged (bitwise: adding and subtracting exact zeros is the
+        identity and ``Q >= 0`` always holds), so ``slots`` calls of
+        ``update(0, 0)`` append the current backlog ``slots`` times.  Used by
+        the fast-forward engine to backfill quiet slots in O(slots) appends
+        without the per-call arithmetic.
+        """
+        if slots < 0:
+            raise ValueError("slots must be non-negative")
+        self._history.extend([self._length] * slots)
+        return self._length
+
     def history(self) -> List[float]:
         """Backlog after every update (index 0 is the initial value)."""
         return list(self._history)
@@ -107,6 +122,39 @@ class VirtualQueue:
         self._length = max(self._length + gap_sum - self.staleness_bound, 0.0)
         self._history.append(self._length)
         return self._length
+
+    def advance_constant(self, gap_sum: float, slots: int) -> List[float]:
+        """Apply ``slots`` Eq. (16) updates with a constant gap sum at once.
+
+        The recursion ``H <- max(H + G - Lb, 0)`` with constant ``G`` is
+        iterated exactly — each step repeats :meth:`update`'s arithmetic —
+        but the loop short-circuits at the floating-point fixpoint (once an
+        iteration leaves ``H`` unchanged, every further iteration does too,
+        e.g. ``H = 0`` whenever ``G <= Lb``) and backfills the remaining
+        history entries with that constant.  Used by the fast-forward engine
+        to advance the virtual queue over quiet slots.
+
+        Returns:
+            The ``slots`` appended backlog values, in slot order.
+        """
+        if gap_sum < 0:
+            raise ValueError("gap_sum must be non-negative")
+        if slots < 0:
+            raise ValueError("slots must be non-negative")
+        values: List[float] = []
+        length = self._length
+        bound = self.staleness_bound
+        for done in range(slots):
+            new_length = max(length + gap_sum - bound, 0.0)
+            if new_length == length:
+                values.extend([new_length] * (slots - done))
+                length = new_length
+                break
+            length = new_length
+            values.append(length)
+        self._length = length
+        self._history.extend(values)
+        return values
 
     def history(self) -> List[float]:
         """Backlog after every update (index 0 is the initial value)."""

@@ -175,6 +175,8 @@ class EnergyAccountant:
     def __init__(self) -> None:
         self._per_user: Dict[int, EnergyBreakdown] = defaultdict(EnergyBreakdown)
         self._per_slot_total: list = []
+        self._running_total_j = 0.0
+        self._slot_energy_j = 0.0
 
     def record(
         self,
@@ -198,10 +200,19 @@ class EnergyAccountant:
         else:
             raise ValueError(f"unknown device state: {state!r}")
         breakdown.overhead_j += overhead_j
+        self._slot_energy_j += energy_j + overhead_j
 
     def close_slot(self) -> None:
-        """Snapshot the running system-wide total at the end of a slot."""
-        self._per_slot_total.append(self.total_j())
+        """Snapshot the running system-wide total at the end of a slot.
+
+        The cumulative series is maintained incrementally — the slot's
+        per-user energies are summed in user (recording) order and added to
+        a running total, which is the same left-to-right reduction the fleet
+        accountant performs on its arrays.
+        """
+        self._running_total_j += self._slot_energy_j
+        self._per_slot_total.append(self._running_total_j)
+        self._slot_energy_j = 0.0
 
     def user_breakdown(self, user_id: int) -> EnergyBreakdown:
         """Energy breakdown for one user."""

@@ -96,6 +96,7 @@ class ArrivalSchedule:
         for user, apps in self._arrivals.items():
             for app in apps:
                 self._by_slot.setdefault(user, {})[app.arrival_slot] = app
+        self._launch_slots: Optional[List[int]] = None
 
     # -- generation --------------------------------------------------------------
 
@@ -146,6 +147,20 @@ class ArrivalSchedule:
     def app_starting_at(self, user_id: int, slot: int) -> Optional[ForegroundApp]:
         """The application the user launches exactly at ``slot``, if any."""
         return self._by_slot.get(user_id, {}).get(slot)
+
+    def launch_slots(self) -> List[int]:
+        """Sorted distinct slots at which at least one application launches.
+
+        This is the event-iterator view of the schedule: between two
+        consecutive launch slots (and absent expiries, completions and
+        arrivals) nothing application-related happens, which is what lets the
+        fast-forward engine advance whole stretches of slots at once.
+        """
+        if self._launch_slots is None:
+            self._launch_slots = sorted(
+                {app.arrival_slot for apps in self._arrivals.values() for app in apps}
+            )
+        return list(self._launch_slots)
 
     def arrivals_for(self, user_id: int) -> List[ForegroundApp]:
         """All arrivals of ``user_id`` in arrival order."""

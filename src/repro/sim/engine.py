@@ -26,7 +26,7 @@ eventual update — exactly the trade-off the schedulers navigate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.comm.messages import ModelDownload, ModelUpload
 from repro.comm.network import NetworkModel
 from repro.comm.transport import ModelTransport
 from repro.core.offline import OfflinePolicy
+from repro.core.online import OnlinePolicy
 from repro.core.policies import (
     Aggregation,
     Decision,
@@ -164,6 +165,16 @@ class SimulationEngine:
             traces for the same configuration and seed
             (``tests/test_fleet.py``); the loop backend is retained as the
             executable specification and for that equivalence check.
+        fast_forward: enable the event-horizon fast-forward path of the
+            fleet backend (default on; ignored by the loop backend).  At the
+            top of each slot the engine checks whether the slot is *quiet* —
+            no pending arrival, empty ready pool, no application launch or
+            expiry, no co-running job and no training completion due — and,
+            if so, advances all slots up to the next event in one fused
+            kernel (:meth:`repro.sim.fleet.FleetState.advance_quiet`).  The
+            fast-forward path is bitwise-identical to the slot-by-slot fleet
+            backend: decisions, energy, gap, queue and accuracy traces all
+            match exactly (``tests/test_fleet.py`` enforces this).
     """
 
     BACKENDS = ("fleet", "loop")
@@ -175,10 +186,12 @@ class SimulationEngine:
         dataset: Optional[SyntheticCifar10] = None,
         measurement_table: Optional[MeasurementTable] = None,
         backend: str = "fleet",
+        fast_forward: bool = True,
     ) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
         self.backend = backend
+        self.fast_forward = bool(fast_forward)
         self.config = config
         self.policy = policy
         self.table = measurement_table or MeasurementTable()
@@ -289,8 +302,6 @@ class SimulationEngine:
             table=self.table,
             app_weights=config.app_weights,
         )
-        if isinstance(policy, OfflinePolicy):
-            policy.attach_oracle(self.arrivals)
         self.transport = ModelTransport(
             NetworkModel(rng=rngs["network"], wifi_probability=config.wifi_probability),
             account_radio_energy=config.account_radio_energy,
@@ -303,6 +314,7 @@ class SimulationEngine:
         self.accuracy = AccuracyTracker()
         self._user_states = [_UserState() for _ in range(config.num_users)]
         self._sync_buffer: Dict[int, LocalUpdate] = {}
+        self._eval_cache: Optional[Tuple[int, float, float]] = None
         self._has_run = False
 
     # -- helpers ------------------------------------------------------------------
@@ -383,9 +395,37 @@ class SimulationEngine:
         )
         return realized_gap
 
-    def _maybe_complete_sync_round(self, slot: int) -> List[int]:
-        """Aggregate the synchronous round if every user has uploaded."""
-        if len(self._sync_buffer) < self.config.num_users:
+    def _maybe_complete_sync_round(
+        self, slot: int, stalled_fn: Optional[Callable[[], List[int]]] = None
+    ) -> List[int]:
+        """Aggregate the synchronous round once the participating quorum uploaded.
+
+        The round completes when every user *able to participate* has
+        uploaded.  A battery-gated user with a zero charge rate can never
+        recover (idle slots only drain the battery), so waiting for it would
+        deadlock every subsequent round; such *stalled* users are excluded
+        from the quorum and are not released into the next round.  Without
+        batteries (or with a positive charge rate, where gated users recover
+        and the round legitimately waits) the quorum is all ``num_users``,
+        which reproduces the original barrier exactly.
+
+        Args:
+            slot: current slot (aggregation timestamp).
+            stalled_fn: backend-specific callable returning the ascending
+                user ids that are permanently unable to join the round; only
+                invoked when the buffer is short of the full fleet.
+
+        Returns:
+            Ascending user ids released into the next round.
+        """
+        if not self._sync_buffer:
+            return []
+        required = self.config.num_users
+        stalled: List[int] = []
+        if len(self._sync_buffer) < required and stalled_fn is not None:
+            stalled = [u for u in stalled_fn() if u not in self._sync_buffer]
+            required -= len(stalled)
+        if len(self._sync_buffer) < required:
             return []
         time_s = slot * self.config.slot_seconds
         updates = [self._sync_buffer[user] for user in sorted(self._sync_buffer)]
@@ -408,17 +448,33 @@ class SimulationEngine:
                 )
             )
         self._sync_buffer.clear()
+        stalled_set = set(stalled)
         released = []
         for user, state in enumerate(self._user_states):
             state.uploaded_this_round = False
-            released.append(user)
+            if user not in stalled_set:
+                released.append(user)
         return released
 
     def _evaluate(self, slot: int) -> None:
-        """Evaluate the current global model on the held-out test set."""
-        self.eval_model.set_flat_params(self.server.global_params())
-        x_test, y_test = self.dataset.test_set()
-        accuracy, loss = evaluate_model(self.eval_model, x_test, y_test)
+        """Evaluate the current global model on the held-out test set.
+
+        Evaluation is deterministic in the global parameters, which only
+        change when the server version advances — so the (accuracy, loss)
+        pair is cached per version.  The fast-forward path relies on this to
+        replay evaluation ticks inside a quiet region (where the model is
+        frozen) at the cost of a record, not a forward pass; the slot-by-slot
+        paths get the same values either way.
+        """
+        version = self.server.version
+        cached = self._eval_cache
+        if cached is not None and cached[0] == version:
+            accuracy, loss = cached[1], cached[2]
+        else:
+            self.eval_model.set_flat_params(self.server.global_params())
+            x_test, y_test = self.dataset.test_set()
+            accuracy, loss = evaluate_model(self.eval_model, x_test, y_test)
+            self._eval_cache = (version, accuracy, loss)
         self.accuracy.record(
             time_s=slot * self.config.slot_seconds,
             accuracy=accuracy,
@@ -439,6 +495,15 @@ class SimulationEngine:
         if self._has_run:
             raise RuntimeError("this engine has already run; create a new one")
         self._has_run = True
+        self.policy.reset()
+        # The one and only oracle attachment, right after the reset: the
+        # offline policy receives this run's pre-generated arrival schedule
+        # exactly once.  attach_oracle is idempotent and raises if planning
+        # already started against a different schedule, so oracle state can
+        # never be silently rebuilt mid-experiment — while a policy reused
+        # across engines sequentially still works (each run resets first).
+        if isinstance(self.policy, OfflinePolicy):
+            self.policy.attach_oracle(self.arrivals)
         if self.backend == "fleet":
             return self._run_fleet()
         return self._run_loop()
@@ -447,9 +512,11 @@ class SimulationEngine:
         """The original per-user reference implementation of the slot loop."""
         config = self.config
         sync_mode = self.policy.aggregation is Aggregation.SYNC
-        self.policy.reset()
-        if isinstance(self.policy, OfflinePolicy):
-            self.policy.attach_oracle(self.arrivals)
+        stalled_fn = (
+            self._loop_stalled_sync_users
+            if config.battery_capacity_j is not None
+            else None
+        )
 
         # All users download the initial model and arrive at slot 0.
         pending_arrivals = list(range(config.num_users))
@@ -556,7 +623,7 @@ class SimulationEngine:
                         pending_arrivals.append(user)
 
             if sync_mode:
-                released = self._maybe_complete_sync_round(slot)
+                released = self._maybe_complete_sync_round(slot, stalled_fn)
                 pending_arrivals.extend(released)
 
             # 5. Close the slot: queues, traces, evaluation.
@@ -610,6 +677,24 @@ class SimulationEngine:
             final_battery_soc=[b.soc for b in self.batteries if b is not None],
         )
 
+    def _loop_stalled_sync_users(self) -> List[int]:
+        """Loop-backend view of the permanently-stalled synchronous users.
+
+        Mirrors :meth:`repro.sim.fleet.FleetState.stalled_sync_users`: below
+        the participation threshold, zero charge rate (no recovery path) and
+        not currently training (a training user finishes and uploads).
+        """
+        stalled = []
+        for user, battery in enumerate(self.batteries):
+            if (
+                battery is not None
+                and battery.charge_rate_w == 0.0
+                and not battery.can_participate()
+                and not self.devices[user].training_running
+            ):
+                stalled.append(user)
+        return stalled
+
     # -- vectorized backend ------------------------------------------------------------
 
     def _run_fleet(self) -> SimulationResult:
@@ -623,14 +708,20 @@ class SimulationEngine:
         Per-user Python work remains only where real events happen: app
         launches, schedule decisions, and finished training jobs (which run
         the actual NumPy local epoch, exactly as before).
+
+        With ``fast_forward`` enabled (the default), the engine additionally
+        vectorizes *across time*: whenever the upcoming slot is quiet — no
+        pending arrival, empty ready pool, no application event, no
+        co-running job, no training completion due — it advances every slot
+        up to the next event horizon in one fused kernel and backfills the
+        per-slot observables (queues, cumulative energy, traces, evaluation
+        ticks) with the exact values the slot-by-slot path would have
+        produced.  Event slots always run through the normal path below.
         """
         from repro.sim.fleet import FleetState
 
         config = self.config
         sync_mode = self.policy.aggregation is Aggregation.SYNC
-        self.policy.reset()
-        if isinstance(self.policy, OfflinePolicy):
-            self.policy.attach_oracle(self.arrivals)
         fleet = FleetState(
             config=config,
             device_specs=self.device_specs,
@@ -639,12 +730,24 @@ class SimulationEngine:
             clients=self.clients,
             arrivals=self.arrivals,
         )
+        stalled_fn = (
+            fleet.stalled_sync_users if config.battery_capacity_j is not None else None
+        )
 
         # All users download the initial model and arrive at slot 0.
         pending_arrivals = list(range(config.num_users))
         self._evaluate(0)
 
-        for slot in range(config.total_slots):
+        fast_forward = self.fast_forward
+
+        slot = 0
+        total_slots = config.total_slots
+        while slot < total_slots:
+            if fast_forward and not pending_arrivals:
+                advanced = self._fast_forward_fleet(fleet, slot)
+                if advanced:
+                    slot += advanced
+                    continue
             time_s = slot * config.slot_seconds
 
             # 1. Applications: expire finished ones, launch new arrivals.
@@ -724,7 +827,7 @@ class SimulationEngine:
                     pending_arrivals.append(user)
 
             if sync_mode:
-                released = self._maybe_complete_sync_round(slot)
+                released = self._maybe_complete_sync_round(slot, stalled_fn)
                 if released:
                     fleet.gaps[np.asarray(released, dtype=np.int64)] = 0.0
                 pending_arrivals.extend(released)
@@ -751,10 +854,10 @@ class SimulationEngine:
                         num_ready=context.num_ready,
                     )
                 )
-                for user in range(config.num_users):
-                    self.trace.record_user_gap(user, time_s, float(fleet.gaps[user]))
+                self.trace.record_user_gaps(time_s, fleet.gaps.tolist())
             if slot > 0 and slot % config.eval_interval_slots == 0:
                 self._evaluate(slot)
+            slot += 1
 
         self._evaluate(config.total_slots)
 
@@ -777,3 +880,124 @@ class SimulationEngine:
             comm_failures=self.transport.failure_count(),
             final_battery_soc=fleet.final_battery_soc(),
         )
+
+    # -- event-horizon fast forward ----------------------------------------------------
+
+    def _fast_forward_fleet(self, fleet, slot: int) -> int:
+        """Advance through the quiet slots starting at ``slot``; returns the count.
+
+        Called with no pending arrivals.  Returns 0 when the slot is not
+        quiet (a decision is due this slot), in which case the caller falls
+        through to the normal slot path.  Otherwise the fleet state (device
+        advancement *and* application churn, which the kernel replays at
+        in-region segment boundaries), the policy queues, the energy
+        accounting, the traces and the evaluation ticks are all advanced to
+        exactly the state the slot-by-slot path would have reached — see
+        :meth:`repro.sim.fleet.FleetState.advance_quiet` for the kernel's
+        bitwise-equivalence argument.
+
+        During a quiet region no synchronous round can complete either: the
+        upload buffer is frozen (no training finishes) and the stalled-user
+        set cannot grow (every ready user is already battery-gated, gated
+        users with a zero charge rate stay gated, and gated users with a
+        positive rate are not stalled — their recovery terminates the region
+        instead), so skipping the per-slot round check is exact.
+        """
+        config = self.config
+        if len(fleet.ready_users()):
+            return 0  # decisions due this slot
+        horizon = fleet.quiet_horizon(slot, config.total_slots)
+        if horizon <= 0:
+            return 0
+        num_training = int(fleet.training_active.sum())
+        advanced, tick_offsets, tick_totals = fleet.advance_quiet(
+            slot, horizon, config.trace_interval_slots
+        )
+        if advanced <= 0:
+            return 0
+        gap_sum = fleet.total_gap()
+        policy = self.policy
+
+        # Policy bookkeeping for the skipped slots.  The online policy's slot
+        # hooks reduce to the exact multi-slot queue recursions; policies that
+        # inherit the no-op base hooks need nothing; anything else gets its
+        # begin/end hooks invoked per slot with the contexts the slot-by-slot
+        # path would have passed (e.g. the offline policy's window planner).
+        tick_queue: Optional[List[Tuple[float, float]]] = None
+        if type(policy) is OnlinePolicy:
+            queue_length = policy.task_queue.advance_idle(advanced)
+            virtual_values = policy.virtual_queue.advance_constant(gap_sum, advanced)
+            tick_queue = [
+                (queue_length, virtual_values[offset]) for offset in tick_offsets
+            ]
+        else:
+            begin_hook = type(policy).begin_slot is not SchedulingPolicy.begin_slot
+            end_hook = type(policy).end_slot is not SchedulingPolicy.end_slot
+            if begin_hook or end_hook:
+                tick_set = set(tick_offsets)
+                tick_queue = []
+                for offset in range(advanced):
+                    context = SlotContext(
+                        slot=slot + offset,
+                        slot_seconds=config.slot_seconds,
+                        num_arrivals=0,
+                        num_ready=0,
+                        num_training=num_training,
+                        num_users=config.num_users,
+                    )
+                    if begin_hook:
+                        policy.begin_slot(context)
+                    if end_hook:
+                        policy.end_slot(context, 0, gap_sum)
+                    if offset in tick_set:
+                        tick_queue.append(
+                            (
+                                getattr(
+                                    getattr(policy, "task_queue", None), "length", 0.0
+                                ),
+                                getattr(
+                                    getattr(policy, "virtual_queue", None), "length", 0.0
+                                ),
+                            )
+                        )
+
+        # Trace backfill: the sampled slots inside the region carry the
+        # constant gap sum and ready/training counts, the replayed queue
+        # backlogs and the exact cumulative energy captured by the kernel.
+        if tick_offsets:
+            gap_list = fleet.gaps.tolist()
+            for index, offset in enumerate(tick_offsets):
+                sample_slot = slot + offset
+                time_s = sample_slot * config.slot_seconds
+                if tick_queue is not None:
+                    queue_length, virtual_length = tick_queue[index]
+                else:
+                    queue_length = getattr(
+                        getattr(policy, "task_queue", None), "length", 0.0
+                    )
+                    virtual_length = getattr(
+                        getattr(policy, "virtual_queue", None), "length", 0.0
+                    )
+                self.trace.maybe_record_slot(
+                    SlotSample(
+                        slot=sample_slot,
+                        time_s=time_s,
+                        cumulative_energy_j=tick_totals[index],
+                        queue_length=queue_length,
+                        virtual_queue_length=virtual_length,
+                        gap_sum=gap_sum,
+                        num_training=num_training,
+                        num_ready=0,
+                    )
+                )
+                self.trace.record_user_gaps(time_s, gap_list)
+
+        # Evaluation ticks: the global model is frozen across the region, so
+        # the version-keyed cache in _evaluate makes each replay a record.
+        interval = config.eval_interval_slots
+        first = ((slot + interval - 1) // interval) * interval
+        if first == 0:
+            first = interval
+        for eval_slot in range(first, slot + advanced, interval):
+            self._evaluate(eval_slot)
+        return advanced

@@ -44,6 +44,8 @@ coincide with ascending-user array reductions — rule 2 relies on this.
 
 from __future__ import annotations
 
+import bisect
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,6 +81,13 @@ class FleetEnergyAccountant:
     accountant computes ``total_j`` as a left-to-right Python ``sum`` of
     per-user totals in user order, so :meth:`total_j` does exactly that
     over ``tolist()`` values instead of calling ``np.sum``.
+
+    The cumulative per-slot total series is maintained *incrementally*: every
+    recorded slot contributes its left-to-right per-user energy sum to a
+    running total (the loop accountant mirrors this).  The fast-forward
+    kernel exploits this — during a quiet region the per-slot energy sum is
+    constant, so :meth:`backfill_quiet` can extend the series with one float
+    add per skipped slot.
     """
 
     def __init__(self, num_users: int) -> None:
@@ -91,6 +100,8 @@ class FleetEnergyAccountant:
         self.corunning_j = np.zeros(num_users)
         self.overhead_j = np.zeros(num_users)
         self._per_slot_total: List[float] = []
+        self._running_total_j = 0.0
+        self._slot_energy_j = 0.0
 
     # -- recording -----------------------------------------------------------------
 
@@ -109,10 +120,28 @@ class FleetEnergyAccountant:
         self.training_j[training_mask] += energy_j[training_mask]
         self.corunning_j[corun_mask] += energy_j[corun_mask]
         self.overhead_j += overhead_j
+        self._slot_energy_j = float(sum((energy_j + overhead_j).tolist()))
 
     def close_slot(self) -> None:
         """Snapshot the running system-wide total at the end of a slot."""
-        self._per_slot_total.append(self.total_j())
+        self._running_total_j += self._slot_energy_j
+        self._per_slot_total.append(self._running_total_j)
+        self._slot_energy_j = 0.0
+
+    def backfill_quiet(self, slot_energy_j: float, slots: int) -> None:
+        """Extend the per-slot series for ``slots`` quiet slots at once.
+
+        During a quiet region every slot draws the same fleet-wide energy
+        ``slot_energy_j``, so the cumulative series advances by a constant
+        increment — exactly what ``slots`` repeated
+        :meth:`record_slot`/:meth:`close_slot` pairs would have appended.
+        """
+        running = self._running_total_j
+        append = self._per_slot_total.append
+        for _ in range(slots):
+            running += slot_energy_j
+            append(running)
+        self._running_total_j = running
 
     # -- accessors (EnergyAccountant-compatible) -------------------------------------
 
@@ -227,8 +256,6 @@ class FleetState:
         )
 
         # -- thermal model (first-order RC, one instance read per device) -----
-        import math
-
         thermals = [ThermalModel(spec) for spec in device_specs]
         self.ambient_c = np.array([t.ambient_c for t in thermals])
         self.thermal_alpha = np.array(
@@ -286,6 +313,9 @@ class FleetState:
                 self._launches.setdefault(app.arrival_slot, []).append((user, app))
         for slot_apps in self._launches.values():
             slot_apps.sort(key=lambda pair: pair[0])
+        #: Event-iterator view of the schedule (sorted distinct launch slots),
+        #: used by the fast-forward kernel to place segment boundaries.
+        self._launch_slot_list: List[int] = arrivals.launch_slots()
         self.accountant = FleetEnergyAccountant(n)
 
     # -- step 1: foreground applications -----------------------------------------
@@ -476,6 +506,462 @@ class FleetState:
                 DeviceState.CORUNNING: corun,
             },
         )
+
+    # -- event-horizon fast forward -------------------------------------------------------
+
+    #: Fleet size above which the quiet kernel switches from per-user Python
+    #: accumulation loops (cost ~n per slot) to per-slot NumPy kernels (cost
+    #: ~constant per slot until arrays get large); both are bitwise-exact
+    #: replays of :meth:`advance`, so the crossover is purely a speed trade.
+    QUIET_NUMPY_THRESHOLD = 96
+
+    def quiet_horizon(self, slot: int, total_slots: int) -> int:
+        """Upper bound on the advanceable quiet slots starting at ``slot``.
+
+        A quiet slot is one in which no *scheduling* event can happen: no
+        pending arrival, no ready user (both checked by the engine) and no
+        training completion.  Application launches and expiries do **not**
+        bound the region — :meth:`advance_quiet` replays them in-kernel as
+        segment boundaries, because they only re-select the Eq. (10) power
+        level and the co-running slowdown of the affected devices.
+
+        Per-slot training progress never exceeds one (every slowdown factor
+        is at least 1), so no job can finish in fewer than
+        ``ceil(min(remaining_slots))`` slots and every slot strictly before
+        that is completion-free.  The completion slot itself is *not* quiet:
+        the engine processes the upload through the normal slot path.
+        Battery-eligibility flips are not part of the static horizon either;
+        the battery kernel detects them per slot and shortens the advance.
+        """
+        k = total_slots - slot
+        if self.training_active.any():
+            min_remaining = float(self.remaining_slots[self.training_active].min())
+            k = min(k, int(math.ceil(min_remaining)) - 1)
+        return k
+
+    def stalled_sync_users(self) -> List[int]:
+        """Users permanently unable to join a synchronous round.
+
+        A user below its battery participation threshold with a zero charge
+        rate can never recover (idle slots drain, nothing charges), so a
+        synchronous round must not wait for it.  Users currently training are
+        never stalled — they finish on battery and upload.
+        """
+        mask = (
+            self.has_battery
+            & (self.battery_rate_w == 0.0)
+            & ~self.training_active
+            & ~self.battery_ok()
+        )
+        if not mask.any():
+            return []
+        return [int(user) for user in np.nonzero(mask)[0]]
+
+    def advance_quiet(
+        self, start_slot: int, max_slots: int, trace_interval: int
+    ) -> Tuple[int, List[int], List[float]]:
+        """Advance up to ``max_slots`` quiet slots in one fused region kernel.
+
+        Preconditions (established by the engine and :meth:`quiet_horizon`):
+        the ready pool is empty, there are no pending arrivals and no
+        training job completes within the advanced range.  The region is
+        processed as a sequence of *segments* separated by application
+        launches and expiries — the kernel replays
+        :meth:`begin_slot_apps` at each boundary slot, exactly as the
+        slot-by-slot path would at the top of that slot.  Within a segment
+        the activity masks — and therefore every per-user slot energy,
+        thermal target and battery draw — are constant, and the per-slot
+        work reduces to the bitwise-exact replay of :meth:`advance`'s
+        arithmetic:
+
+        * energy accumulators receive one repeated addition of the same
+          per-user slot energy per slot (IEEE-754 repeated addition has no
+          closed form, so the kernel really performs the additions — as
+          tight Python float loops for small fleets, per-slot array kernels
+          for large ones);
+        * the thermal state iterates ``T += (T_target - T) * alpha``,
+          short-circuiting once it reaches its floating-point fixpoint
+          (further iterations cannot change it);
+        * non-co-running training progresses exactly one slot per slot, so
+          ``remaining_slots -= seg_len`` reproduces per-slot unit decrements
+          exactly; co-running jobs replay the Observation 2 slowdown per
+          slot, with the thermal-throttle predicate evaluated against the
+          same temperature trajectory the slot-by-slot path sees;
+        * batteries replay the discharge/charge kernel per slot, stopping
+          the whole region early when a battery-gated ready user crosses its
+          participation threshold (the pool becomes non-empty — an event),
+          and short-circuiting once every battery is drained or full;
+        * the cumulative per-slot energy series advances by a constant
+          increment per segment (:meth:`FleetEnergyAccountant.backfill_quiet`).
+
+        Returns:
+            ``(advanced, tick_offsets, tick_totals)`` — the number of slots
+            actually advanced (shorter than ``max_slots`` on a battery
+            flip), the 0-based offsets within the region that fall on the
+            trace-sampling grid, and the system-wide cumulative energy at
+            each of those offsets (what ``accountant.total_j()`` would have
+            returned there).
+        """
+        n = self.num_users
+        acc = self.accountant
+        use_python = n < self.QUIET_NUMPY_THRESHOLD
+        if use_python:
+            lists = [
+                acc.idle_j.tolist(),
+                acc.app_j.tolist(),
+                acc.training_j.tolist(),
+                acc.corunning_j.tolist(),
+            ]
+            overhead_list = acc.overhead_j.tolist()
+        has_battery = bool(self.has_battery.any())
+        watch_idx: Optional[np.ndarray] = None
+        if has_battery:
+            # Battery-gated ready users that charge can re-enter the pool;
+            # the watch set is constant across the region (every ready user
+            # is already gated, and ready/training flags cannot change here).
+            watch = (
+                self.ready
+                & ~self.training_active
+                & self.has_battery
+                & ~self.battery_ok()
+                & (self.battery_rate_w > 0)
+            )
+            if watch.any():
+                watch_idx = np.nonzero(watch)[0]
+        launch_list = self._launch_slot_list
+        num_launch = len(launch_list)
+        launch_pos = bisect.bisect_left(launch_list, start_slot)
+        region_end = start_slot + max_slots
+        advanced = 0
+        flipped = False
+        tick_offsets: List[int] = []
+        tick_totals: List[float] = []
+        while advanced < max_slots and not flipped:
+            seg_slot = start_slot + advanced
+            # Top-of-slot application bookkeeping for the segment boundary.
+            # begin_slot_apps is idempotent per slot, so handing the slot
+            # back to the normal path after an early break stays exact.
+            self.begin_slot_apps(seg_slot)
+            app = self.app_active
+            training = self.training_active
+            corun = training & app
+            training_only = training & ~app
+            app_only = app & ~training
+            idle = ~training & ~app
+            if corun.any() and float(self.app_slowdown[corun].min()) < 1.0:
+                break  # progress > 1/slot would break the completion bound
+
+            # Segment length: up to (excluding) the next application event.
+            seg_end = region_end
+            while launch_pos < num_launch and launch_list[launch_pos] <= seg_slot:
+                launch_pos += 1
+            if launch_pos < num_launch and launch_list[launch_pos] < seg_end:
+                seg_end = launch_list[launch_pos]
+            if app.any():
+                next_expiry = int(self.app_end_slot[app].min())
+                if next_expiry < seg_end:
+                    seg_end = next_expiry
+            seg_len = seg_end - seg_slot
+            if seg_len <= 0:
+                break  # defensive; boundaries above are strictly ahead
+
+            # Eq. (10) power levels — constant across the segment.
+            power_w = self.idle_w.copy()
+            power_w[app_only] = self.app_power_w[app_only]
+            power_w[training_only] = self.training_w[training_only]
+            power_w[corun] = self.corun_power_w[corun]
+            energy_j = power_w * self.slot_seconds
+
+            # Batteries first: they may cut the segment at an eligibility flip.
+            seg_done = seg_len
+            if has_battery:
+                seg_done, flipped = self._advance_quiet_batteries(
+                    energy_j, idle, seg_len, watch_idx
+                )
+                if seg_done <= 0:
+                    break
+
+            self._advance_quiet_thermal(power_w, corun, seg_done)
+
+            # Non-co-running training: exactly 1.0 progress per slot, so the
+            # closed form reproduces seg_done unit decrements bit for bit.
+            if training_only.any():
+                self.remaining_slots[training_only] -= float(seg_done)
+
+            # Energy accumulation with trace-tick capture.
+            if use_python:
+                state_code = (training.astype(np.int64) * 2 + app).tolist()
+                self._accumulate_segment_python(
+                    lists,
+                    overhead_list,
+                    energy_j.tolist(),
+                    state_code,
+                    seg_slot,
+                    seg_done,
+                    trace_interval,
+                    advanced,
+                    tick_offsets,
+                    tick_totals,
+                )
+            else:
+                self._accumulate_segment_numpy(
+                    energy_j,
+                    (idle, app_only, training_only, corun),
+                    seg_slot,
+                    seg_done,
+                    trace_interval,
+                    advanced,
+                    tick_offsets,
+                    tick_totals,
+                )
+
+            # Cumulative per-slot energy series: constant increment per slot.
+            acc.backfill_quiet(float(sum(energy_j.tolist())), seg_done)
+            advanced += seg_done
+        if use_python:
+            acc.idle_j[:] = lists[0]
+            acc.app_j[:] = lists[1]
+            acc.training_j[:] = lists[2]
+            acc.corunning_j[:] = lists[3]
+        return advanced, tick_offsets, tick_totals
+
+    def _advance_quiet_thermal(
+        self, power_w: np.ndarray, corun: np.ndarray, seg_done: int
+    ) -> None:
+        """Thermal RC + co-running progress for one quiet segment.
+
+        Iterates the first-order update fleet-wide, fused with the per-slot
+        co-running progress whose throttle predicate reads the just-updated
+        temperature — the same ordering as :meth:`advance`.  With no
+        co-running observer the iteration short-circuits at its
+        floating-point fixpoint; with co-running users every slot is
+        iterated (the predicate consumes each intermediate temperature).
+        """
+        target = self.ambient_c + self.degrees_per_watt * power_w
+        corun_users: List[int] = []
+        corun_free: List[float] = []
+        corun_throttled: List[float] = []
+        corun_threshold: List[float] = []
+        corun_remaining: List[float] = []
+        if corun.any():
+            for user in np.nonzero(corun)[0]:
+                user = int(user)
+                slowdown = 1.0 * float(self.app_slowdown[user])
+                if not self.heterogeneous[user]:
+                    slowdown = slowdown * _HOMOGENEOUS_CONTENTION
+                corun_users.append(user)
+                corun_free.append(1.0 / slowdown)
+                corun_throttled.append(
+                    1.0 / (slowdown * float(self.throttle_slowdown[user]))
+                )
+                corun_threshold.append(float(self.throttle_temp_c[user]))
+                corun_remaining.append(float(self.remaining_slots[user]))
+        num_corun = len(corun_users)
+        temp = self.temperature_c
+        alpha = self.thermal_alpha
+        done = 0
+        if num_corun == 0:
+            # No observer of intermediate temperatures: probe one slot to
+            # find the users still moving.  Devices at their floating-point
+            # fixpoint stay there (target is constant within the segment),
+            # so when few users are cooling/heating the whole segment
+            # reduces to per-user scalar loops with early fixpoint exit —
+            # Python and NumPy float64 arithmetic are the same IEEE-754
+            # operations, so the scalar replay is bit-exact.
+            new = temp + (target - temp) * alpha
+            moving = np.nonzero(new != temp)[0]
+            if len(moving) == 0:
+                done = seg_done  # whole fleet already at its fixpoint
+            elif len(moving) <= 8:
+                temp = new
+                done = 1
+                for user in moving:
+                    user = int(user)
+                    x = float(temp[user])
+                    t_u = float(target[user])
+                    a_u = float(alpha[user])
+                    for _ in range(seg_done - 1):
+                        nx = x + (t_u - x) * a_u
+                        if nx == x:
+                            break
+                        x = nx
+                    temp[user] = x
+                done = seg_done
+        # Fixpoint detection in the array loop: a per-slot equality test
+        # would double the cost of the (already tiny) update, so candidates
+        # are probed against a snapshot every 64 slots and confirmed with a
+        # consecutive-slot comparison — only a consecutive comparison proves
+        # a fixpoint (a snapshot match alone could be a rounding cycle).
+        check_fixpoint = (seg_done - done) >= 64 and num_corun == 0
+        snapshot = temp if check_fixpoint else None
+        probe = done
+        while done < seg_done:
+            if check_fixpoint and (done - probe) % 64 == 0 and done > probe:
+                if np.array_equal(temp, snapshot):
+                    new = temp + (target - temp) * alpha
+                    if np.array_equal(new, temp):
+                        break
+                    check_fixpoint = False  # rounding cycle: finish plainly
+                snapshot = temp
+            new = temp + (target - temp) * alpha
+            temp = new
+            done += 1
+            for i in range(num_corun):
+                corun_remaining[i] -= (
+                    corun_throttled[i]
+                    if temp[corun_users[i]] >= corun_threshold[i]
+                    else corun_free[i]
+                )
+        self.temperature_c = temp
+        for i in range(num_corun):
+            self.remaining_slots[corun_users[i]] = corun_remaining[i]
+
+    def _advance_quiet_batteries(
+        self,
+        energy_j: np.ndarray,
+        idle: np.ndarray,
+        seg_len: int,
+        watch_idx: Optional[np.ndarray],
+    ) -> Tuple[int, bool]:
+        """Replay the battery kernel per quiet slot for one segment.
+
+        Returns ``(slots_done, flipped)``.  ``flipped`` is ``True`` when a
+        charging, battery-gated *ready* user crossed its participation
+        threshold — from the next slot on the ready pool is non-empty, which
+        is an event the engine must process through the normal path.  When
+        every battery stops changing (drained with nothing charging, or
+        full), the remaining slots are exact no-ops and are skipped.
+        """
+        # Work on contiguous compressed copies of the battery-user arrays and
+        # write back once: the per-element arithmetic (and therefore every
+        # rounding decision) is identical to the masked in-place updates of
+        # advance(), only the indexing overhead changes.
+        batt = self.has_battery
+        batt_idx = np.nonzero(batt)[0]
+        draw_b = energy_j[batt]
+        charge_b = self.battery_charge_j[batt]
+        cycle_b = self.battery_cycle_j[batt]
+        charging = batt & idle & (self.battery_rate_w > 0)
+        has_charging = bool(charging.any())
+        if has_charging:
+            added_cap = self.battery_rate_w[charging] * self.slot_seconds
+            capacity_c = self.battery_capacity_j[charging]
+            charging_pos = np.nonzero(charging[batt])[0]
+        if watch_idx is not None:
+            watch_pos = np.searchsorted(batt_idx, watch_idx)
+            watch_capacity = self.battery_capacity_j[watch_idx]
+            watch_min_soc = self.battery_min_soc[watch_idx]
+        done_slots = seg_len
+        flipped = False
+        for done in range(seg_len):
+            drawn = np.minimum(draw_b, charge_b)
+            charge_b -= drawn
+            cycle_b += drawn
+            if has_charging:
+                added = np.minimum(added_cap, capacity_c - charge_b[charging_pos])
+                charge_b[charging_pos] += added
+            if watch_idx is not None:
+                eligible = charge_b[watch_pos] / watch_capacity >= watch_min_soc
+                if eligible.any():
+                    done_slots, flipped = done + 1, True
+                    break
+            if not drawn.any() and (not has_charging or not added.any()):
+                break  # battery fixpoint: the rest of the segment is a no-op
+        self.battery_charge_j[batt] = charge_b
+        self.battery_cycle_j[batt] = cycle_b
+        return done_slots, flipped
+
+    def _accumulate_segment_python(
+        self,
+        lists: List[List[float]],
+        overhead_list: List[float],
+        e_list: List[float],
+        state_code: List[int],
+        seg_slot: int,
+        seg_done: int,
+        trace_interval: int,
+        region_offset: int,
+        tick_offsets: List[int],
+        tick_totals: List[float],
+    ) -> None:
+        """Per-user Python accumulation (small fleets): repeated additions.
+
+        Python and NumPy ``float64`` addition are the same IEEE-754
+        operation, so accumulating each user's active-state energy in a
+        scalar loop reproduces the per-slot masked array additions bit for
+        bit.  ``lists`` are the region-persistent accumulator snapshots
+        (``[idle, app, training, corunning]``); ``state_code`` indexes them
+        (``2 * training + app``).
+        """
+        n = self.num_users
+        seg_ticks = [
+            j for j in range(seg_done) if (seg_slot + j) % trace_interval == 0
+        ]
+        captures: List[List[float]] = [[0.0] * n for _ in seg_ticks]
+        for user in range(n):
+            active = lists[state_code[user]]
+            x = active[user]
+            e = e_list[user]
+            position = 0
+            for t_i, offset in enumerate(seg_ticks):
+                for _ in range(offset + 1 - position):
+                    x += e
+                position = offset + 1
+                captures[t_i][user] = x
+            for _ in range(seg_done - position):
+                x += e
+            active[user] = x
+        # Per-tick system totals, in total_j()'s exact reduction order:
+        # ((((idle + app) + training) + corun) + overhead), then a
+        # left-to-right sum over users.  Components other than a user's
+        # active one did not change during this segment, so the current
+        # list values are their tick-time values.
+        for t_i, offset in enumerate(seg_ticks):
+            cap = captures[t_i]
+            total = 0
+            for user in range(n):
+                code = state_code[user]
+                v_idle = cap[user] if code == 0 else lists[0][user]
+                v_app = cap[user] if code == 1 else lists[1][user]
+                v_training = cap[user] if code == 2 else lists[2][user]
+                v_corun = cap[user] if code == 3 else lists[3][user]
+                total = total + (
+                    (((v_idle + v_app) + v_training) + v_corun)
+                    + overhead_list[user]
+                )
+            tick_offsets.append(region_offset + offset)
+            tick_totals.append(float(total))
+
+    def _accumulate_segment_numpy(
+        self,
+        energy_j: np.ndarray,
+        masks: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        seg_slot: int,
+        seg_done: int,
+        trace_interval: int,
+        region_offset: int,
+        tick_offsets: List[int],
+        tick_totals: List[float],
+    ) -> None:
+        """Per-slot array accumulation (large fleets): masked adds per slot."""
+        acc = self.accountant
+        idle, app_only, training_only, corun = masks
+        groups = []
+        for array, mask in (
+            (acc.idle_j, idle),
+            (acc.app_j, app_only),
+            (acc.training_j, training_only),
+            (acc.corunning_j, corun),
+        ):
+            index = np.nonzero(mask)[0]
+            if len(index):
+                groups.append((array, index, energy_j[index]))
+        for offset in range(seg_done):
+            for array, index, values in groups:
+                array[index] += values
+            if (seg_slot + offset) % trace_interval == 0:
+                tick_offsets.append(region_offset + offset)
+                tick_totals.append(acc.total_j())
 
     # -- Eq. (12) gap dynamics and reporting -----------------------------------------------
 

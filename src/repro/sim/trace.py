@@ -10,7 +10,7 @@ series that would be too dense are sampled every ``trace_interval_slots``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["SlotSample", "UpdateSample", "SimulationTrace"]
 
@@ -51,6 +51,7 @@ class SimulationTrace:
         self.slot_samples: List[SlotSample] = []
         self.update_samples: List[UpdateSample] = []
         self.per_user_gaps: Dict[int, List[Tuple[float, float]]] = {}
+        self._gap_lists: Optional[List[List[Tuple[float, float]]]] = None
         self.decisions: Dict[str, int] = {"schedule": 0, "idle": 0}
         self.corun_jobs = 0
         self.background_jobs = 0
@@ -69,6 +70,25 @@ class SimulationTrace:
     def record_user_gap(self, user_id: int, time_s: float, gap: float) -> None:
         """Record one point of a user's gradient-gap trace (Fig. 5d)."""
         self.per_user_gaps.setdefault(user_id, []).append((time_s, gap))
+
+    def record_user_gaps(self, time_s: float, gaps: Sequence[float]) -> None:
+        """Record one gap-trace point for every user at once.
+
+        ``gaps[i]`` is user ``i``'s current gap.  Equivalent to calling
+        :meth:`record_user_gap` for users ``0..len(gaps)-1`` in order; used
+        by the fleet backend on the sampling grid and by the fast-forward
+        path to backfill the (constant) gap traces of skipped slots.  The
+        per-user lists are bound once and cached, so a bulk record is one
+        append per user.
+        """
+        lists = self._gap_lists
+        if lists is None or len(lists) != len(gaps):
+            lists = self._gap_lists = [
+                self.per_user_gaps.setdefault(user_id, [])
+                for user_id in range(len(gaps))
+            ]
+        for user_list, gap in zip(lists, gaps):
+            user_list.append((time_s, gap))
 
     def record_decision(self, scheduled: bool, corun: bool = False) -> None:
         """Count one scheduling decision (and whether it started a co-run job)."""

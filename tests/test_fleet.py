@@ -1,12 +1,16 @@
-"""Equivalence of the vectorized fleet backend and the per-user loop engine.
+"""Equivalence of the fleet backend (both modes) and the per-user loop engine.
 
 The contract (see :mod:`repro.sim.fleet`) is *bitwise* identity, not
-approximate agreement: with the same configuration and seed, the two
-backends must produce the same decisions, the same Eq. (10) energy traces,
-the same Eq. (12) gap traces, the same queue backlogs and the same applied
-updates — every floating-point value compared with ``==``.  The loop engine
-stays in the tree as the executable specification; these tests are what
-keep the fast path honest.
+approximate agreement: with the same configuration and seed, every
+execution mode must produce the same decisions, the same Eq. (10) energy
+traces, the same Eq. (12) gap traces, the same queue backlogs and the same
+applied updates — every floating-point value compared with ``==``.  Three
+modes are compared:
+
+* ``loop`` — the per-user reference loop (the executable specification);
+* ``fleet`` with ``fast_forward=False`` — the vectorized slot-by-slot path;
+* ``fleet`` with ``fast_forward=True`` — the event-horizon fast-forward
+  path, which advances whole quiet regions in fused kernels.
 
 The comparison configs keep the paper's 25-user fleet but shrink the
 horizon and the synthetic dataset so the whole module runs in seconds.
@@ -41,20 +45,49 @@ def _paper_fleet_config(**overrides) -> SimulationConfig:
     return SimulationConfig(**base)
 
 
-def _run_both(config: SimulationConfig, make_policy):
-    """Run the same workload under both backends with fresh policy instances.
+#: The three execution modes of the equivalence matrix: (name, backend, ff).
+EXECUTION_MODES = (
+    ("loop", "loop", False),
+    ("fleet", "fleet", False),
+    ("fast-forward", "fleet", True),
+)
+
+
+def _run_matrix(config: SimulationConfig, make_policy):
+    """Run the same workload under every execution mode with fresh policies.
 
     Each engine builds its own dataset from the config seed — identical
     data, so the comparison is still run-for-run exact.
     """
     results = {}
     policies = {}
-    for backend in ("loop", "fleet"):
+    for name, backend, fast_forward in EXECUTION_MODES:
         policy = make_policy()
-        engine = SimulationEngine(config, policy, backend=backend)
-        results[backend] = engine.run()
-        policies[backend] = policy
-    return results["loop"], results["fleet"], policies["loop"], policies["fleet"]
+        engine = SimulationEngine(
+            config, policy, backend=backend, fast_forward=fast_forward
+        )
+        results[name] = engine.run()
+        policies[name] = policy
+    return results, policies
+
+
+def _run_both(config: SimulationConfig, make_policy):
+    """Backward-compatible helper: loop and fast-forward-fleet results."""
+    results, policies = _run_matrix(config, make_policy)
+    return (
+        results["loop"],
+        results["fast-forward"],
+        policies["loop"],
+        policies["fast-forward"],
+    )
+
+
+def _assert_matrix_bitwise_equal(config, results):
+    """Every pair of execution modes must match on every observable trace."""
+    reference = results["loop"]
+    for name, result in results.items():
+        if name != "loop":
+            _assert_bitwise_equal(config, reference, result)
 
 
 def _assert_bitwise_equal(config, loop, fleet):
@@ -71,6 +104,14 @@ def _assert_bitwise_equal(config, loop, fleet):
         assert loop.accountant.user_breakdown(user) == fleet.accountant.user_breakdown(user)
     # Slot-sampled series (energy, queues, gap sum) and applied updates.
     assert loop.trace.slot_samples == fleet.trace.slot_samples
+    # The queue backlogs inside the sampled SlotSamples must agree
+    # slot-for-slot (not merely on aggregate statistics).
+    assert [s.queue_length for s in loop.trace.slot_samples] == [
+        s.queue_length for s in fleet.trace.slot_samples
+    ]
+    assert [s.virtual_queue_length for s in loop.trace.slot_samples] == [
+        s.virtual_queue_length for s in fleet.trace.slot_samples
+    ]
     assert loop.trace.update_samples == fleet.trace.update_samples
     # Eq. (12) per-user gap traces.
     for user in range(config.num_users):
@@ -92,44 +133,47 @@ class TestBackendEquivalence:
     def test_online_policy_identical(self):
         """The headline case: the Lyapunov scheduler at the paper's 25 users."""
         config = _paper_fleet_config()
-        loop, fleet, loop_policy, fleet_policy = _run_both(
+        results, policies = _run_matrix(
             config, lambda: OnlinePolicy(v=4000.0, staleness_bound=500.0)
         )
-        _assert_bitwise_equal(config, loop, fleet)
+        _assert_matrix_bitwise_equal(config, results)
         # The per-decision log (slot, user, decision) matches entry for entry,
         # including the same-slot lag coupling between scheduled users.
-        assert loop_policy.decision_log == fleet_policy.decision_log
-        assert loop_policy.messages_to_server == fleet_policy.messages_to_server
-        assert loop_policy.messages_to_users == fleet_policy.messages_to_users
+        reference = policies["loop"]
+        for name, policy in policies.items():
+            assert policy.decision_log == reference.decision_log, name
+            assert policy.messages_to_server == reference.messages_to_server, name
+            assert policy.messages_to_users == reference.messages_to_users, name
 
     @pytest.mark.parametrize("v", [0.0, 2000.0, 100000.0])
     def test_online_policy_identical_across_v(self, v):
         """Low V schedules eagerly (heavy same-slot coupling), high V idles."""
         config = _paper_fleet_config(total_slots=250, seed=1)
-        loop, fleet, loop_policy, fleet_policy = _run_both(
+        results, policies = _run_matrix(
             config, lambda: OnlinePolicy(v=v, staleness_bound=500.0)
         )
-        _assert_bitwise_equal(config, loop, fleet)
-        assert loop_policy.decision_log == fleet_policy.decision_log
+        _assert_matrix_bitwise_equal(config, results)
+        for name, policy in policies.items():
+            assert policy.decision_log == policies["loop"].decision_log, name
 
     def test_immediate_policy_identical(self):
         config = _paper_fleet_config(seed=2, total_slots=300)
-        loop, fleet, _, _ = _run_both(config, ImmediatePolicy)
-        _assert_bitwise_equal(config, loop, fleet)
+        results, _ = _run_matrix(config, ImmediatePolicy)
+        _assert_matrix_bitwise_equal(config, results)
 
     def test_sync_policy_identical(self):
         config = _paper_fleet_config(seed=3, total_slots=300)
-        loop, fleet, _, _ = _run_both(config, SyncPolicy)
-        _assert_bitwise_equal(config, loop, fleet)
+        results, _ = _run_matrix(config, SyncPolicy)
+        _assert_matrix_bitwise_equal(config, results)
 
     def test_offline_policy_identical_via_fallback(self):
         """The knapsack planner has no batched rule; the generic per-user
         fallback of ``decide_all`` must still reproduce the loop exactly."""
         config = _paper_fleet_config(seed=4, total_slots=300)
-        loop, fleet, _, _ = _run_both(
+        results, _ = _run_matrix(
             config, lambda: OfflinePolicy(staleness_bound=1000.0, window_slots=100)
         )
-        _assert_bitwise_equal(config, loop, fleet)
+        _assert_matrix_bitwise_equal(config, results)
 
     def test_battery_and_overhead_identical(self):
         """Battery gating/charging and the Table III decision overhead are
@@ -143,10 +187,56 @@ class TestBackendEquivalence:
             include_scheduler_overhead=True,
             diurnal_arrivals=True,
         )
-        loop, fleet, _, _ = _run_both(config, lambda: OnlinePolicy(v=4000.0))
-        _assert_bitwise_equal(config, loop, fleet)
+        results, _ = _run_matrix(config, lambda: OnlinePolicy(v=4000.0))
+        _assert_matrix_bitwise_equal(config, results)
+        fleet = results["fast-forward"]
         assert fleet.final_battery_soc  # batteries were actually in play
         assert any(soc < 1.0 for soc in fleet.final_battery_soc)
+
+    @pytest.mark.parametrize(
+        "policy_name",
+        ["immediate", "sync", "online"],
+    )
+    def test_battery_enabled_matrix(self, policy_name):
+        """Battery-gated fleets across all policies (deep discharge included)."""
+        config = _paper_fleet_config(
+            seed=6,
+            total_slots=300,
+            battery_capacity_j=1200.0,
+            battery_charge_rate_w=0.0,
+            min_battery_soc=0.2,
+        )
+        make = {
+            "immediate": ImmediatePolicy,
+            "sync": SyncPolicy,
+            "online": lambda: OnlinePolicy(v=4000.0, staleness_bound=500.0),
+        }[policy_name]
+        results, _ = _run_matrix(config, make)
+        _assert_matrix_bitwise_equal(config, results)
+
+    @pytest.mark.parametrize("policy_name", ["immediate", "online"])
+    def test_diurnal_arrivals_matrix(self, policy_name):
+        """The day/night arrival process drives the same app churn everywhere."""
+        config = _paper_fleet_config(seed=7, total_slots=300, diurnal_arrivals=True)
+        make = {
+            "immediate": ImmediatePolicy,
+            "online": lambda: OnlinePolicy(v=4000.0, staleness_bound=500.0),
+        }[policy_name]
+        results, _ = _run_matrix(config, make)
+        _assert_matrix_bitwise_equal(config, results)
+
+    def test_sync_aggregation_with_batteries_matrix(self):
+        """Synchronous rounds under battery gating: the quorum logic and the
+        fast-forward round-skip argument must agree with the loop engine."""
+        config = _paper_fleet_config(
+            seed=8,
+            total_slots=350,
+            battery_capacity_j=6000.0,
+            battery_charge_rate_w=1.0,
+            min_battery_soc=0.25,
+        )
+        results, _ = _run_matrix(config, SyncPolicy)
+        _assert_matrix_bitwise_equal(config, results)
 
 
 class TestFleetScale:

@@ -222,3 +222,46 @@ class TestOfflinePolicy:
         # Both users fit comfortably inside a lag budget of 10 updates.
         assert sorted(solution.selected_user_ids) == [0, 1]
         assert solution.total_gap <= 10.0
+
+
+class TestOracleAttachment:
+    """attach_oracle is idempotent and refuses mid-run oracle swaps."""
+
+    def _context(self, slot):
+        return SlotContext(slot=slot, slot_seconds=1.0, num_arrivals=0,
+                           num_ready=1, num_training=0, num_users=2)
+
+    def _ready_policy(self):
+        policy = OfflinePolicy(staleness_bound=100.0, window_slots=10)
+        oracle = _FakeOracle({})
+        policy.attach_oracle(oracle)
+        return policy, oracle
+
+    def test_reattaching_same_oracle_is_noop(self):
+        policy, oracle = self._ready_policy()
+        policy.attach_oracle(oracle)  # engine construction + reruns
+        assert policy._oracle is oracle
+
+    def test_swapping_before_planning_is_allowed(self):
+        policy, _ = self._ready_policy()
+        replacement = _FakeOracle({})
+        policy.attach_oracle(replacement)
+        assert policy._oracle is replacement
+
+    def test_swapping_after_planning_raises(self, observation_factory):
+        policy, _ = self._ready_policy()
+        policy.begin_slot(self._context(0))
+        policy.decide(observation_factory(user_id=0))
+        policy.begin_slot(self._context(10))  # plans the next window
+        with pytest.raises(RuntimeError):
+            policy.attach_oracle(_FakeOracle({}))
+
+    def test_reset_allows_a_fresh_oracle(self, observation_factory):
+        policy, _ = self._ready_policy()
+        policy.begin_slot(self._context(0))
+        policy.decide(observation_factory(user_id=0))
+        policy.begin_slot(self._context(10))
+        policy.reset()
+        replacement = _FakeOracle({})
+        policy.attach_oracle(replacement)
+        assert policy._oracle is replacement

@@ -171,3 +171,58 @@ class TestSweepGrid:
         specs = sweep_grid(v_values=(0.0, 4000.0), seeds=(0, 1), base_config=SMOKE_CONFIG)
         hashes = [s.config_hash() for s in specs]
         assert len(set(hashes)) == len(hashes)
+
+
+class TestCacheInvalidation:
+    """The disk cache must not serve summaries simulated by different code."""
+
+    def test_hash_changes_with_package_version(self, monkeypatch):
+        spec = _smoke_spec()
+        before = spec.config_hash()
+        monkeypatch.setattr("repro.analysis.runner.REPRO_VERSION", "999.0.0-test")
+        assert spec.config_hash() != before
+
+    def test_hash_changes_with_backend_and_fast_forward(self):
+        spec = _smoke_spec()
+        loop = RunSpec(
+            policy=spec.policy,
+            policy_kwargs=spec.policy_kwargs,
+            config=spec.config,
+            backend="loop",
+        )
+        no_ff = RunSpec(
+            policy=spec.policy,
+            policy_kwargs=spec.policy_kwargs,
+            config=spec.config,
+            fast_forward=False,
+        )
+        hashes = {spec.config_hash(), loop.config_hash(), no_ff.config_hash()}
+        assert len(hashes) == 3
+
+    def test_version_bump_invalidates_disk_entries(self, tmp_path, monkeypatch):
+        """A cached summary from an older package version is never served."""
+        suite = ExperimentSuite(cache_dir=str(tmp_path), jobs=1)
+        spec = _smoke_spec()
+        first = suite.run([spec])[0]
+        assert not first.from_cache
+        assert suite.run([spec])[0].from_cache
+        # Simulate upgrading the package: same spec, new code.
+        monkeypatch.setattr("repro.analysis.runner.REPRO_VERSION", "999.0.0-test")
+        refreshed = suite.run([spec])[0]
+        assert not refreshed.from_cache
+        assert refreshed.spec_hash != first.spec_hash
+
+    def test_execution_modes_agree_on_summaries(self, tmp_path):
+        """Backend/fast-forward keys differ but simulate identical systems."""
+        suite = ExperimentSuite(cache_dir=str(tmp_path), jobs=1)
+        ff_spec = _smoke_spec()
+        slot_spec = RunSpec(
+            policy=ff_spec.policy,
+            policy_kwargs=ff_spec.policy_kwargs,
+            config=ff_spec.config,
+            fast_forward=False,
+        )
+        ff, slot = suite.run([ff_spec, slot_spec])
+        assert ff.energy_j == slot.energy_j
+        assert ff.num_updates == slot.num_updates
+        assert ff.mean_virtual_queue_length == slot.mean_virtual_queue_length
