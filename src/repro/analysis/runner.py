@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 #: Bump to invalidate previously cached summaries when their schema changes.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Registered policy constructors, keyed by the CLI / spec name.
 _POLICY_FACTORIES = {
@@ -95,6 +95,9 @@ class RunSpec:
         backend: simulation backend (``"fleet"`` vectorized by default).
         fast_forward: enable the fleet backend's event-horizon fast-forward
             path (on by default; ignored by the loop backend).
+        batched_training: execute concurrent local rounds as one stacked
+            tensor program (:class:`repro.fl.batch.BatchTrainer`); off by
+            default, matching the engine.
         label: optional display name for tables and progress lines.
     """
 
@@ -103,6 +106,7 @@ class RunSpec:
     config: Dict[str, Any] = field(default_factory=dict)
     backend: str = "fleet"
     fast_forward: bool = True
+    batched_training: bool = False
     label: Optional[str] = None
 
     def build_config(self) -> SimulationConfig:
@@ -127,9 +131,10 @@ class RunSpec:
 
         The display label is deliberately excluded: it does not change the
         simulated system, so relabelled grids still hit the cache.  The
-        package version, the engine backend and the fast-forward switch are
-        all *included*: a code release or an execution-mode switch must not
-        silently serve summaries simulated by different code.
+        package version, the engine backend, the fast-forward switch and the
+        batched-training switch are all *included*: a code release or an
+        execution-mode switch must not silently serve summaries simulated
+        by different code.
         """
         payload = {
             "cache_version": CACHE_VERSION,
@@ -139,6 +144,7 @@ class RunSpec:
             "config": self.config,
             "backend": self.backend,
             "fast_forward": self.fast_forward,
+            "batched_training": self.batched_training,
         }
         return json.dumps(payload, sort_keys=True, default=str)
 
@@ -177,6 +183,10 @@ class RunSummary:
     comm_failures: int
     mean_final_battery_soc: float
     wall_time_s: float
+    #: Per-subsystem wall-clock shares (training / policy / eval /
+    #: slot_loop) from :class:`repro.sim.timers.EngineTimers`; every suite
+    #: run is profiled, so sweeps can report where their time went.
+    timing_shares: Optional[Dict[str, float]] = None
     from_cache: bool = False
 
     def to_json(self) -> str:
@@ -201,6 +211,12 @@ def run_spec(spec: RunSpec) -> SimulationResult:
         spec.build_policy(),
         backend=spec.backend,
         fast_forward=spec.fast_forward,
+        batched_training=spec.batched_training,
+        profile=True,
+        # Suite runs may already occupy every core with worker processes;
+        # nested compute-bound trainer threads would only oversubscribe.
+        # Thread count never changes results.
+        training_threads=1,
     ).run()
 
 
@@ -228,6 +244,7 @@ def summarize_result(
         comm_failures=result.comm_failures,
         mean_final_battery_soc=result.mean_final_battery_soc(),
         wall_time_s=wall_time_s,
+        timing_shares=result.timing_shares(),
     )
 
 
@@ -349,6 +366,7 @@ def sweep_grid(
     base_config: Optional[Dict[str, Any]] = None,
     backend: str = "fleet",
     fast_forward: bool = True,
+    batched_training: bool = False,
 ) -> List[RunSpec]:
     """Cartesian (policy, V, seed, arrival-rate) grid of :class:`RunSpec`.
 
@@ -365,6 +383,7 @@ def sweep_grid(
         base_config: shared :class:`SimulationConfig` overrides.
         backend: engine backend for every spec.
         fast_forward: fast-forward switch for every spec (fleet backend).
+        batched_training: batched-training switch for every spec.
     """
     base = dict(base_config or {})
     specs: List[RunSpec] = []
@@ -389,6 +408,7 @@ def sweep_grid(
                                 config=config,
                                 backend=backend,
                                 fast_forward=fast_forward,
+                                batched_training=batched_training,
                                 label=f"online V={v:g}{suffix}",
                             )
                         )
@@ -399,6 +419,7 @@ def sweep_grid(
                             config=config,
                             backend=backend,
                             fast_forward=fast_forward,
+                            batched_training=batched_training,
                             label=f"{policy}{suffix}",
                         )
                     )

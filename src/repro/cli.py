@@ -15,6 +15,10 @@ Every subcommand prints plain-text tables (and optional ASCII charts) so the
 tool works in the offline environments the library targets.  Simulation
 subcommands accept ``--backend {fleet,loop}``: the vectorized fleet backend
 (default) and the per-user reference loop produce bitwise-identical results.
+``--batched-training`` switches the FL substrate to the stacked
+multi-client tensor program (equal to the serial trainer within tight
+numerical tolerance), and ``--profile`` reports where the wall-clock went
+(training vs policy vs evaluation vs slot mechanics).
 """
 
 from __future__ import annotations
@@ -164,9 +168,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     result = SimulationEngine(
         config, _build_policy(args), dataset=dataset, backend=args.backend,
         fast_forward=not args.no_fast_forward,
+        batched_training=args.batched_training, profile=args.profile,
     ).run()
     print(format_table(_RESULT_HEADERS, [_result_row(args.policy, result, None)],
                        float_format=".3f", title="Simulation summary"))
+    if args.profile and result.timers is not None:
+        print()
+        print(result.timers.report())
     if args.plot:
         print()
         print(ascii_multi_plot(
@@ -192,11 +200,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         results[name] = SimulationEngine(
             config, policy, dataset=dataset, backend=args.backend,
             fast_forward=not args.no_fast_forward,
+            batched_training=args.batched_training, profile=args.profile,
         ).run()
     baseline = results["immediate"]
     rows = [_result_row(name, result, baseline) for name, result in results.items()]
     print(format_table(_RESULT_HEADERS, rows, float_format=".3f",
                        title="Policy comparison (identical fleet, arrivals and data)"))
+    if args.profile:
+        for name, result in results.items():
+            if result.timers is not None:
+                print(f"\n[{name}] {result.timers.report()}")
     if args.plot:
         print()
         print(ascii_multi_plot(
@@ -213,7 +226,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config_kwargs = _config_kwargs(args)
     baseline_spec = RunSpec(
         policy="immediate", config=dict(config_kwargs), backend=args.backend,
-        fast_forward=not args.no_fast_forward, label="immediate",
+        fast_forward=not args.no_fast_forward,
+        batched_training=args.batched_training, label="immediate",
     )
     online_specs = sweep_grid(
         v_values=args.v_values,
@@ -222,6 +236,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_config=config_kwargs,
         backend=args.backend,
         fast_forward=not args.no_fast_forward,
+        batched_training=args.batched_training,
     )
     suite = ExperimentSuite(cache_dir=args.cache_dir, jobs=args.jobs)
     summaries = suite.run([baseline_spec, *online_specs])
@@ -229,6 +244,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cached = sum(1 for s in summaries if s.from_cache)
     if cached:
         print(f"{cached}/{len(summaries)} runs served from cache", file=sys.stderr)
+    if args.profile:
+        for summary in summaries:
+            if summary.timing_shares:
+                shares = "  ".join(
+                    f"{name}={100.0 * value:.0f}%"
+                    for name, value in summary.timing_shares.items()
+                )
+                print(f"profile {summary.label}: {shares}", file=sys.stderr)
     rows = [
         [
             v,
@@ -270,6 +293,14 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the fleet backend's event-horizon "
                              "fast-forward (results are identical either way; "
                              "this only trades speed for a per-slot execution)")
+    parser.add_argument("--batched-training", action="store_true",
+                        help="execute concurrent local rounds as one stacked "
+                             "tensor program (repro.fl.batch.BatchTrainer); "
+                             "matches the serial trainer to tight numerical "
+                             "tolerance and speeds up training-bound runs")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-subsystem wall-clock shares "
+                             "(training / policy / eval / slot loop)")
     parser.add_argument("--plot", action="store_true", help="print ASCII accuracy curves")
 
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.policies import (
     Decision,
     DeviceObservation,
@@ -163,6 +165,17 @@ class KnapsackSolver:
         Items with non-positive saving are never selected (selecting them can
         only waste staleness budget); items whose individual gap already
         exceeds the capacity are infeasible and skipped.
+
+        The Algorithm 1 DP is vectorized over the capacity axis: one NumPy
+        rolling ``best_value`` array updated per item (the classic downward
+        capacity sweep reads only pre-item values, so the whole sweep is one
+        shifted-compare-select), plus a per-item boolean ``take`` table that
+        the backtrack walks to recover the selection.  At ``resolution=1000``
+        this replaces the ~``items x 1000`` Python inner loop that used to
+        run once per planning window.  Selections, values and tie-breaks are
+        identical to the scalar DP: updates are strict improvements, so the
+        last item that updated a cell is unique, and backtracking from the
+        first maximising capacity reproduces the forward chosen-list exactly.
         """
         candidates = [
             (index, item)
@@ -170,23 +183,33 @@ class KnapsackSolver:
             if item.energy_saving_j > 0.0 and item.gradient_gap <= self.capacity
         ]
         cap_steps = self.resolution
-        # best[y] = (value, chosen item indices) using capacity y.
-        best_value = [0.0] * (cap_steps + 1)
-        chosen: List[List[int]] = [[] for _ in range(cap_steps + 1)]
-        for index, item in candidates:
+        best_value = np.zeros(cap_steps + 1)
+        take = np.zeros((len(candidates), cap_steps + 1), dtype=bool)
+        weights = []
+        for position, (index, item) in enumerate(candidates):
             weight = max(0, self._quantise(item.gradient_gap))
+            weights.append(weight)
             value = item.energy_saving_j
-            # Standard 0/1 knapsack: iterate capacity downwards.
-            for y in range(cap_steps, weight - 1, -1):
-                candidate_value = best_value[y - weight] + value
-                if candidate_value > best_value[y]:
-                    best_value[y] = candidate_value
-                    chosen[y] = chosen[y - weight] + [index]
-        best_y = max(range(cap_steps + 1), key=lambda y: best_value[y])
-        selected = chosen[best_y]
+            if weight == 0:
+                # value > 0, so taking the item improves every capacity.
+                best_value += value
+                take[position, :] = True
+                continue
+            shifted = best_value[: cap_steps + 1 - weight] + value
+            better = shifted > best_value[weight:]
+            best_value[weight:][better] = shifted[better]
+            take[position, weight:] = better
+        best_y = int(np.argmax(best_value))  # first maximum = smallest capacity
+        selected: List[int] = []
+        y = best_y
+        for position in range(len(candidates) - 1, -1, -1):
+            if take[position, y]:
+                selected.append(candidates[position][0])
+                y -= weights[position]
+        selected.reverse()
         return KnapsackSolution(
             selected_user_ids=[items[i].user_id for i in selected],
-            total_saving_j=best_value[best_y],
+            total_saving_j=float(best_value[best_y]),
             total_gap=sum(items[i].gradient_gap for i in selected),
             capacity=self.capacity,
         )

@@ -30,9 +30,16 @@ __all__ = ["LocalUpdate", "FLClient"]
 class LocalUpdate:
     """The payload a client uploads after finishing a local epoch.
 
+    The upload is *delta-only* by default: ``delta`` is the full information
+    content of the round (the server reconstructs absolute parameters when a
+    merge rule needs them), so shipping ``params`` alongside it would double
+    the payload for nothing.  ``params`` is therefore optional and only
+    populated when the caller asks for it (``include_params=True`` — e.g.
+    when the server runs a replace/mixing rule that consumes absolute
+    parameter vectors).
+
     Attributes:
         user_id: the uploading participant.
-        params: the locally-updated flat parameter vector.
         delta: the parameter change produced by the local epoch
             (``params - base_params``); the server's accumulate rule applies
             this to whatever the global model has become in the meantime.
@@ -42,16 +49,25 @@ class LocalUpdate:
         momentum_norm: L2 norm of the client's momentum vector after the
             epoch — used for gradient-gap bookkeeping on the server side.
         num_batches: number of mini-batch steps taken.
+        params: the locally-updated flat parameter vector, or ``None`` for a
+            delta-only upload.
     """
 
     user_id: int
-    params: np.ndarray
     delta: np.ndarray
     base_version: int
     num_samples: int
     train_loss: float
     momentum_norm: float
     num_batches: int
+    params: Optional[np.ndarray] = None
+
+    def payload_nbytes(self) -> int:
+        """Bytes of parameter data this upload actually ships."""
+        size = int(self.delta.nbytes)
+        if self.params is not None:
+            size += int(self.params.nbytes)
+        return size
 
 
 class FLClient:
@@ -109,11 +125,23 @@ class FLClient:
 
     # -- training ---------------------------------------------------------------------
 
-    def local_train(self, global_params: np.ndarray, base_version: int) -> LocalUpdate:
+    def local_train(
+        self,
+        global_params: np.ndarray,
+        base_version: int,
+        include_params: bool = True,
+    ) -> LocalUpdate:
         """Run one local round starting from ``global_params``.
 
         The round is ``local_epochs`` passes over the local shard in shuffled
         mini-batches, with the persistent momentum state of this client.
+
+        Args:
+            global_params: the downloaded global model (flat vector).
+            base_version: parameter-server version of ``global_params``.
+            include_params: also ship the absolute parameter vector; pass
+                ``False`` for the delta-only upload the accumulate rule needs
+                (halves the upload payload).
 
         Returns:
             The :class:`LocalUpdate` to upload to the parameter server.
@@ -132,13 +160,13 @@ class FLClient:
         new_params = self.model.get_flat_params()
         return LocalUpdate(
             user_id=self.user_id,
-            params=new_params,
             delta=new_params - global_params,
             base_version=base_version,
             num_samples=len(self.partition),
             train_loss=float(np.mean(losses)) if losses else 0.0,
             momentum_norm=self.momentum_norm(),
             num_batches=num_batches,
+            params=new_params if include_params else None,
         )
 
     def evaluate_local(self) -> float:

@@ -98,8 +98,17 @@ class ParameterServer:
     # -- model access ------------------------------------------------------------------
 
     def global_params(self) -> np.ndarray:
-        """A copy of the current global parameter vector."""
-        return self._params.copy()
+        """A read-only view of the current global parameter vector.
+
+        Zero-copy: update rules always *rebind* ``_params`` to a fresh array
+        (never mutate in place), so a view handed out here remains a valid
+        snapshot of the model at hand-out time — which is exactly what a
+        downloading client needs — without the full-vector copy the old
+        defensive-copy implementation paid on every access.
+        """
+        view = self._params.view()
+        view.flags.writeable = False
+        return view
 
     def num_updates(self) -> int:
         """Number of updates applied so far (the version counter)."""
@@ -199,19 +208,26 @@ class ParameterServer:
             gradient_gap: the gap value measured for this update (Eq. 4),
                 recorded for the Fig. 5(a)/(d) traces.
         """
-        if update.params.shape != self._params.shape:
+        if update.delta.shape != self._params.shape:
             raise ValueError("uploaded parameter vector has the wrong shape")
         lag = self.lag_of(update.base_version)
         if self.async_rule is AsyncUpdateRule.ACCUMULATE:
             self._params = self._params + update.delta
-        elif self.async_rule is AsyncUpdateRule.REPLACE:
-            self._params = update.params.copy()
-        elif self.async_rule is AsyncUpdateRule.MIXING:
-            alpha = self.mixing_alpha
-            self._params = (1.0 - alpha) * self._params + alpha * update.params
-        else:  # STALENESS_WEIGHTED
-            alpha = self.mixing_alpha / (1.0 + lag)
-            self._params = (1.0 - alpha) * self._params + alpha * update.params
+        else:
+            if update.params is None:
+                raise ValueError(
+                    f"the {self.async_rule.value!r} merge rule consumes absolute "
+                    "parameter vectors; upload with include_params=True "
+                    "(delta-only uploads only suffice for 'accumulate')"
+                )
+            if self.async_rule is AsyncUpdateRule.REPLACE:
+                self._params = update.params.copy()
+            elif self.async_rule is AsyncUpdateRule.MIXING:
+                alpha = self.mixing_alpha
+                self._params = (1.0 - alpha) * self._params + alpha * update.params
+            else:  # STALENESS_WEIGHTED
+                alpha = self.mixing_alpha / (1.0 + lag)
+                self._params = (1.0 - alpha) * self._params + alpha * update.params
         record = ServerUpdate(
             time_s=time_s,
             user_id=update.user_id,
@@ -234,6 +250,11 @@ class ParameterServer:
         vectors are averaged weighted by local dataset size.  The version is
         incremented once per participant so that lag statistics remain
         comparable between the synchronous and asynchronous runs.
+
+        Delta-only uploads are supported: participants of a synchronous round
+        all trained from the server's *current* parameters (the version only
+        advances inside this method), so an absent ``params`` is
+        reconstructed as ``global + delta``.
         """
         if not updates:
             raise ValueError("a synchronous round needs at least one update")
@@ -241,7 +262,18 @@ class ParameterServer:
         if weights.sum() <= 0:
             raise ValueError("total sample count must be positive")
         weights = weights / weights.sum()
-        stacked = np.stack([u.params for u in updates])
+        if all(u.params is not None for u in updates):
+            stacked = np.stack([u.params for u in updates])
+        else:
+            for update in updates:
+                if update.params is None and update.base_version != self.version:
+                    raise ValueError(
+                        "delta-only sync upload trained from version "
+                        f"{update.base_version}, but the round aggregates at "
+                        f"version {self.version}; reconstruction would be "
+                        "wrong — upload with include_params=True instead"
+                    )
+            stacked = self._params[None, :] + np.stack([u.delta for u in updates])
         self._params = (weights[:, None] * stacked).sum(axis=0)
         records = []
         for update in updates:

@@ -48,14 +48,16 @@ from repro.device.models import DeviceSpec, build_device_fleet
 from repro.energy.battery import Battery
 from repro.energy.measurements import MeasurementTable
 from repro.energy.power_model import EnergyAccountant, PowerModel
+from repro.fl.batch import BatchTrainer, TrainRequest
 from repro.fl.client import FLClient, LocalUpdate
 from repro.fl.dataset import SyntheticCifar10, partition_dirichlet, partition_iid
 from repro.fl.metrics import AccuracyTracker, evaluate_model
 from repro.fl.model import Sequential, build_mlp
-from repro.fl.server import ParameterServer
+from repro.fl.server import AsyncUpdateRule, ParameterServer
 from repro.sim.arrivals import ArrivalSchedule, BernoulliArrivalProcess, DiurnalArrivalProcess
 from repro.sim.config import SimulationConfig
 from repro.sim.rng import spawn_generators
+from repro.sim.timers import EngineTimers
 from repro.sim.trace import SimulationTrace, SlotSample, UpdateSample
 
 __all__ = ["SimulationEngine", "SimulationResult"]
@@ -89,6 +91,7 @@ class SimulationResult:
     comm_bytes_mb: float = 0.0
     comm_failures: int = 0
     final_battery_soc: List[float] = field(default_factory=list)
+    timers: Optional[EngineTimers] = None
 
     # -- energy ----------------------------------------------------------------
 
@@ -148,6 +151,14 @@ class SimulationResult:
             return 1.0
         return float(np.mean(self.final_battery_soc))
 
+    # -- profiling -------------------------------------------------------------------
+
+    def timing_shares(self) -> Optional[Dict[str, float]]:
+        """Per-subsystem wall-clock shares (``None`` unless run with profiling)."""
+        if self.timers is None:
+            return None
+        return self.timers.shares()
+
 
 class SimulationEngine:
     """Simulate the federated mobile system under one scheduling policy.
@@ -175,6 +186,23 @@ class SimulationEngine:
             fast-forward path is bitwise-identical to the slot-by-slot fleet
             backend: decisions, energy, gap, queue and accuracy traces all
             match exactly (``tests/test_fleet.py`` enforces this).
+        batched_training: execute all local rounds that complete in the same
+            slot as one stacked tensor program
+            (:class:`repro.fl.batch.BatchTrainer`) instead of one serial
+            ``local_train`` per client.  Off by default: the batched path
+            matches the serial one to tight numerical tolerance (and
+            typically bitwise for non-ragged shard groups), but the repo's
+            bitwise cross-backend contracts are stated for the serial
+            trainer.  Works with both backends and with fast-forward.
+        profile: collect per-subsystem wall-clock shares
+            (:class:`repro.sim.timers.EngineTimers`) — training vs policy vs
+            evaluation vs slot mechanics.  Never affects results.
+        training_threads: worker threads for the batched trainer's block
+            fan-out; ``None`` lets :class:`~repro.fl.batch.BatchTrainer`
+            pick from the available cores.  Pass ``1`` when the engine
+            itself runs inside a process pool (the experiment runner does)
+            so compute-bound threads do not oversubscribe the cores the
+            pool already occupies.  Thread count never affects results.
     """
 
     BACKENDS = ("fleet", "loop")
@@ -187,11 +215,17 @@ class SimulationEngine:
         measurement_table: Optional[MeasurementTable] = None,
         backend: str = "fleet",
         fast_forward: bool = True,
+        batched_training: bool = False,
+        profile: bool = False,
+        training_threads: Optional[int] = None,
     ) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
         self.backend = backend
         self.fast_forward = bool(fast_forward)
+        self.batched_training = bool(batched_training)
+        self.training_threads = training_threads
+        self.timers = EngineTimers(enabled=profile)
         self.config = config
         self.policy = policy
         self.table = measurement_table or MeasurementTable()
@@ -316,6 +350,12 @@ class SimulationEngine:
         self._sync_buffer: Dict[int, LocalUpdate] = {}
         self._eval_cache: Optional[Tuple[int, float, float]] = None
         self._has_run = False
+        self._batch_trainer: Optional[BatchTrainer] = None
+        self._pending_train: Dict[int, TrainRequest] = {}
+        self._trained: Dict[int, LocalUpdate] = {}
+        # Delta-only uploads suffice for the accumulate rule; replace/mixing
+        # rules consume absolute parameter vectors, so clients ship them.
+        self._upload_params = config.async_rule is not AsyncUpdateRule.ACCUMULATE
 
     # -- helpers ------------------------------------------------------------------
 
@@ -362,15 +402,69 @@ class SimulationEngine:
             current_gap=self.gap_tracker.current_gap(user),
         )
 
+    def _record_scheduled(self, user: int, base_params: np.ndarray, base_version: int) -> None:
+        """Register a just-started training job with the batched trainer.
+
+        A local round's content is fully determined the moment the job is
+        scheduled: the base parameters were captured at download, and the
+        client's RNG and momentum state cannot change while its job is in
+        flight (a training user is never ready, so nothing observes or
+        advances its client state until the upload).  The batched backend
+        exploits this by *training ahead*: pending rounds accumulate here
+        and execute as one stacked tensor program the first time any of
+        them completes — batching the whole in-flight set rather than just
+        the handful of jobs that happen to finish in the same slot.
+        """
+        if self.batched_training:
+            self._pending_train[user] = TrainRequest(
+                user_id=user, base_params=base_params, base_version=int(base_version)
+            )
+
+    def _obtain_update(
+        self, user: int, base_params: np.ndarray, base_version: int
+    ) -> LocalUpdate:
+        """The finished user's upload: serial now, or from the train-ahead batch.
+
+        Serial mode runs ``local_train`` at the completion slot, exactly as
+        before.  Batched mode answers from the train-ahead cache, executing
+        the whole pending in-flight set as one
+        :class:`~repro.fl.batch.BatchTrainer` program on a miss (see
+        :meth:`_record_scheduled` for why that is exact).
+        """
+        tick = self.timers.start()
+        if not self.batched_training:
+            update = self.clients[user].local_train(
+                base_params, int(base_version), include_params=self._upload_params
+            )
+            self.timers.stop("training", tick)
+            return update
+        update = self._trained.pop(user, None)
+        if update is None:
+            if user not in self._pending_train:  # defensive: unrecorded schedule
+                self._pending_train[user] = TrainRequest(
+                    user_id=user, base_params=base_params, base_version=int(base_version)
+                )
+            if self._batch_trainer is None:
+                self._batch_trainer = BatchTrainer(
+                    self.clients, threads=self.training_threads
+                )
+            requests = [self._pending_train[u] for u in sorted(self._pending_train)]
+            self._pending_train.clear()
+            updates = self._batch_trainer.train(requests, include_params=self._upload_params)
+            for request, trained in zip(requests, updates):
+                self._trained[request.user_id] = trained
+            update = self._trained.pop(user)
+        self.timers.stop("training", tick)
+        return update
+
     def _apply_async_update(
-        self, user: int, slot: int, base_params: np.ndarray, base_version: int
+        self, user: int, slot: int, base_params: np.ndarray, update: LocalUpdate
     ) -> float:
-        """Run the finished user's local epoch and apply it asynchronously.
+        """Apply one finished user's (already trained) upload asynchronously.
 
         Shared by both backends (the caller handles its own gap-tracker
         bookkeeping); returns the realised Eq. (2) gradient gap.
         """
-        update = self.clients[user].local_train(base_params, base_version)
         time_s = slot * self.config.slot_seconds
         realized_gap = gradient_gap_from_params(base_params, self.server.global_params())
         record = self.server.async_update(update, time_s=time_s, gradient_gap=realized_gap)
@@ -378,7 +472,7 @@ class SimulationEngine:
             ModelUpload(
                 user_id=user,
                 round_number=self.clients[user].rounds_completed,
-                base_version=base_version,
+                base_version=update.base_version,
             ),
             time_s=time_s,
         )
@@ -471,10 +565,12 @@ class SimulationEngine:
         if cached is not None and cached[0] == version:
             accuracy, loss = cached[1], cached[2]
         else:
+            tick = self.timers.start()
             self.eval_model.set_flat_params(self.server.global_params())
             x_test, y_test = self.dataset.test_set()
             accuracy, loss = evaluate_model(self.eval_model, x_test, y_test)
             self._eval_cache = (version, accuracy, loss)
+            self.timers.stop("eval", tick)
         self.accuracy.record(
             time_s=slot * self.config.slot_seconds,
             accuracy=accuracy,
@@ -504,9 +600,13 @@ class SimulationEngine:
         # across engines sequentially still works (each run resets first).
         if isinstance(self.policy, OfflinePolicy):
             self.policy.attach_oracle(self.arrivals)
-        if self.backend == "fleet":
-            return self._run_fleet()
-        return self._run_loop()
+        tick = self.timers.start()
+        try:
+            if self.backend == "fleet":
+                return self._run_fleet()
+            return self._run_loop()
+        finally:
+            self.timers.stop_total(tick)
 
     def _run_loop(self) -> SimulationResult:
         """The original per-user reference implementation of the slot loop."""
@@ -555,6 +655,7 @@ class SimulationEngine:
                 num_training=len(training_users),
                 num_users=config.num_users,
             )
+            policy_tick = self.timers.start()
             self.policy.begin_slot(context)
 
             # 3. Decisions for every ready user.
@@ -568,6 +669,11 @@ class SimulationEngine:
                     job = device.start_training(slot, self._user_states[user].base_version)
                     self.server.register_inflight(
                         user, expected_finish_s=(slot + job.duration_slots) * config.slot_seconds
+                    )
+                    self._record_scheduled(
+                        user,
+                        self._user_states[user].base_params,
+                        self._user_states[user].base_version,
                     )
                     scheduled_gap = gradient_gap(
                         observation.momentum_norm,
@@ -584,8 +690,10 @@ class SimulationEngine:
                     self._user_states[user].waiting_slots += 1
                     decided_idle_users.append(user)
                     self.trace.record_decision(scheduled=False)
+            self.timers.stop("policy", policy_tick)
 
             # 4. Advance every device by one slot.
+            finished_users: List[int] = []
             for user, device in enumerate(self.devices):
                 outcome = device.step(slot, self.power_model)
                 overhead_j = 0.0
@@ -607,20 +715,24 @@ class SimulationEngine:
                         battery.charge(config.slot_seconds)
 
                 if outcome.training_finished:
-                    state = self._user_states[user]
-                    if sync_mode:
-                        update = self.clients[user].local_train(
-                            state.base_params, state.base_version
-                        )
-                        self._sync_buffer[user] = update
-                        state.uploaded_this_round = True
-                        self.server.unregister_inflight(user)
-                    else:
-                        realized_gap = self._apply_async_update(
-                            user, slot, state.base_params, state.base_version
-                        )
-                        self.gap_tracker.on_update_applied(user, realized_gap)
-                        pending_arrivals.append(user)
+                    finished_users.append(user)
+
+            # Training completions: the upload of each finisher is obtained
+            # (train-ahead batch or serial round) and applied sequentially
+            # in ascending user order — the order the per-user code used.
+            for user in finished_users:
+                state = self._user_states[user]
+                update = self._obtain_update(user, state.base_params, state.base_version)
+                if sync_mode:
+                    self._sync_buffer[user] = update
+                    state.uploaded_this_round = True
+                    self.server.unregister_inflight(user)
+                else:
+                    realized_gap = self._apply_async_update(
+                        user, slot, state.base_params, update
+                    )
+                    self.gap_tracker.on_update_applied(user, realized_gap)
+                    pending_arrivals.append(user)
 
             if sync_mode:
                 released = self._maybe_complete_sync_round(slot, stalled_fn)
@@ -628,7 +740,9 @@ class SimulationEngine:
 
             # 5. Close the slot: queues, traces, evaluation.
             gap_sum = self.gap_tracker.total_gap()
+            policy_tick = self.timers.start()
             self.policy.end_slot(context, num_scheduled, gap_sum)
+            self.timers.stop("policy", policy_tick)
             self.accountant.close_slot()
 
             queue_length = getattr(getattr(self.policy, "task_queue", None), "length", 0.0)
@@ -675,6 +789,7 @@ class SimulationEngine:
             comm_bytes_mb=self.transport.total_bytes_mb(),
             comm_failures=self.transport.failure_count(),
             final_battery_soc=[b.soc for b in self.batteries if b is not None],
+            timers=self.timers if self.timers.enabled else None,
         )
 
     def _loop_stalled_sync_users(self) -> List[int]:
@@ -772,6 +887,7 @@ class SimulationEngine:
                 num_training=int(fleet.training_active.sum()),
                 num_users=config.num_users,
             )
+            policy_tick = self.timers.start()
             self.policy.begin_slot(context)
 
             # 3. Batched decisions for the ready pool.
@@ -788,6 +904,9 @@ class SimulationEngine:
                     duration = fleet.start_training(user)
                     self.server.register_inflight(
                         user, expected_finish_s=(slot + duration) * config.slot_seconds
+                    )
+                    self._record_scheduled(
+                        user, fleet.base_params[user], int(fleet.base_version[user])
                     )
                     # The Eq. (4) gap at schedule time uses the same
                     # sequentially-coupled lag the policy decided with.
@@ -806,23 +925,23 @@ class SimulationEngine:
                 fleet.waiting_slots[idle_users] += 1
                 decided_idle[idle_users] = True
                 self.trace.decisions["idle"] += len(idle_users)
+            self.timers.stop("policy", policy_tick)
 
-            # 4. Advance the whole fleet by one slot.
+            # 4. Advance the whole fleet by one slot.  Each finisher's upload
+            # is obtained (train-ahead batch or serial round) and applied
+            # sequentially in ascending user order, exactly as before.
             outcome = fleet.advance(decided_idle)
             for user in outcome.finished_users:
                 user = int(user)
+                update = self._obtain_update(
+                    user, fleet.base_params[user], int(fleet.base_version[user])
+                )
+                fleet.momentum_norms[user] = update.momentum_norm
                 if sync_mode:
-                    update = self.clients[user].local_train(
-                        fleet.base_params[user], int(fleet.base_version[user])
-                    )
-                    fleet.momentum_norms[user] = self.clients[user].momentum_norm()
                     self._sync_buffer[user] = update
                     self.server.unregister_inflight(user)
                 else:
-                    self._apply_async_update(
-                        user, slot, fleet.base_params[user], int(fleet.base_version[user])
-                    )
-                    fleet.momentum_norms[user] = self.clients[user].momentum_norm()
+                    self._apply_async_update(user, slot, fleet.base_params[user], update)
                     fleet.gaps[user] = 0.0
                     pending_arrivals.append(user)
 
@@ -834,7 +953,9 @@ class SimulationEngine:
 
             # 5. Close the slot: queues, traces, evaluation.
             gap_sum = fleet.total_gap()
+            policy_tick = self.timers.start()
             self.policy.end_slot(context, num_scheduled, gap_sum)
+            self.timers.stop("policy", policy_tick)
             fleet.accountant.close_slot()
 
             if slot % config.trace_interval_slots == 0:
@@ -879,6 +1000,7 @@ class SimulationEngine:
             comm_bytes_mb=self.transport.total_bytes_mb(),
             comm_failures=self.transport.failure_count(),
             final_battery_soc=fleet.final_battery_soc(),
+            timers=self.timers if self.timers.enabled else None,
         )
 
     # -- event-horizon fast forward ----------------------------------------------------
@@ -923,6 +1045,7 @@ class SimulationEngine:
         # inherit the no-op base hooks need nothing; anything else gets its
         # begin/end hooks invoked per slot with the contexts the slot-by-slot
         # path would have passed (e.g. the offline policy's window planner).
+        policy_tick = self.timers.start()
         tick_queue: Optional[List[Tuple[float, float]]] = None
         if type(policy) is OnlinePolicy:
             queue_length = policy.task_queue.advance_idle(advanced)
@@ -960,6 +1083,7 @@ class SimulationEngine:
                                 ),
                             )
                         )
+        self.timers.stop("policy", policy_tick)
 
         # Trace backfill: the sampled slots inside the region carry the
         # constant gap sum and ready/training counts, the replayed queue

@@ -1,0 +1,91 @@
+"""Per-subsystem wall-clock instrumentation for the simulation engine.
+
+Answers "where does a run actually spend its time?" — the question behind
+every backend optimisation in this repo (the fleet backend attacks the slot
+loop, fast-forward attacks quiet slots, the batched trainer attacks the
+training path).  One :class:`EngineTimers` instance rides along a single
+engine run and buckets wall-clock into:
+
+* ``training`` — the real NumPy local rounds (serial or batched);
+* ``policy``  — building observations and evaluating scheduling decisions;
+* ``eval``    — held-out evaluation of the global model;
+* ``slot_loop`` (derived) — everything else: device advancement, energy
+  accounting, queues, traces, fast-forward kernels.
+
+Timers are disabled by default and cost nothing when off (``start`` /
+``stop`` reduce to attribute checks); they never influence simulation
+results.  ``repro-sim simulate/compare --profile`` prints the report and
+:class:`~repro.analysis.runner.RunSummary` carries the shares for every
+suite run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+__all__ = ["EngineTimers"]
+
+
+class EngineTimers:
+    """Wall-clock shares of one simulation run, by subsystem.
+
+    Args:
+        enabled: when ``False`` (default) every method is a cheap no-op.
+    """
+
+    #: Buckets measured directly; ``slot_loop`` is derived as the remainder.
+    CATEGORIES = ("training", "policy", "eval")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self.seconds: Dict[str, float] = {name: 0.0 for name in self.CATEGORIES}
+        self.total_s = 0.0
+
+    def start(self) -> float:
+        """Begin one timed section; returns the tick to pass to :meth:`stop`."""
+        if not self.enabled:
+            return 0.0
+        return time.perf_counter()
+
+    def stop(self, category: str, tick: float) -> None:
+        """Close a timed section opened by :meth:`start`."""
+        if not self.enabled:
+            return
+        self.seconds[category] += time.perf_counter() - tick
+
+    def stop_total(self, tick: float) -> None:
+        """Close the whole-run section (bounds the derived remainder)."""
+        if not self.enabled:
+            return
+        self.total_s += time.perf_counter() - tick
+
+    # -- reporting ---------------------------------------------------------------
+
+    def slot_loop_s(self) -> float:
+        """Wall-clock not attributed to any measured category."""
+        return max(0.0, self.total_s - sum(self.seconds.values()))
+
+    def shares(self) -> Optional[Dict[str, float]]:
+        """Fractional wall-clock share per subsystem (``None`` when disabled).
+
+        Keys: the measured categories plus the derived ``slot_loop``
+        remainder; values sum to 1 for any non-trivial run.
+        """
+        if not self.enabled or self.total_s <= 0.0:
+            return None
+        shares = {name: value / self.total_s for name, value in self.seconds.items()}
+        shares["slot_loop"] = self.slot_loop_s() / self.total_s
+        return shares
+
+    def report(self) -> str:
+        """A one-block plain-text profile for the CLI's ``--profile`` flag."""
+        shares = self.shares()
+        if shares is None:
+            return "profile: timers disabled or nothing recorded"
+        lines = [f"wall-clock profile ({self.total_s:.3f}s total)"]
+        ordered = ("training", "policy", "eval", "slot_loop")
+        values = dict(self.seconds, slot_loop=self.slot_loop_s())
+        for name in ordered:
+            lines.append(f"  {name:<10} {values[name]:8.3f}s  {100.0 * shares[name]:5.1f}%")
+        return "\n".join(lines)

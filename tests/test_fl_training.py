@@ -195,10 +195,10 @@ class TestParameterServer:
         base = np.zeros(2)
         server = ParameterServer(base)
         updates = [
-            LocalUpdate(0, np.full(2, 2.0), np.full(2, 2.0), 0, num_samples=30,
-                        train_loss=1.0, momentum_norm=0.0, num_batches=1),
-            LocalUpdate(1, np.full(2, 8.0), np.full(2, 8.0), 0, num_samples=10,
-                        train_loss=1.0, momentum_norm=0.0, num_batches=1),
+            LocalUpdate(0, delta=np.full(2, 2.0), params=np.full(2, 2.0), base_version=0,
+                        num_samples=30, train_loss=1.0, momentum_norm=0.0, num_batches=1),
+            LocalUpdate(1, delta=np.full(2, 8.0), params=np.full(2, 8.0), base_version=0,
+                        num_samples=10, train_loss=1.0, momentum_norm=0.0, num_batches=1),
         ]
         records = server.sync_round(updates, time_s=5.0)
         assert np.allclose(server.global_params(), 3.5)

@@ -101,6 +101,48 @@ class TestKnapsackSolver:
         solution = solver.solve(items)
         assert solution.total_saving_j == pytest.approx(best)
 
+    def test_vectorized_dp_matches_scalar_reference(self):
+        """The NumPy rolling-array DP reproduces the scalar Algorithm 1 DP
+        exactly — selections, values and tie-breaks — on randomized
+        instances (including zero-weight items and infeasible ones)."""
+        import numpy as np
+
+        def scalar_solve(solver, items):
+            candidates = [
+                (i, item)
+                for i, item in enumerate(items)
+                if item.energy_saving_j > 0.0 and item.gradient_gap <= solver.capacity
+            ]
+            cap = solver.resolution
+            best = [0.0] * (cap + 1)
+            chosen = [[] for _ in range(cap + 1)]
+            for index, item in candidates:
+                weight = max(0, solver._quantise(item.gradient_gap))
+                for y in range(cap, weight - 1, -1):
+                    value = best[y - weight] + item.energy_saving_j
+                    if value > best[y]:
+                        best[y] = value
+                        chosen[y] = chosen[y - weight] + [index]
+            best_y = max(range(cap + 1), key=lambda y: best[y])
+            return [items[i].user_id for i in chosen[best_y]], best[best_y]
+
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            capacity = float(rng.uniform(1.0, 1500.0))
+            solver = KnapsackSolver(capacity, resolution=int(rng.choice([40, 250])))
+            items = [
+                self._item(
+                    user,
+                    float(rng.uniform(-5.0, 300.0)),
+                    float(rng.uniform(0.0, capacity * 1.3)),
+                )
+                for user in range(int(rng.integers(0, 24)))
+            ]
+            solution = solver.solve(items)
+            expected_ids, expected_value = scalar_solve(solver, items)
+            assert solution.selected_user_ids == expected_ids
+            assert solution.total_saving_j == expected_value
+
     def test_skips_negative_saving_items(self):
         solver = KnapsackSolver(capacity=100.0)
         items = [self._item(0, -50.0, 1.0), self._item(1, 20.0, 1.0)]

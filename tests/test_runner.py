@@ -131,9 +131,10 @@ class TestExperimentSuiteDeterminism:
         sequential = ExperimentSuite(jobs=1).run(specs)
         parallel = ExperimentSuite(jobs=2).run(specs)
         for seq, par in zip(sequential, parallel):
-            # Wall time legitimately differs between processes.
-            seq = RunSummary(**{**seq.__dict__, "wall_time_s": 0.0})
-            par = RunSummary(**{**par.__dict__, "wall_time_s": 0.0})
+            # Wall time (and the derived timing shares) legitimately
+            # differs between processes.
+            seq = RunSummary(**{**seq.__dict__, "wall_time_s": 0.0, "timing_shares": None})
+            par = RunSummary(**{**par.__dict__, "wall_time_s": 0.0, "timing_shares": None})
             assert seq == par
 
     def test_map_results_preserves_order_and_determinism(self):
