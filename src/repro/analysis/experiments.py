@@ -50,6 +50,7 @@ __all__ = [
     "fig5_convergence",
     "fig5c_time_to_accuracy",
     "fig6_arrival_sweep",
+    "scenario_policy_rows",
 ]
 
 
@@ -537,3 +538,59 @@ def fig6_arrival_sweep(
         for name, result in runs.items():
             output[name].append((prob, result.total_energy_kj(), result.final_accuracy()))
     return output
+
+
+# ---------------------------------------------------------------------------
+# Scenario gallery
+# ---------------------------------------------------------------------------
+
+
+def scenario_policy_rows(
+    scenario,
+    policies: Sequence[str] = ("immediate", "sync", "offline", "online"),
+    v: float = 4000.0,
+    staleness_bound: float = 500.0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    carbon_intensity=None,
+) -> List[Tuple]:
+    """All scheduling schemes on one named scenario, as report-ready rows.
+
+    The scenario-subsystem sibling of the Fig. 5 comparison: every policy
+    runs on the *same compiled population* (identical devices, arrivals,
+    connectivity, batteries and shards), so differences are attributable to
+    scheduling alone.  Returns one
+    ``(policy, energy_kj, saving_vs_first_pct, updates, final_accuracy[,
+    carbon_g])`` tuple per policy; the saving column is relative to the
+    first policy in ``policies``.
+
+    Args:
+        scenario: registry name, :class:`~repro.scenarios.spec.ScenarioSpec`
+            or compiled scenario.
+        carbon_intensity: when set, appends a CO2-equivalent grams column
+            (see :func:`repro.analysis.runner.annotate_carbon`).
+    """
+    from repro.analysis.runner import annotate_carbon
+    from repro.scenarios.runner import ScenarioRunner
+
+    runner = ScenarioRunner(
+        cache_dir=cache_dir, jobs=jobs, batched_training=batched_training_default()
+    )
+    summaries = runner.sweep_policies(
+        scenario,
+        policies=policies,
+        online_kwargs={"v": v, "staleness_bound": staleness_bound},
+    )
+    if carbon_intensity is not None:
+        annotate_carbon(summaries, carbon_intensity)
+    baseline_j = summaries[0].energy_j
+    rows: List[Tuple] = []
+    for policy, summary in zip(policies, summaries):
+        saving = (
+            100.0 * (1.0 - summary.energy_j / baseline_j) if baseline_j > 0 else 0.0
+        )
+        row = [policy, summary.energy_kj, saving, summary.num_updates, summary.final_accuracy]
+        if carbon_intensity is not None:
+            row.append(summary.carbon_g)
+        rows.append(tuple(row))
+    return rows

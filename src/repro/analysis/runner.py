@@ -47,6 +47,7 @@ __all__ = [
     "RunSpec",
     "RunSummary",
     "ExperimentSuite",
+    "annotate_carbon",
     "make_policy",
     "run_spec",
     "summarize_result",
@@ -187,6 +188,11 @@ class RunSummary:
     #: slot_loop) from :class:`repro.sim.timers.EngineTimers`; every suite
     #: run is profiled, so sweeps can report where their time went.
     timing_shares: Optional[Dict[str, float]] = None
+    #: CO2-equivalent grams of the run's total energy; ``None`` unless the
+    #: consumer opted in (``--carbon-intensity`` / :func:`annotate_carbon`).
+    #: Derived from ``energy_j`` at reporting time, so cached summaries can
+    #: be (re-)annotated under any grid intensity without re-simulation.
+    carbon_g: Optional[float] = None
     from_cache: bool = False
 
     def to_json(self) -> str:
@@ -246,6 +252,28 @@ def summarize_result(
         wall_time_s=wall_time_s,
         timing_shares=result.timing_shares(),
     )
+
+
+def annotate_carbon(summaries: Sequence[RunSummary], intensity) -> List[RunSummary]:
+    """Fill :attr:`RunSummary.carbon_g` from each summary's energy total.
+
+    Args:
+        summaries: finished (possibly cache-served) run summaries.
+        intensity: a :data:`repro.energy.carbon.GRID_INTENSITIES` region
+            name, a numeric grid intensity in gCO2e/kWh, or a
+            :class:`~repro.energy.carbon.CarbonIntensity`.
+
+    Returns:
+        The same summary objects, annotated in place, for chaining.
+    """
+    from repro.energy.carbon import CarbonAccountant, CarbonIntensity
+
+    if isinstance(intensity, (int, float)):
+        intensity = CarbonIntensity("custom", float(intensity))
+    accountant = CarbonAccountant(intensity)
+    for summary in summaries:
+        summary.carbon_g = accountant.grams_co2(summary.energy_j)
+    return list(summaries)
 
 
 def _execute_summary(spec: RunSpec) -> RunSummary:

@@ -87,11 +87,42 @@ def _build_dataset(config: SimulationConfig) -> SyntheticCifar10:
     )
 
 
-def _result_row(name: str, result: SimulationResult, baseline: Optional[SimulationResult]) -> List:
+def _carbon_accountant(args: argparse.Namespace):
+    """Build the optional CO2 accountant from ``--carbon-intensity``.
+
+    Accepts a :data:`repro.energy.carbon.GRID_INTENSITIES` region name or a
+    numeric grid intensity in gCO2e/kWh; returns ``None`` when the knob is
+    unset (carbon reporting stays off by default).
+    """
+    raw = getattr(args, "carbon_intensity", None)
+    if raw is None:
+        return None
+    from repro.energy.carbon import CarbonAccountant, CarbonIntensity, GRID_INTENSITIES
+
+    try:
+        grams_per_kwh = float(raw)
+    except ValueError:
+        if raw not in GRID_INTENSITIES:
+            raise SystemExit(
+                f"unknown carbon intensity {raw!r}; pass gCO2e/kWh or one of "
+                f"{sorted(GRID_INTENSITIES)}"
+            )
+        return CarbonAccountant(raw)
+    if grams_per_kwh < 0:
+        raise SystemExit("carbon intensity must be non-negative (gCO2e/kWh)")
+    return CarbonAccountant(CarbonIntensity("custom", grams_per_kwh))
+
+
+def _result_row(
+    name: str,
+    result: SimulationResult,
+    baseline: Optional[SimulationResult],
+    carbon=None,
+) -> List:
     saving = None
     if baseline is not None and baseline.total_energy_j() > 0:
         saving = 100.0 * (1.0 - result.total_energy_j() / baseline.total_energy_j())
-    return [
+    row = [
         name,
         result.total_energy_kj(),
         saving,
@@ -100,12 +131,21 @@ def _result_row(name: str, result: SimulationResult, baseline: Optional[Simulati
         result.mean_queue_length(),
         result.mean_virtual_queue_length(),
     ]
+    if carbon is not None:
+        row.append(carbon.grams_co2_from_result(result))
+    return row
 
 
 _RESULT_HEADERS = [
     "scheme", "energy (kJ)", "saving vs immediate %", "updates",
     "final accuracy", "mean Q(t)", "mean H(t)",
 ]
+
+
+def _result_headers(carbon=None) -> List[str]:
+    if carbon is None:
+        return list(_RESULT_HEADERS)
+    return [*_RESULT_HEADERS, "CO2 (g)"]
 
 
 # ---------------------------------------------------------------------------
@@ -165,12 +205,14 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args)
     dataset = _build_dataset(config)
+    carbon = _carbon_accountant(args)
     result = SimulationEngine(
         config, _build_policy(args), dataset=dataset, backend=args.backend,
         fast_forward=not args.no_fast_forward,
         batched_training=args.batched_training, profile=args.profile,
     ).run()
-    print(format_table(_RESULT_HEADERS, [_result_row(args.policy, result, None)],
+    print(format_table(_result_headers(carbon),
+                       [_result_row(args.policy, result, None, carbon)],
                        float_format=".3f", title="Simulation summary"))
     if args.profile and result.timers is not None:
         print()
@@ -203,8 +245,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             batched_training=args.batched_training, profile=args.profile,
         ).run()
     baseline = results["immediate"]
-    rows = [_result_row(name, result, baseline) for name, result in results.items()]
-    print(format_table(_RESULT_HEADERS, rows, float_format=".3f",
+    carbon = _carbon_accountant(args)
+    rows = [
+        _result_row(name, result, baseline, carbon) for name, result in results.items()
+    ]
+    print(format_table(_result_headers(carbon), rows, float_format=".3f",
                        title="Policy comparison (identical fleet, arrivals and data)"))
     if args.profile:
         for name, result in results.items():
@@ -221,8 +266,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.runner import ExperimentSuite, RunSpec, sweep_grid
+    from repro.analysis.runner import ExperimentSuite, RunSpec, annotate_carbon, sweep_grid
 
+    carbon = _carbon_accountant(args)
     config_kwargs = _config_kwargs(args)
     baseline_spec = RunSpec(
         policy="immediate", config=dict(config_kwargs), backend=args.backend,
@@ -252,6 +298,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     for name, value in summary.timing_shares.items()
                 )
                 print(f"profile {summary.label}: {shares}", file=sys.stderr)
+    if carbon is not None:
+        annotate_carbon(summaries, carbon.intensity)
     rows = [
         [
             v,
@@ -260,15 +308,195 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             summary.mean_queue_length,
             summary.mean_virtual_queue_length,
         ]
+        + ([summary.carbon_g] if carbon is not None else [])
         for v, summary in zip(args.v_values, online)
     ]
+    headers = ["V", "energy (kJ)", "saving vs immediate %", "mean Q(t)", "mean H(t)"]
+    if carbon is not None:
+        headers.append("CO2 (g)")
     print(format_table(
-        ["V", "energy (kJ)", "saving vs immediate %", "mean Q(t)", "mean H(t)"],
+        headers,
         rows,
         float_format=".2f",
         title=f"V sweep (Lb={args.staleness_bound:.0f}); immediate = "
               f"{immediate.energy_kj:.1f} kJ",
     ))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Scenario subcommands
+# ---------------------------------------------------------------------------
+
+
+def _load_scenario(args: argparse.Namespace):
+    """Resolve the scenario named on the command line (registry or file)."""
+    from repro.scenarios import get_scenario, load_scenario_file
+
+    if getattr(args, "spec_file", None):
+        spec = load_scenario_file(args.spec_file)
+        if getattr(args, "name", None) and args.name != spec.name:
+            raise SystemExit(
+                f"--spec-file defines scenario {spec.name!r}, not {args.name!r}"
+            )
+        return spec
+    if not getattr(args, "name", None):
+        raise SystemExit("name a registry scenario or pass --spec-file")
+    try:
+        return get_scenario(args.name)
+    except KeyError as error:
+        raise SystemExit(str(error))
+
+
+def _scenario_runner(args: argparse.Namespace):
+    from repro.scenarios import ScenarioRunner
+
+    return ScenarioRunner(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        backend=args.backend,
+        fast_forward=not args.no_fast_forward,
+        batched_training=args.batched_training,
+    )
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios
+
+    rows = [
+        [
+            spec.name,
+            spec.num_users,
+            spec.total_slots,
+            len(spec.cohorts),
+            spec.spec_hash(),
+            ",".join(spec.tags),
+        ]
+        for spec in list_scenarios()
+    ]
+    print(format_table(
+        ["scenario", "users", "slots", "cohorts", "spec hash", "tags"],
+        rows,
+        title="Scenario registry",
+    ))
+    return 0
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    from repro.scenarios import compile_scenario
+
+    spec = _load_scenario(args)
+    compiled = compile_scenario(spec)
+    print(f"{spec.name} — {spec.description}")
+    print(f"users={spec.num_users} slots={spec.total_slots} seed={spec.seed} "
+          f"spec_hash={spec.spec_hash()}")
+    if spec.base:
+        print(f"base overrides: {spec.base}")
+    rows = []
+    for cohort, size in zip(spec.cohorts, compiled.sizes):
+        rows.append([
+            cohort.name,
+            size,
+            "default" if cohort.device_mix is None else str(cohort.device_mix),
+            "default" if cohort.arrival is None else cohort.arrival.get("kind"),
+            "default" if cohort.wifi_fraction is None else f"{cohort.wifi_fraction:g}",
+            "none" if cohort.battery is None else str(cohort.battery),
+            "none" if cohort.data_alpha is None else f"{cohort.data_alpha:g}",
+        ])
+    print(format_table(
+        ["cohort", "users", "devices", "arrival", "wifi", "battery", "data skew"],
+        rows,
+        title="Cohorts",
+    ))
+    counts = compiled.device_counts()
+    if counts is not None:
+        print(f"pinned devices: {counts}")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import annotate_carbon
+
+    spec = _load_scenario(args)
+    carbon = _carbon_accountant(args)
+    runner = _scenario_runner(args)
+    policy_kwargs = (
+        {"v": args.v, "staleness_bound": args.staleness_bound}
+        if args.policy == "online"
+        else {}
+    )
+    summaries = runner.run(
+        [spec], policy=args.policy, policy_kwargs=policy_kwargs, refresh=args.refresh
+    )
+    if carbon is not None:
+        annotate_carbon(summaries, carbon.intensity)
+    summary = summaries[0]
+    if summary.from_cache:
+        print("served from cache", file=sys.stderr)
+    headers = [
+        "scenario", "policy", "energy (kJ)", "updates", "final accuracy",
+        "mean Q(t)", "battery SoC", "wall (s)",
+    ]
+    row = [
+        spec.name, args.policy, summary.energy_kj, summary.num_updates,
+        summary.final_accuracy, summary.mean_queue_length,
+        summary.mean_final_battery_soc, summary.wall_time_s,
+    ]
+    if carbon is not None:
+        headers.append("CO2 (g)")
+        row.append(summary.carbon_g)
+    print(format_table(headers, [row], float_format=".3f",
+                       title=f"Scenario run (spec hash {spec.spec_hash()})"))
+    if args.profile and summary.timing_shares:
+        shares = "  ".join(
+            f"{name}={100.0 * value:.0f}%"
+            for name, value in summary.timing_shares.items()
+        )
+        print(f"profile: {shares}", file=sys.stderr)
+    return 0
+
+
+def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import annotate_carbon
+
+    spec = _load_scenario(args)
+    carbon = _carbon_accountant(args)
+    runner = _scenario_runner(args)
+    if args.v_values:
+        summaries = runner.sweep_v(
+            spec, v_values=args.v_values, staleness_bound=args.staleness_bound,
+            refresh=args.refresh,
+        )
+        labels = [f"V={v:g}" for v in args.v_values]
+        title = f"Online V sweep on {spec.name} (Lb={args.staleness_bound:.0f})"
+    else:
+        policies = args.policies
+        summaries = runner.sweep_policies(
+            spec,
+            policies=policies,
+            online_kwargs={"v": args.v, "staleness_bound": args.staleness_bound},
+            refresh=args.refresh,
+        )
+        labels = list(policies)
+        title = f"Policy comparison on {spec.name}"
+    if carbon is not None:
+        annotate_carbon(summaries, carbon.intensity)
+    cached = sum(1 for s in summaries if s.from_cache)
+    if cached:
+        print(f"{cached}/{len(summaries)} runs served from cache", file=sys.stderr)
+    baseline_j = summaries[0].energy_j
+    headers = ["run", "energy (kJ)", "saving vs first %", "updates", "final accuracy"]
+    if carbon is not None:
+        headers.append("CO2 (g)")
+    rows = []
+    for label, summary in zip(labels, summaries):
+        saving = 100.0 * (1.0 - summary.energy_j / baseline_j) if baseline_j > 0 else 0.0
+        row = [label, summary.energy_kj, saving, summary.num_updates,
+               summary.final_accuracy]
+        if carbon is not None:
+            row.append(summary.carbon_g)
+        rows.append(row)
+    print(format_table(headers, rows, float_format=".3f", title=title))
     return 0
 
 
@@ -301,6 +529,11 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="print per-subsystem wall-clock shares "
                              "(training / policy / eval / slot loop)")
+    parser.add_argument("--carbon-intensity", default=None,
+                        help="report CO2-equivalent grams alongside energy: a "
+                             "grid region (world_average, us_average, "
+                             "eu_average, coal_heavy, hydro) or gCO2e/kWh; "
+                             "off by default")
     parser.add_argument("--plot", action="store_true", help="print ASCII accuracy curves")
 
 
@@ -351,6 +584,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache run summaries here, keyed by config hash; "
                             "repeated sweeps skip finished runs")
     sweep.set_defaults(func=_cmd_sweep)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="declarative heterogeneous-fleet scenarios (see docs/scenarios.md)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    sc_list = scenario_sub.add_parser("list", help="list registered scenarios")
+    sc_list.set_defaults(func=_cmd_scenario_list)
+
+    def _add_scenario_target(sub: argparse.ArgumentParser):
+        sub.add_argument("name", nargs="?", default=None,
+                         help="registry scenario name")
+        sub.add_argument("--spec-file", default=None,
+                         help="load the scenario from a .json/.toml spec file "
+                              "instead of the registry")
+
+    def _add_scenario_exec(sub: argparse.ArgumentParser):
+        sub.add_argument("--policy", choices=["immediate", "sync", "offline", "online"],
+                         default="online")
+        sub.add_argument("--v", type=float, default=4000.0)
+        sub.add_argument("--staleness-bound", type=float, default=500.0)
+        sub.add_argument("--backend", choices=["fleet", "loop"], default="fleet")
+        sub.add_argument("--no-fast-forward", action="store_true")
+        sub.add_argument("--batched-training", action="store_true")
+        sub.add_argument("--profile", action="store_true")
+        sub.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (0 = one per CPU core)")
+        sub.add_argument("--cache-dir", default=None,
+                         help="cache summaries here, keyed by the compiled "
+                              "scenario's content hash")
+        sub.add_argument("--refresh", action="store_true",
+                         help="ignore (and overwrite) cached summaries")
+        sub.add_argument("--carbon-intensity", default=None,
+                         help="report CO2-equivalent grams (region or gCO2e/kWh)")
+
+    sc_show = scenario_sub.add_parser("show", help="cohorts and compiled assignments")
+    _add_scenario_target(sc_show)
+    sc_show.set_defaults(func=_cmd_scenario_show)
+
+    sc_run = scenario_sub.add_parser("run", help="run one scenario end to end")
+    _add_scenario_target(sc_run)
+    _add_scenario_exec(sc_run)
+    sc_run.set_defaults(func=_cmd_scenario_run)
+
+    sc_sweep = scenario_sub.add_parser(
+        "sweep", help="sweep policies (default) or --v-values on one scenario"
+    )
+    _add_scenario_target(sc_sweep)
+    _add_scenario_exec(sc_sweep)
+    sc_sweep.add_argument("--v-values", type=float, nargs="+", default=None,
+                          help="sweep the online control knob V instead of "
+                               "comparing policies")
+    sc_sweep.add_argument("--policies", nargs="+",
+                          default=["immediate", "sync", "offline", "online"],
+                          choices=["immediate", "sync", "offline", "online"])
+    sc_sweep.set_defaults(func=_cmd_scenario_sweep)
 
     return parser
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -70,6 +70,12 @@ class NetworkModel:
         offline_probability: per-query probability of being disconnected.
         bandwidth_jitter: relative standard deviation applied to the profile
             bandwidths each time a condition is sampled.
+        assignments: optional explicit home-network assignment per user id
+            (``True`` = Wi-Fi, ``False`` = LTE).  Users covered by an
+            assignment never consume an RNG draw for it; users beyond the
+            sequence fall back to the stochastic ``wifi_probability``
+            assignment.  The scenario compiler uses this to pin per-cohort
+            connectivity deterministically.
     """
 
     def __init__(
@@ -78,6 +84,7 @@ class NetworkModel:
         wifi_probability: float = 0.7,
         offline_probability: float = 0.0,
         bandwidth_jitter: float = 0.15,
+        assignments: Optional[Sequence[bool]] = None,
     ) -> None:
         if not 0.0 <= wifi_probability <= 1.0:
             raise ValueError("wifi_probability must be in [0, 1]")
@@ -88,6 +95,11 @@ class NetworkModel:
         self.offline_probability = offline_probability
         self.bandwidth_jitter = bandwidth_jitter
         self._assignment: Dict[int, NetworkType] = {}
+        if assignments is not None:
+            for user_id, wifi in enumerate(assignments):
+                self._assignment[user_id] = (
+                    NetworkType.WIFI if wifi else NetworkType.LTE
+                )
 
     def assign(self, user_id: int) -> NetworkType:
         """Assign (and memoise) the home network type of ``user_id``."""

@@ -28,7 +28,13 @@ __all__ = [
     "SyntheticCifar10",
     "partition_iid",
     "partition_dirichlet",
+    "partition_mixed",
 ]
+
+#: Dirichlet concentration standing in for "IID" inside a mixed partition: at
+#: this concentration the per-class proportions are essentially uniform, so a
+#: cohort without skew receives a near-equal slice of every class.
+IID_EQUIVALENT_ALPHA = 1e4
 
 
 @dataclass
@@ -200,29 +206,28 @@ def partition_iid(
     ]
 
 
-def partition_dirichlet(
+def _partition_by_class_proportions(
     x: np.ndarray,
     y: np.ndarray,
     num_users: int,
     rng: np.random.Generator,
-    alpha: float = 0.5,
-    num_classes: Optional[int] = None,
+    num_classes: Optional[int],
+    draw_proportions,
 ) -> List[DataPartition]:
-    """Dirichlet(label-skew) non-IID partition, for heterogeneity ablations.
+    """Shared label-skew partitioning loop.
 
-    Smaller ``alpha`` concentrates each class on fewer users.  Every user is
-    guaranteed at least one sample (leftovers are assigned round-robin).
+    Per class: shuffle the class pool, obtain one per-user proportion vector
+    from ``draw_proportions()`` (called after the shuffle, preserving the
+    historical RNG draw order of :func:`partition_dirichlet`), split the
+    pool by those proportions with the rounding remainder distributed
+    round-robin, then donate samples so every user ends up non-empty.
     """
-    if num_users <= 0:
-        raise ValueError("num_users must be positive")
-    if alpha <= 0:
-        raise ValueError("alpha must be positive")
     num_classes = int(num_classes if num_classes is not None else y.max() + 1)
     user_indices: Dict[int, List[int]] = {u: [] for u in range(num_users)}
     for cls in range(num_classes):
         cls_idx = np.where(y == cls)[0]
         rng.shuffle(cls_idx)
-        proportions = rng.dirichlet([alpha] * num_users)
+        proportions = draw_proportions()
         counts = (proportions * len(cls_idx)).astype(int)
         # Distribute the rounding remainder.
         remainder = len(cls_idx) - counts.sum()
@@ -244,3 +249,75 @@ def partition_dirichlet(
         idx = np.array(sorted(user_indices[user]), dtype=int)
         partitions.append(DataPartition(user_id=user, x=x[idx], y=y[idx]))
     return partitions
+
+
+def partition_dirichlet(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_users: int,
+    rng: np.random.Generator,
+    alpha: float = 0.5,
+    num_classes: Optional[int] = None,
+) -> List[DataPartition]:
+    """Dirichlet(label-skew) non-IID partition, for heterogeneity ablations.
+
+    Smaller ``alpha`` concentrates each class on fewer users.  Every user is
+    guaranteed at least one sample (leftovers are assigned round-robin).
+    """
+    if num_users <= 0:
+        raise ValueError("num_users must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return _partition_by_class_proportions(
+        x, y, num_users, rng, num_classes,
+        lambda: rng.dirichlet([alpha] * num_users),
+    )
+
+
+def partition_mixed(
+    x: np.ndarray,
+    y: np.ndarray,
+    alphas: Sequence[Optional[float]],
+    rng: np.random.Generator,
+    num_classes: Optional[int] = None,
+) -> List[DataPartition]:
+    """Per-user label-skew partition with heterogeneous Dirichlet concentrations.
+
+    The scenario subsystem's cohorts may mix skewed and unskewed data: each
+    user carries its own concentration ``alphas[u]`` (``None`` means "no
+    skew", realised as the near-uniform :data:`IID_EQUIVALENT_ALPHA`).
+
+    The per-class proportions are *mean-normalised* Gamma draws: user ``u``
+    receives weight ``Gamma(alpha_u, 1) / alpha_u`` (mean 1, variance
+    ``1/alpha_u``), and the weights are normalised per class.  Every user
+    therefore holds an equal share of the data *in expectation* regardless
+    of its alpha — a skewed user differs in label *composition* (high
+    per-class variance), not in sample count.  A naive joint
+    ``Dirichlet(alphas)`` would instead allocate mass proportionally to the
+    alphas and starve the low-alpha users of data entirely.  When every
+    alpha is equal the scale factors cancel and the per-class draw is
+    distributed exactly as :func:`partition_dirichlet`'s symmetric
+    Dirichlet.
+
+    Every user is guaranteed at least one sample.
+    """
+    num_users = len(alphas)
+    if num_users <= 0:
+        raise ValueError("alphas must name at least one user")
+    resolved = np.array(
+        [IID_EQUIVALENT_ALPHA if alpha is None else float(alpha) for alpha in alphas]
+    )
+    if np.any(resolved <= 0):
+        raise ValueError("every alpha must be positive (or None for no skew)")
+
+    def draw_proportions() -> np.ndarray:
+        weights = rng.gamma(shape=resolved, scale=1.0) / resolved
+        total = float(weights.sum())
+        if total <= 0:  # every draw underflowed (only for extreme alphas)
+            weights = np.full(num_users, 1.0 / num_users)
+            total = 1.0
+        return weights / total
+
+    return _partition_by_class_proportions(
+        x, y, num_users, rng, num_classes, draw_proportions
+    )

@@ -31,7 +31,13 @@ from repro.device.apps import APP_CATALOG, AppSpec, ForegroundApp, sample_app
 from repro.device.models import DeviceSpec
 from repro.energy.measurements import MeasurementTable
 
-__all__ = ["BernoulliArrivalProcess", "DiurnalArrivalProcess", "ArrivalSchedule"]
+__all__ = [
+    "BernoulliArrivalProcess",
+    "DiurnalArrivalProcess",
+    "TraceArrivalProcess",
+    "ArrivalSchedule",
+    "build_arrival_process",
+]
 
 
 class BernoulliArrivalProcess:
@@ -87,6 +93,82 @@ class DiurnalArrivalProcess:
         )
 
 
+class TraceArrivalProcess:
+    """Replay application launches at explicit slots (usage-trace playback).
+
+    The scenario subsystem uses this to drive a cohort from a recorded (or
+    synthesized) launch pattern instead of a stochastic process: the process
+    yields probability 1 exactly at the trace slots and 0 elsewhere, so the
+    schedule generator launches at those slots deterministically (modulo the
+    generator's busy-suppression — a launch that falls while the previous
+    application is still running is skipped, exactly as a stochastic arrival
+    would have been).
+
+    The generator draws one uniform variate per non-busy slot regardless of
+    the probability, so mixing trace-driven and stochastic users in one
+    schedule keeps every user's RNG stream independent of the others'
+    processes.
+
+    Args:
+        slots: launch slots of the trace (non-negative, deduplicated).
+        period_slots: when set, the trace repeats with this period — slot
+            ``s`` launches when ``s % period_slots`` is in the trace.
+    """
+
+    def __init__(self, slots: Sequence[int], period_slots: Optional[int] = None) -> None:
+        if period_slots is not None and period_slots <= 0:
+            raise ValueError("period_slots must be positive when set")
+        cleaned = sorted({int(s) for s in slots})
+        if cleaned and cleaned[0] < 0:
+            raise ValueError("trace slots must be non-negative")
+        if period_slots is not None and cleaned and cleaned[-1] >= period_slots:
+            raise ValueError("trace slots must lie within one period")
+        self.slots = cleaned
+        self.period_slots = period_slots
+        self._slot_set = frozenset(cleaned)
+
+    def probability_at(self, slot: int, slot_seconds: float) -> float:
+        """1.0 at (periodic) trace slots, 0.0 elsewhere."""
+        if self.period_slots is not None:
+            slot = slot % self.period_slots
+        return 1.0 if slot in self._slot_set else 0.0
+
+
+def build_arrival_process(spec: Dict):
+    """Instantiate an arrival process from its declarative (JSON-able) form.
+
+    The scenario compiler stores per-user arrival processes as plain dicts in
+    :class:`~repro.sim.config.SimulationConfig.user_arrivals`; this factory
+    is the single place that interprets them.  Supported kinds:
+
+    * ``{"kind": "bernoulli", "probability": p}``
+    * ``{"kind": "diurnal", "peak_probability": p, "trough_probability": q,
+      "period_s": T, "phase_s": phi}`` (all but ``kind`` optional)
+    * ``{"kind": "trace", "slots": [...], "period_slots": n}``
+    """
+    if not isinstance(spec, dict):
+        raise TypeError(f"arrival spec must be a dict, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind == "bernoulli":
+        return BernoulliArrivalProcess(float(spec.get("probability", 0.001)))
+    if kind == "diurnal":
+        return DiurnalArrivalProcess(
+            peak_probability=float(spec.get("peak_probability", 0.002)),
+            trough_probability=float(spec.get("trough_probability", 0.0001)),
+            period_s=float(spec.get("period_s", 86_400.0)),
+            phase_s=float(spec.get("phase_s", 0.0)),
+        )
+    if kind == "trace":
+        period = spec.get("period_slots")
+        return TraceArrivalProcess(
+            spec.get("slots", ()),
+            period_slots=None if period is None else int(period),
+        )
+    raise ValueError(
+        f"unknown arrival kind {kind!r}; known: ['bernoulli', 'diurnal', 'trace']"
+    )
+
+
 class ArrivalSchedule:
     """Pre-generated application arrivals for every user over the horizon."""
 
@@ -118,13 +200,26 @@ class ArrivalSchedule:
         A new application may only arrive while no application is running;
         its duration is the Table II co-running time measured for the user's
         device and the sampled application, converted to slots.
+
+        ``process`` is either one arrival process shared by the whole fleet
+        (the paper's setting) or a sequence of per-user processes (one per
+        user, the scenario subsystem's heterogeneous fleets).  Either way
+        the generator draws exactly one uniform variate per non-busy slot,
+        so a user's arrival stream depends only on its own process.
         """
         if len(device_specs) != num_users:
             raise ValueError("device_specs must have one entry per user")
+        if isinstance(process, (list, tuple)):
+            if len(process) != num_users:
+                raise ValueError("per-user processes must have one entry per user")
+            processes = list(process)
+        else:
+            processes = [process] * num_users
         table = table or MeasurementTable()
         arrivals: Dict[int, List[ForegroundApp]] = {u: [] for u in range(num_users)}
         for user in range(num_users):
             device = device_specs[user]
+            process = processes[user]
             busy_until = -1
             for slot in range(total_slots):
                 if slot <= busy_until:

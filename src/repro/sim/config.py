@@ -13,11 +13,14 @@ scaling in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.fl.server import AsyncUpdateRule
 
 __all__ = ["SimulationConfig"]
+
+#: Tolerance when checking that a probability mix sums to one.
+_MIX_SUM_TOLERANCE = 1e-6
 
 
 @dataclass
@@ -76,6 +79,24 @@ class SimulationConfig:
         min_battery_soc: participation threshold when batteries are enabled.
         battery_charge_rate_w: charging power while the device idles (0 means
             the devices run on battery for the whole horizon).
+        user_arrivals: per-user arrival-process specs as plain dicts (see
+            :func:`repro.sim.arrivals.build_arrival_process`); overrides the
+            global ``app_arrival_prob`` / ``diurnal_arrivals`` knobs.  The
+            scenario compiler emits this for heterogeneous fleets; ``None``
+            (default) keeps the paper's single shared process.
+        user_wifi: explicit per-user home-network assignment (``True`` =
+            Wi-Fi, ``False`` = LTE); overrides the stochastic
+            ``wifi_probability`` assignment.
+        user_battery_capacity_j: per-user battery capacity in joules, with
+            ``None`` entries meaning "no battery" for that user; overrides
+            the global ``battery_capacity_j``.  Dev boards remain
+            bench-powered regardless.
+        user_charge_rate_w: per-user idle charging power; only meaningful
+            together with per-user or global battery capacities.
+        user_data_alpha: per-user Dirichlet concentration for the data
+            partition (``None`` entries mean no skew); overrides the global
+            ``non_iid_alpha`` and is realised by
+            :func:`repro.fl.dataset.partition_mixed`.
     """
 
     num_users: int = 25
@@ -115,6 +136,11 @@ class SimulationConfig:
     battery_capacity_j: Optional[float] = None
     min_battery_soc: float = 0.2
     battery_charge_rate_w: float = 0.0
+    user_arrivals: Optional[Sequence[Dict[str, Any]]] = None
+    user_wifi: Optional[Sequence[bool]] = None
+    user_battery_capacity_j: Optional[Sequence[Optional[float]]] = None
+    user_charge_rate_w: Optional[Sequence[float]] = None
+    user_data_alpha: Optional[Sequence[Optional[float]]] = None
 
     def __post_init__(self) -> None:
         if self.num_users <= 0:
@@ -137,6 +163,84 @@ class SimulationConfig:
             raise ValueError("min_battery_soc must be within [0, 1]")
         if self.battery_charge_rate_w < 0:
             raise ValueError("battery_charge_rate_w must be non-negative")
+        self._validate_device_mix()
+        self._validate_app_weights()
+        self._validate_per_user_fields()
+
+    def _validate_device_mix(self) -> None:
+        """Catch malformed device mixes here, not as downstream sampling surprises."""
+        if self.device_mix is None:
+            return
+        from repro.device.models import DEVICE_CATALOG
+
+        if not self.device_mix:
+            raise ValueError("device_mix must name at least one device")
+        unknown = sorted(set(self.device_mix) - set(DEVICE_CATALOG))
+        if unknown:
+            raise ValueError(
+                f"device_mix names unknown devices {unknown}; "
+                f"known: {sorted(DEVICE_CATALOG)}"
+            )
+        if any(p < 0 for p in self.device_mix.values()):
+            raise ValueError("device_mix probabilities must be non-negative")
+        total = float(sum(self.device_mix.values()))
+        if abs(total - 1.0) > _MIX_SUM_TOLERANCE:
+            raise ValueError(
+                f"device_mix probabilities must sum to 1 (got {total:.6g}); "
+                "normalise the mix before building the configuration"
+            )
+
+    def _validate_app_weights(self) -> None:
+        """Application-popularity weights must align with the app catalog."""
+        if self.app_weights is None:
+            return
+        from repro.device.apps import APP_CATALOG
+
+        if len(self.app_weights) != len(APP_CATALOG):
+            raise ValueError(
+                f"app_weights must have one entry per catalog app "
+                f"({len(APP_CATALOG)}; order of {sorted(APP_CATALOG)}), "
+                f"got {len(self.app_weights)}"
+            )
+        if any(w < 0 for w in self.app_weights):
+            raise ValueError("app_weights must be non-negative")
+        if sum(self.app_weights) <= 0:
+            raise ValueError("app_weights must sum to a positive value")
+
+    def _validate_per_user_fields(self) -> None:
+        """Per-user heterogeneity arrays must cover the fleet exactly."""
+        for name in (
+            "user_arrivals",
+            "user_wifi",
+            "user_battery_capacity_j",
+            "user_charge_rate_w",
+            "user_data_alpha",
+        ):
+            value = getattr(self, name)
+            if value is not None and len(value) != self.num_users:
+                raise ValueError(f"{name} must have one entry per user")
+        if self.user_arrivals is not None:
+            from repro.sim.arrivals import build_arrival_process
+
+            for user, spec in enumerate(self.user_arrivals):
+                try:
+                    build_arrival_process(spec)
+                except (TypeError, ValueError) as error:
+                    raise ValueError(
+                        f"user_arrivals[{user}] is invalid: {error}"
+                    ) from None
+        if self.user_battery_capacity_j is not None and any(
+            c is not None and c <= 0 for c in self.user_battery_capacity_j
+        ):
+            raise ValueError("user_battery_capacity_j entries must be positive or None")
+        if self.user_charge_rate_w is not None and any(
+            r < 0 for r in self.user_charge_rate_w
+        ):
+            raise ValueError("user_charge_rate_w entries must be non-negative")
+        if self.user_data_alpha is not None and any(
+            a is not None and a <= 0 for a in self.user_data_alpha
+        ):
+            raise ValueError("user_data_alpha entries must be positive or None")
 
     def total_seconds(self) -> float:
         """Simulated wall-clock horizon in seconds."""

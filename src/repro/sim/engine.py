@@ -50,11 +50,21 @@ from repro.energy.measurements import MeasurementTable
 from repro.energy.power_model import EnergyAccountant, PowerModel
 from repro.fl.batch import BatchTrainer, TrainRequest
 from repro.fl.client import FLClient, LocalUpdate
-from repro.fl.dataset import SyntheticCifar10, partition_dirichlet, partition_iid
+from repro.fl.dataset import (
+    SyntheticCifar10,
+    partition_dirichlet,
+    partition_iid,
+    partition_mixed,
+)
 from repro.fl.metrics import AccuracyTracker, evaluate_model
 from repro.fl.model import Sequential, build_mlp
 from repro.fl.server import AsyncUpdateRule, ParameterServer
-from repro.sim.arrivals import ArrivalSchedule, BernoulliArrivalProcess, DiurnalArrivalProcess
+from repro.sim.arrivals import (
+    ArrivalSchedule,
+    BernoulliArrivalProcess,
+    DiurnalArrivalProcess,
+    build_arrival_process,
+)
 from repro.sim.config import SimulationConfig
 from repro.sim.rng import spawn_generators
 from repro.sim.timers import EngineTimers
@@ -251,19 +261,31 @@ class SimulationEngine:
             include_scheduler_overhead=config.include_scheduler_overhead,
         )
         # Batteries (optional): dev boards are bench-powered and never gated.
+        # Per-user capacities/rates (the scenario compiler's heterogeneous
+        # fleets) override the global knobs; a None capacity entry means the
+        # user has no battery at all.
+        if config.user_battery_capacity_j is not None:
+            capacities = list(config.user_battery_capacity_j)
+        else:
+            capacities = [config.battery_capacity_j] * config.num_users
+        if config.user_charge_rate_w is not None:
+            charge_rates = list(config.user_charge_rate_w)
+        else:
+            charge_rates = [config.battery_charge_rate_w] * config.num_users
         self.batteries: List[Optional[Battery]] = []
-        for spec in self.device_specs:
-            if config.battery_capacity_j is None or spec.is_dev_board():
+        for user, spec in enumerate(self.device_specs):
+            if capacities[user] is None or spec.is_dev_board():
                 self.batteries.append(None)
             else:
                 self.batteries.append(
                     Battery(
-                        capacity_j=config.battery_capacity_j,
-                        charge_j=config.battery_capacity_j,
-                        charge_rate_w=max(config.battery_charge_rate_w, 0.0),
+                        capacity_j=capacities[user],
+                        charge_j=capacities[user],
+                        charge_rate_w=max(charge_rates[user], 0.0),
                         min_participation_soc=config.min_battery_soc,
                     )
                 )
+        self._has_batteries = any(b is not None for b in self.batteries)
 
         # -- dataset and FL substrate -------------------------------------------
         self.dataset = dataset or SyntheticCifar10(
@@ -278,7 +300,15 @@ class SimulationEngine:
             seed=config.seed,
         )
         x_train, y_train = self.dataset.train_set()
-        if config.non_iid_alpha is None:
+        if config.user_data_alpha is not None:
+            partitions = partition_mixed(
+                x_train,
+                y_train,
+                config.user_data_alpha,
+                rngs["dataset"],
+                num_classes=config.num_classes,
+            )
+        elif config.non_iid_alpha is None:
             partitions = partition_iid(x_train, y_train, config.num_users, rngs["dataset"])
         else:
             partitions = partition_dirichlet(
@@ -322,7 +352,9 @@ class SimulationEngine:
         )
 
         # -- arrivals and communication -------------------------------------------
-        if config.diurnal_arrivals:
+        if config.user_arrivals is not None:
+            process = [build_arrival_process(spec) for spec in config.user_arrivals]
+        elif config.diurnal_arrivals:
             process = DiurnalArrivalProcess(peak_probability=2.0 * config.app_arrival_prob)
         else:
             process = BernoulliArrivalProcess(config.app_arrival_prob)
@@ -337,7 +369,11 @@ class SimulationEngine:
             app_weights=config.app_weights,
         )
         self.transport = ModelTransport(
-            NetworkModel(rng=rngs["network"], wifi_probability=config.wifi_probability),
+            NetworkModel(
+                rng=rngs["network"],
+                wifi_probability=config.wifi_probability,
+                assignments=config.user_wifi,
+            ),
             account_radio_energy=config.account_radio_energy,
         )
 
@@ -613,9 +649,7 @@ class SimulationEngine:
         config = self.config
         sync_mode = self.policy.aggregation is Aggregation.SYNC
         stalled_fn = (
-            self._loop_stalled_sync_users
-            if config.battery_capacity_j is not None
-            else None
+            self._loop_stalled_sync_users if self._has_batteries else None
         )
 
         # All users download the initial model and arrive at slot 0.
@@ -845,9 +879,7 @@ class SimulationEngine:
             clients=self.clients,
             arrivals=self.arrivals,
         )
-        stalled_fn = (
-            fleet.stalled_sync_users if config.battery_capacity_j is not None else None
-        )
+        stalled_fn = fleet.stalled_sync_users if self._has_batteries else None
 
         # All users download the initial model and arrive at slot 0.
         pending_arrivals = list(range(config.num_users))
