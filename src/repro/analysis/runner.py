@@ -55,7 +55,8 @@ __all__ = [
 ]
 
 #: Bump to invalidate previously cached summaries when their schema changes.
-CACHE_VERSION = 2
+#: 3: ``shards`` and ``trace_level`` joined the canonical spec payload.
+CACHE_VERSION = 3
 
 #: Registered policy constructors, keyed by the CLI / spec name.
 _POLICY_FACTORIES = {
@@ -99,6 +100,17 @@ class RunSpec:
         batched_training: execute concurrent local rounds as one stacked
             tensor program (:class:`repro.fl.batch.BatchTrainer`); off by
             default, matching the engine.
+        shards: partition the population across this many worker processes
+            (:class:`repro.sim.shard.ShardedEngine`); ``1`` (default) runs
+            the single-process engine.  Any shard count produces a bitwise-
+            identical summary on the fleet fast-forward backend, but the
+            knob is still part of the cache key — an execution-mode switch
+            must never silently serve summaries simulated by a different
+            engine.
+        trace_level: telemetry volume (``full``/``summary``/``off``; see
+            :data:`repro.sim.trace.TRACE_LEVELS`).  ``summary`` bounds the
+            memory of megafleet runs; queue means are then streamed, so the
+            level is part of the cache key.
         label: optional display name for tables and progress lines.
     """
 
@@ -108,6 +120,8 @@ class RunSpec:
     backend: str = "fleet"
     fast_forward: bool = True
     batched_training: bool = False
+    shards: int = 1
+    trace_level: str = "full"
     label: Optional[str] = None
 
     def build_config(self) -> SimulationConfig:
@@ -146,6 +160,8 @@ class RunSpec:
             "backend": self.backend,
             "fast_forward": self.fast_forward,
             "batched_training": self.batched_training,
+            "shards": self.shards,
+            "trace_level": self.trace_level,
         }
         return json.dumps(payload, sort_keys=True, default=str)
 
@@ -211,7 +227,28 @@ def run_spec(spec: RunSpec) -> SimulationResult:
     Module-level (not a method) so ``multiprocessing`` can pickle it by
     reference; the dataset is rebuilt from the config seed inside the
     worker, which reproduces the shared-dataset sequential runs exactly.
+    ``shards > 1`` dispatches to the sharded fleet engine
+    (:class:`repro.sim.shard.ShardedEngine`) — same results, partitioned
+    execution.
     """
+    if spec.shards > 1:
+        if spec.backend != "fleet":
+            raise ValueError(
+                "sharded execution partitions the fleet backend; "
+                f"backend={spec.backend!r} cannot run with shards={spec.shards}"
+            )
+        from repro.sim.shard import ShardedEngine
+
+        return ShardedEngine(
+            spec.build_config(),
+            spec.build_policy(),
+            shards=spec.shards,
+            fast_forward=spec.fast_forward,
+            batched_training=spec.batched_training,
+            profile=True,
+            trace_level=spec.trace_level,
+            training_threads=1,
+        ).run()
     return SimulationEngine(
         spec.build_config(),
         spec.build_policy(),
@@ -219,6 +256,7 @@ def run_spec(spec: RunSpec) -> SimulationResult:
         fast_forward=spec.fast_forward,
         batched_training=spec.batched_training,
         profile=True,
+        trace_level=spec.trace_level,
         # Suite runs may already occupy every core with worker processes;
         # nested compute-bound trainer threads would only oversubscribe.
         # Thread count never changes results.
@@ -395,6 +433,8 @@ def sweep_grid(
     backend: str = "fleet",
     fast_forward: bool = True,
     batched_training: bool = False,
+    shards: int = 1,
+    trace_level: str = "full",
 ) -> List[RunSpec]:
     """Cartesian (policy, V, seed, arrival-rate) grid of :class:`RunSpec`.
 
@@ -412,6 +452,8 @@ def sweep_grid(
         backend: engine backend for every spec.
         fast_forward: fast-forward switch for every spec (fleet backend).
         batched_training: batched-training switch for every spec.
+        shards: population shard count for every spec (1 = single-process).
+        trace_level: telemetry volume for every spec.
     """
     base = dict(base_config or {})
     specs: List[RunSpec] = []
@@ -437,6 +479,8 @@ def sweep_grid(
                                 backend=backend,
                                 fast_forward=fast_forward,
                                 batched_training=batched_training,
+                                shards=shards,
+                                trace_level=trace_level,
                                 label=f"online V={v:g}{suffix}",
                             )
                         )
@@ -448,6 +492,8 @@ def sweep_grid(
                             backend=backend,
                             fast_forward=fast_forward,
                             batched_training=batched_training,
+                            shards=shards,
+                            trace_level=trace_level,
                             label=f"{policy}{suffix}",
                         )
                     )

@@ -15,10 +15,17 @@ Every subcommand prints plain-text tables (and optional ASCII charts) so the
 tool works in the offline environments the library targets.  Simulation
 subcommands accept ``--backend {fleet,loop}``: the vectorized fleet backend
 (default) and the per-user reference loop produce bitwise-identical results.
-``--batched-training`` switches the FL substrate to the stacked
-multi-client tensor program (equal to the serial trainer within tight
-numerical tolerance), and ``--profile`` reports where the wall-clock went
-(training vs policy vs evaluation vs slot mechanics).
+``--shards N`` partitions the population across worker processes (the
+sharded fleet engine of :mod:`repro.sim.shard` — bitwise-identical results
+for any shard count with the serial trainer; batched training groups per
+shard and matches to tight numerical tolerance), ``--trace-level summary``
+bounds telemetry memory for
+megafleet populations, ``--batched-training`` switches the FL substrate to
+the stacked multi-client tensor program (equal to the serial trainer within
+tight numerical tolerance), and ``--profile`` reports where the wall-clock
+went (training vs policy vs evaluation vs slot mechanics)::
+
+    repro-sim scenario run megafleet-100k --shards 4 --trace-level summary
 """
 
 from __future__ import annotations
@@ -202,15 +209,33 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_engine(args: argparse.Namespace, config: SimulationConfig, policy, dataset):
+    """The single-process engine, or the sharded engine for ``--shards > 1``."""
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        if args.backend != "fleet":
+            raise SystemExit("--shards partitions the fleet backend; drop --backend loop")
+        from repro.sim.shard import ShardedEngine
+
+        return ShardedEngine(
+            config, policy, dataset=dataset, shards=shards,
+            fast_forward=not args.no_fast_forward,
+            batched_training=args.batched_training, profile=args.profile,
+            trace_level=args.trace_level,
+        )
+    return SimulationEngine(
+        config, policy, dataset=dataset, backend=args.backend,
+        fast_forward=not args.no_fast_forward,
+        batched_training=args.batched_training, profile=args.profile,
+        trace_level=args.trace_level,
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args)
     dataset = _build_dataset(config)
     carbon = _carbon_accountant(args)
-    result = SimulationEngine(
-        config, _build_policy(args), dataset=dataset, backend=args.backend,
-        fast_forward=not args.no_fast_forward,
-        batched_training=args.batched_training, profile=args.profile,
-    ).run()
+    result = _build_engine(args, config, _build_policy(args), dataset).run()
     print(format_table(_result_headers(carbon),
                        [_result_row(args.policy, result, None, carbon)],
                        float_format=".3f", title="Simulation summary"))
@@ -239,11 +264,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = {}
     for name, policy in policies.items():
         print(f"running {name} ...", file=sys.stderr)
-        results[name] = SimulationEngine(
-            config, policy, dataset=dataset, backend=args.backend,
-            fast_forward=not args.no_fast_forward,
-            batched_training=args.batched_training, profile=args.profile,
-        ).run()
+        results[name] = _build_engine(args, config, policy, dataset).run()
     baseline = results["immediate"]
     carbon = _carbon_accountant(args)
     rows = [
@@ -273,7 +294,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     baseline_spec = RunSpec(
         policy="immediate", config=dict(config_kwargs), backend=args.backend,
         fast_forward=not args.no_fast_forward,
-        batched_training=args.batched_training, label="immediate",
+        batched_training=args.batched_training, shards=args.shards,
+        trace_level=args.trace_level, label="immediate",
     )
     online_specs = sweep_grid(
         v_values=args.v_values,
@@ -283,6 +305,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backend=args.backend,
         fast_forward=not args.no_fast_forward,
         batched_training=args.batched_training,
+        shards=args.shards,
+        trace_level=args.trace_level,
     )
     suite = ExperimentSuite(cache_dir=args.cache_dir, jobs=args.jobs)
     summaries = suite.run([baseline_spec, *online_specs])
@@ -357,6 +381,8 @@ def _scenario_runner(args: argparse.Namespace):
         backend=args.backend,
         fast_forward=not args.no_fast_forward,
         batched_training=args.batched_training,
+        shards=args.shards,
+        trace_level=args.trace_level,
     )
 
 
@@ -526,6 +552,20 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
                              "tensor program (repro.fl.batch.BatchTrainer); "
                              "matches the serial trainer to tight numerical "
                              "tolerance and speeds up training-bound runs")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the population across this many "
+                             "worker processes (the sharded fleet engine); "
+                             "any shard count gives bitwise-identical "
+                             "results on the fleet backend (under "
+                             "--batched-training, whose batching groups are "
+                             "per shard, results match to tight numerical "
+                             "tolerance instead)")
+    parser.add_argument("--trace-level", choices=["full", "summary", "off"],
+                        default="full",
+                        help="telemetry volume: 'summary' keeps streamed "
+                             "aggregates only (the megafleet setting — "
+                             "identical headline numbers, memory-bounded "
+                             "telemetry), 'off' drops per-update samples too")
     parser.add_argument("--profile", action="store_true",
                         help="print per-subsystem wall-clock shares "
                              "(training / policy / eval / slot loop)")
@@ -609,6 +649,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--backend", choices=["fleet", "loop"], default="fleet")
         sub.add_argument("--no-fast-forward", action="store_true")
         sub.add_argument("--batched-training", action="store_true")
+        sub.add_argument("--shards", type=int, default=1,
+                         help="partition each run's population across this "
+                              "many worker processes (bitwise-identical "
+                              "results for any shard count; with "
+                              "--batched-training, tight numerical "
+                              "tolerance)")
+        sub.add_argument("--trace-level", choices=["full", "summary", "off"],
+                         default="full",
+                         help="telemetry volume; 'summary' is the megafleet "
+                              "setting (memory-bounded, same headline numbers)")
         sub.add_argument("--profile", action="store_true")
         sub.add_argument("--jobs", type=int, default=1,
                          help="worker processes (0 = one per CPU core)")

@@ -25,7 +25,67 @@ from typing import List, Optional
 __all__ = ["TaskQueue", "VirtualQueue", "LyapunovAnalyzer"]
 
 
-class TaskQueue:
+class _BacklogSeries:
+    """Shared backlog bookkeeping: optional history plus streamed aggregates.
+
+    When :attr:`track_history` is ``False`` the per-slot backlog history is
+    not materialised — only the streamed aggregates (entry count, running
+    sum, current length) are maintained, so a million-slot run holds O(1)
+    queue telemetry.  The running sum adds entries in the exact
+    left-to-right order a history-backed ``sum(history)`` would, so
+    :meth:`time_average` is bitwise identical across the two modes.  The
+    contract lives here once; :class:`TaskQueue` and :class:`VirtualQueue`
+    both inherit it.
+    """
+
+    #: Materialise the per-entry history (``True``) or stream only.
+    track_history = True
+
+    def _reset_series(self, initial: float) -> None:
+        if initial < 0:
+            raise ValueError("queue length cannot be negative")
+        self._length = float(initial)
+        self._history: List[float] = []
+        self._entry_count = 0
+        self._entry_sum = 0.0
+        self._record(float(initial))
+
+    def _record(self, value: float) -> None:
+        if self.track_history:
+            self._history.append(value)
+        self._entry_count += 1
+        self._entry_sum += value
+
+    def _record_repeat(self, value: float, count: int) -> None:
+        """``count`` identical entries (repeated additions, fold-exact)."""
+        if self.track_history:
+            self._history.extend([value] * count)
+        self._entry_count += count
+        for _ in range(count):
+            self._entry_sum += value
+
+    def _record_sequence(self, values: List[float]) -> None:
+        if self.track_history:
+            self._history.extend(values)
+        self._entry_count += len(values)
+        for value in values:
+            self._entry_sum += value
+
+    @property
+    def length(self) -> float:
+        """Current backlog."""
+        return self._length
+
+    def history(self) -> List[float]:
+        """Backlog after every update (empty when ``track_history`` is off)."""
+        return list(self._history)
+
+    def time_average(self) -> float:
+        """Time-averaged backlog over every recorded entry (streamed)."""
+        return self._entry_sum / self._entry_count
+
+
+class TaskQueue(_BacklogSeries):
     """The actual task queue ``Q(t)`` of Definition 3 / Eq. (15).
 
     The update is the Lindley recursion ``Q <- max(Q + A - b, 0)`` with
@@ -39,15 +99,8 @@ class TaskQueue:
     """
 
     def __init__(self, initial: float = 0.0) -> None:
-        if initial < 0:
-            raise ValueError("queue length cannot be negative")
-        self._length = float(initial)
-        self._history: List[float] = [float(initial)]
-
-    @property
-    def length(self) -> float:
-        """Current backlog ``Q(t)``."""
-        return self._length
+        self.track_history = True
+        self._reset_series(initial)
 
     def update(self, arrivals: float, services: float) -> float:
         """Apply the queue recursion ``Q <- max(Q + A - b, 0)``.
@@ -59,7 +112,7 @@ class TaskQueue:
         if arrivals < 0 or services < 0:
             raise ValueError("arrivals and services must be non-negative")
         self._length = max(self._length + arrivals - services, 0.0)
-        self._history.append(self._length)
+        self._record(self._length)
         return self._length
 
     def advance_idle(self, slots: int) -> float:
@@ -74,26 +127,15 @@ class TaskQueue:
         """
         if slots < 0:
             raise ValueError("slots must be non-negative")
-        self._history.extend([self._length] * slots)
+        self._record_repeat(self._length, slots)
         return self._length
 
-    def history(self) -> List[float]:
-        """Backlog after every update (index 0 is the initial value)."""
-        return list(self._history)
-
-    def time_average(self) -> float:
-        """Time-averaged backlog over the recorded history."""
-        return sum(self._history) / len(self._history)
-
     def reset(self, initial: float = 0.0) -> None:
-        """Reset to ``initial`` and clear the history."""
-        if initial < 0:
-            raise ValueError("queue length cannot be negative")
-        self._length = float(initial)
-        self._history = [float(initial)]
+        """Reset to ``initial`` and clear the history and aggregates."""
+        self._reset_series(initial)
 
 
-class VirtualQueue:
+class VirtualQueue(_BacklogSeries):
     """The virtual staleness queue ``H(t)`` of Eq. (16).
 
     Args:
@@ -104,23 +146,16 @@ class VirtualQueue:
     def __init__(self, staleness_bound: float, initial: float = 0.0) -> None:
         if staleness_bound <= 0:
             raise ValueError("staleness_bound must be positive")
-        if initial < 0:
-            raise ValueError("queue length cannot be negative")
+        self.track_history = True
         self.staleness_bound = float(staleness_bound)
-        self._length = float(initial)
-        self._history: List[float] = [float(initial)]
-
-    @property
-    def length(self) -> float:
-        """Current backlog ``H(t)``."""
-        return self._length
+        self._reset_series(initial)
 
     def update(self, gap_sum: float) -> float:
         """Apply Eq. (16): ``H <- max(H + G(t) - Lb, 0)``."""
         if gap_sum < 0:
             raise ValueError("gap_sum must be non-negative")
         self._length = max(self._length + gap_sum - self.staleness_bound, 0.0)
-        self._history.append(self._length)
+        self._record(self._length)
         return self._length
 
     def advance_constant(self, gap_sum: float, slots: int) -> List[float]:
@@ -153,23 +188,12 @@ class VirtualQueue:
             length = new_length
             values.append(length)
         self._length = length
-        self._history.extend(values)
+        self._record_sequence(values)
         return values
 
-    def history(self) -> List[float]:
-        """Backlog after every update (index 0 is the initial value)."""
-        return list(self._history)
-
-    def time_average(self) -> float:
-        """Time-averaged backlog over the recorded history."""
-        return sum(self._history) / len(self._history)
-
     def reset(self, initial: float = 0.0) -> None:
-        """Reset to ``initial`` and clear the history."""
-        if initial < 0:
-            raise ValueError("queue length cannot be negative")
-        self._length = float(initial)
-        self._history = [float(initial)]
+        """Reset to ``initial`` and clear the history and aggregates."""
+        self._reset_series(initial)
 
 
 @dataclass

@@ -64,7 +64,7 @@ from repro.fl.layers import (
 )
 from repro.fl.model import Sequential
 
-__all__ = ["TrainRequest", "BatchTrainer"]
+__all__ = ["TrainRequest", "BatchTrainer", "TrainAheadScheduler"]
 
 
 @dataclass(frozen=True)
@@ -691,3 +691,73 @@ class BatchTrainer:
                 num_batches=num_batches * epochs,
                 params=params_mat[c].copy() if include_params else None,
             )
+
+
+class TrainAheadScheduler:
+    """Train-ahead orchestration of pending local rounds, serial or batched.
+
+    A local round's content is fully determined the moment the job is
+    scheduled: the base parameters were captured at download, and the
+    client's RNG and momentum state cannot change while its job is in flight
+    (a training user is never ready, so nothing observes or advances its
+    client state until the upload).  Callers therefore :meth:`record` a
+    round at schedule time and :meth:`obtain` its upload at completion time:
+
+    * serial mode runs ``local_train`` at the completion slot, exactly as
+      the original engine did;
+    * batched mode answers from a train-ahead cache, executing the whole
+      pending in-flight set as one stacked :class:`BatchTrainer` program on
+      the first miss — batching everything in flight rather than just the
+      jobs that happen to finish in the same slot.
+
+    The scheduler is shared verbatim by the engine's per-user loop backend
+    and by every fleet shard (single-process or worker-process), so the
+    train-ahead semantics cannot fork between execution modes.  Indices are
+    positions in ``clients`` (the engine passes the full fleet, a shard its
+    slice); the returned :class:`~repro.fl.client.LocalUpdate` carries the
+    client's own (global) ``user_id`` either way.
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[FLClient],
+        batched: bool,
+        threads: Optional[int] = None,
+        include_params: bool = True,
+    ) -> None:
+        self.clients = clients
+        self.batched = bool(batched)
+        self.threads = threads
+        self.include_params = include_params
+        self._trainer: Optional[BatchTrainer] = None
+        self._pending: Dict[int, TrainRequest] = {}
+        self._trained: Dict[int, LocalUpdate] = {}
+
+    def record(self, index: int, base_params: np.ndarray, base_version: int) -> None:
+        """Register a just-started round (no-op in serial mode)."""
+        if self.batched:
+            self._pending[index] = TrainRequest(
+                user_id=index, base_params=base_params, base_version=int(base_version)
+            )
+
+    def obtain(self, index: int, base_params: np.ndarray, base_version: int) -> LocalUpdate:
+        """The finished round's upload: serial now, or from the train-ahead batch."""
+        if not self.batched:
+            return self.clients[index].local_train(
+                base_params, int(base_version), include_params=self.include_params
+            )
+        update = self._trained.pop(index, None)
+        if update is None:
+            if index not in self._pending:  # defensive: unrecorded schedule
+                self._pending[index] = TrainRequest(
+                    user_id=index, base_params=base_params, base_version=int(base_version)
+                )
+            if self._trainer is None:
+                self._trainer = BatchTrainer(self.clients, threads=self.threads)
+            requests = [self._pending[i] for i in sorted(self._pending)]
+            self._pending.clear()
+            updates = self._trainer.train(requests, include_params=self.include_params)
+            for request, trained in zip(requests, updates):
+                self._trained[request.user_id] = trained
+            update = self._trained.pop(index)
+        return update

@@ -225,6 +225,56 @@ def _megafleet_1k() -> ScenarioSpec:
     )
 
 
+def _megafleet_100k() -> ScenarioSpec:
+    # The sharded-engine workload: two orders of magnitude past megafleet-1k.
+    # Sized for the shard-smoke CI gate on one machine — a 15-minute horizon,
+    # one training sample per user and a narrow MLP keep the absolute compute
+    # honest-but-bounded while the *population mechanics* (100k arrival
+    # streams, 100k-entry ready pools and in-flight set, per-shard fleets)
+    # run at full scale.  Intended execution: ShardedEngine (``--shards``)
+    # with sparse arrival generation (automatic at this volume) and
+    # ``--trace-level summary`` so telemetry stays memory-bounded.
+    return ScenarioSpec(
+        name="megafleet-100k",
+        description="100 000-user sharded-fleet workload over a 15 min "
+        "horizon: the population-partitioning scale target "
+        "(run with --shards N --trace-level summary).",
+        num_users=100_000,
+        total_slots=900,
+        cohorts=(
+            CohortSpec(
+                name="mainstream",
+                fraction=0.65,
+                arrival={"kind": "bernoulli", "probability": 0.0006},
+            ),
+            CohortSpec(
+                name="commuters",
+                fraction=0.20,
+                arrival={
+                    "kind": "diurnal",
+                    "peak_probability": 0.0015,
+                    "trough_probability": 0.0001,
+                },
+                device_mix={"pixel2": 0.5, "nexus6p": 0.5},
+            ),
+            CohortSpec(
+                name="budget-metered",
+                fraction=0.15,
+                device_mix={"nexus6": 1.0},
+                wifi_fraction=0.3,
+            ),
+        ),
+        base={
+            "num_train_samples": 100_000,
+            "num_test_samples": 500,
+            "hidden_dims": [16],
+            "eval_interval_slots": 300,
+            "trace_interval_slots": 120,
+        },
+        tags=("scale", "megafleet", "sharded"),
+    )
+
+
 def _weekend_gamers() -> ScenarioSpec:
     # Application popularity skewed towards the two intensive games; the
     # weights align with APP_CATALOG insertion order (map, news, etrade,
@@ -259,6 +309,7 @@ _BUILTIN_FACTORIES: Dict[str, Callable[[], ScenarioSpec]] = {
     "non-iid-pathological": _non_iid_pathological,
     "churny-fleet": _churny_fleet,
     "megafleet-1k": _megafleet_1k,
+    "megafleet-100k": _megafleet_100k,
     "weekend-gamers": _weekend_gamers,
 }
 

@@ -45,6 +45,8 @@ def scenario_run_spec(
     backend: str = "fleet",
     fast_forward: bool = True,
     batched_training: bool = False,
+    shards: int = 1,
+    trace_level: str = "full",
     label: Optional[str] = None,
 ) -> RunSpec:
     """Lower a scenario plus a policy choice into one cacheable run spec.
@@ -62,6 +64,8 @@ def scenario_run_spec(
         backend=backend,
         fast_forward=fast_forward,
         batched_training=batched_training,
+        shards=shards,
+        trace_level=trace_level,
         label=label or f"scenario:{name}[{policy}]",
     )
 
@@ -74,6 +78,12 @@ class ScenarioRunner:
         jobs: worker processes for grids (``1`` = sequential).
         backend / fast_forward / batched_training: engine execution mode for
             every run launched by this runner.
+        shards: partition each run's population across this many worker
+            processes (:class:`repro.sim.shard.ShardedEngine`); ``1`` keeps
+            the single-process engine.  Composes with ``jobs``: a grid fans
+            runs across processes, a sharded run fans its population.
+        trace_level: telemetry volume per run (``summary`` is the megafleet
+            setting — memory-bounded telemetry, identical headline numbers).
     """
 
     def __init__(
@@ -83,11 +93,15 @@ class ScenarioRunner:
         backend: str = "fleet",
         fast_forward: bool = True,
         batched_training: bool = False,
+        shards: int = 1,
+        trace_level: str = "full",
     ) -> None:
         self.suite = ExperimentSuite(cache_dir=cache_dir, jobs=jobs)
         self.backend = backend
         self.fast_forward = fast_forward
         self.batched_training = batched_training
+        self.shards = shards
+        self.trace_level = trace_level
 
     def _spec(
         self,
@@ -102,6 +116,8 @@ class ScenarioRunner:
             backend=self.backend,
             fast_forward=self.fast_forward,
             batched_training=self.batched_training,
+            shards=self.shards,
+            trace_level=self.trace_level,
         )
 
     def run(

@@ -15,7 +15,14 @@ provides that simulator:
 * :mod:`repro.sim.fleet` — the vectorized struct-of-arrays fleet backend
   (the default); the engine's ``backend="loop"`` keeps the per-user
   reference loops, and the two are bitwise-equivalent.
+* :mod:`repro.sim.coupling` — the coordinator-side coupling state (the
+  paper's server-routed cross-user state) and its staged slot kernels.
+* :mod:`repro.sim.shard` — the sharded fleet engine: contiguous population
+  shards in worker processes, bitwise-identical for any shard count.
 * :mod:`repro.sim.rng` — seeded random-generator helpers.
+
+:class:`repro.sim.shard.ShardedEngine` is imported lazily (not re-exported
+here) so that importing the subpackage stays cheap.
 """
 
 from repro.sim.arrivals import ArrivalSchedule, BernoulliArrivalProcess, DiurnalArrivalProcess

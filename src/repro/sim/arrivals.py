@@ -169,6 +169,41 @@ def build_arrival_process(spec: Dict):
     )
 
 
+#: Population-volume (users x slots) threshold above which
+#: :meth:`ArrivalSchedule.generate` switches from the per-slot scalar draws
+#: to the sparse launch-event scan.  The two paths produce bitwise-identical
+#: schedules (same RNG stream consumption, same comparisons), so the
+#: threshold is purely a speed/allocation trade.
+SPARSE_GENERATION_THRESHOLD = 2_000_000
+
+#: Uniform variates drawn per vectorized scan step of the sparse generator.
+_SPARSE_CHUNK = 2_048
+
+
+def _process_probability_key(process) -> object:
+    """Hashable identity of a process's probability profile, for caching.
+
+    The scenario compiler materialises one process object per user even when
+    a whole cohort shares identical parameters, so keying the per-slot
+    probability vectors on the *parameters* (not the object) lets a 100k-user
+    cohort share a single vector.  Unknown process types fall back to object
+    identity — correct, just uncached across equal instances.
+    """
+    if isinstance(process, BernoulliArrivalProcess):
+        return ("bernoulli", process.probability)
+    if isinstance(process, DiurnalArrivalProcess):
+        return (
+            "diurnal",
+            process.peak_probability,
+            process.trough_probability,
+            process.period_s,
+            process.phase_s,
+        )
+    if isinstance(process, TraceArrivalProcess):
+        return ("trace", tuple(process.slots), process.period_slots)
+    return id(process)
+
+
 class ArrivalSchedule:
     """Pre-generated application arrivals for every user over the horizon."""
 
@@ -194,6 +229,7 @@ class ArrivalSchedule:
         table: Optional[MeasurementTable] = None,
         app_names: Optional[Sequence[str]] = None,
         app_weights: Optional[Sequence[float]] = None,
+        method: str = "auto",
     ) -> "ArrivalSchedule":
         """Generate arrivals for all users.
 
@@ -206,20 +242,54 @@ class ArrivalSchedule:
         user, the scenario subsystem's heterogeneous fleets).  Either way
         the generator draws exactly one uniform variate per non-busy slot,
         so a user's arrival stream depends only on its own process.
+
+        Args:
+            method: ``"dense"`` draws one scalar uniform per non-busy slot
+                (the original reference path); ``"sparse"`` scans chunks of
+                the same uniform stream vectorized, rewinding the generator
+                state at each launch so that exactly one draw per non-busy
+                slot is consumed — the two produce **bitwise-identical**
+                schedules (``tests/test_shard.py`` enforces it).  ``"auto"``
+                (default) picks ``sparse`` above
+                :data:`SPARSE_GENERATION_THRESHOLD` users x slots, where the
+                per-slot Python draws of the dense path stop being viable
+                (a 100k-user megafleet would spend minutes just drawing).
         """
         if len(device_specs) != num_users:
             raise ValueError("device_specs must have one entry per user")
+        if method not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown generation method {method!r}")
         if isinstance(process, (list, tuple)):
             if len(process) != num_users:
                 raise ValueError("per-user processes must have one entry per user")
             processes = list(process)
         else:
             processes = [process] * num_users
+        if method == "auto":
+            method = (
+                "sparse"
+                if num_users * total_slots >= SPARSE_GENERATION_THRESHOLD
+                else "dense"
+            )
         table = table or MeasurementTable()
+        probability_cache: Dict[object, np.ndarray] = {}
         arrivals: Dict[int, List[ForegroundApp]] = {u: [] for u in range(num_users)}
         for user in range(num_users):
             device = device_specs[user]
             process = processes[user]
+            if method == "sparse":
+                arrivals[user] = cls._generate_user_sparse(
+                    process,
+                    probability_cache,
+                    total_slots,
+                    slot_seconds,
+                    device,
+                    rng,
+                    table,
+                    app_names,
+                    app_weights,
+                )
+                continue
             busy_until = -1
             for slot in range(total_slots):
                 if slot <= busy_until:
@@ -236,6 +306,67 @@ class ArrivalSchedule:
                 arrivals[user].append(app)
                 busy_until = app.end_slot() - 1
         return cls(arrivals)
+
+    @staticmethod
+    def _generate_user_sparse(
+        process,
+        probability_cache: Dict[object, np.ndarray],
+        total_slots: int,
+        slot_seconds: float,
+        device: DeviceSpec,
+        rng: np.random.Generator,
+        table: MeasurementTable,
+        app_names: Optional[Sequence[str]],
+        app_weights: Optional[Sequence[float]],
+    ) -> List[ForegroundApp]:
+        """One user's arrivals via the sparse launch-event scan.
+
+        Consumes the *exact* draw sequence of the dense path: one uniform per
+        non-busy slot, then the ``sample_app`` draws at each launch.  Chunks
+        of uniforms are drawn vectorized and scanned for the first hit
+        (``u < p``, the complement of the dense path's ``u >= p`` skip); on a
+        hit the generator state is rewound to the chunk start and exactly
+        the consumed prefix is re-drawn, so the stream position after every
+        launch matches the dense path bit for bit.  The per-slot probability
+        vector is evaluated through the process's own ``probability_at`` (no
+        re-derivation) and cached across users with equal parameters.
+        """
+        key = _process_probability_key(process)
+        probabilities = probability_cache.get(key)
+        if probabilities is None:
+            probabilities = np.array(
+                [
+                    process.probability_at(slot, slot_seconds)
+                    for slot in range(total_slots)
+                ],
+                dtype=np.float64,
+            )
+            probability_cache[key] = probabilities
+        apps: List[ForegroundApp] = []
+        bit_generator = rng.bit_generator
+        slot = 0
+        while slot < total_slots:
+            span = min(_SPARSE_CHUNK, total_slots - slot)
+            state = bit_generator.state
+            draws = rng.random(span)
+            hits = np.nonzero(draws < probabilities[slot : slot + span])[0]
+            if len(hits) == 0:
+                slot += span
+                continue
+            first = int(hits[0])
+            # Rewind: the dense path consumed only the draws up to (and
+            # including) the hit before switching to the app-sampling draws.
+            bit_generator.state = state
+            rng.random(first + 1)
+            spec = sample_app(rng, names=app_names, weights=app_weights)
+            duration_s = table.corun_time(device.name, spec.name)
+            duration_slots = max(1, int(round(duration_s / slot_seconds)))
+            app = ForegroundApp(
+                spec=spec, arrival_slot=slot + first, duration_slots=duration_slots
+            )
+            apps.append(app)
+            slot = app.end_slot()  # the busy window draws nothing
+        return apps
 
     # -- replay (engine) -----------------------------------------------------------
 
@@ -260,6 +391,22 @@ class ArrivalSchedule:
     def arrivals_for(self, user_id: int) -> List[ForegroundApp]:
         """All arrivals of ``user_id`` in arrival order."""
         return list(self._arrivals.get(user_id, []))
+
+    def slice_users(self, lo: int, hi: int) -> "ArrivalSchedule":
+        """The sub-schedule of users ``[lo, hi)``, re-indexed to ``0..hi-lo-1``.
+
+        The sharded fleet engine hands each worker exactly its shard's
+        arrivals: per-user streams are already independent (one draw per
+        non-busy slot), so slicing is a pure re-indexing.  Launch-slot event
+        iterators on the slice only see the shard's own launches — segment
+        boundaries elsewhere in the population never change a shard user's
+        per-slot arithmetic, so the coarser event list stays bitwise-exact.
+        """
+        if not 0 <= lo < hi:
+            raise ValueError("need 0 <= lo < hi")
+        return ArrivalSchedule(
+            {user - lo: list(self._arrivals.get(user, [])) for user in range(lo, hi)}
+        )
 
     def total_arrivals(self) -> int:
         """Total number of application launches across all users."""

@@ -1,0 +1,267 @@
+"""Coordinator-side coupling state of the federated system.
+
+Section V's central observation is that the online controller "admits a
+fully distributed implementation": the *only* state that couples users is
+what flows through the parameter server — the global model and its version,
+the in-flight set behind the lag estimates ``l_{d_i}``, the broadcast
+backlogs ``Q(t)`` / ``H(t)``, and the per-user Eq. (12) gradient gaps whose
+sum ``G(t)`` drives the virtual queue.  Everything else (device power and
+thermal state, batteries, application churn, local training) is per-user and
+partitions cleanly.
+
+:class:`CouplingCore` makes that boundary a first-class object: it owns
+exactly the coupling state plus its bookkeeping (transport accounting,
+traces, evaluation), and exposes the staged kernels the slot loop needs —
+download registration, asynchronous upload application in deterministic user
+order, synchronous-round quorum completion, the gap-sum fold and the
+version-cached evaluation.  The single-process fleet engine and the sharded
+engine (:mod:`repro.sim.shard`) drive the *same* core through the *same*
+slot loop; only the residence of the per-user fleet state differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.messages import ModelDownload, ModelUpload
+from repro.comm.transport import ModelTransport
+from repro.core.policies import SchedulingPolicy
+from repro.core.staleness import gradient_gap_from_params
+from repro.fl.client import LocalUpdate
+from repro.fl.metrics import AccuracyTracker, evaluate_model
+from repro.fl.server import ParameterServer
+from repro.sim.config import SimulationConfig
+from repro.sim.timers import EngineTimers
+from repro.sim.trace import SimulationTrace, UpdateSample
+
+__all__ = ["CouplingCore"]
+
+
+class CouplingCore:
+    """Owner of the cross-user coupling state and its staged slot kernels.
+
+    One instance rides one simulation run.  The engine (or the sharded
+    coordinator) constructs it with the already-built shared components and
+    then calls the kernels in slot order; all methods mutate only
+    coordinator-resident state, so the same code is correct whether the
+    fleet lives in-process or across worker processes.
+
+    Attributes:
+        gaps: the per-user Eq. (12) gradient-gap array ``g_i`` (global user
+            ids).  Scheduled users take the Eq. (4) estimate, idling users
+            accumulate ``epsilon``, applied uploads reset to zero; the
+            left-to-right fold :meth:`total_gap` is the ``G(t)`` the virtual
+            queue consumes.
+        sync_buffer: uploads of the current synchronous round, by user id.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: SchedulingPolicy,
+        server: ParameterServer,
+        transport: ModelTransport,
+        trace: SimulationTrace,
+        accuracy: AccuracyTracker,
+        eval_model,
+        dataset,
+        timers: EngineTimers,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.server = server
+        self.transport = transport
+        self.trace = trace
+        self.accuracy = accuracy
+        self.eval_model = eval_model
+        self.dataset = dataset
+        self.timers = timers
+        self.gaps = np.zeros(config.num_users)
+        self.sync_buffer: Dict[int, LocalUpdate] = {}
+        self._eval_cache: Optional[Tuple[int, float, float]] = None
+        #: Base parameters pinned per user between download and upload, so
+        #: the realised Eq. (2) gap can be measured at upload time without
+        #: shipping parameter vectors back from the shards.  Entries are
+        #: zero-copy views of the server's historical vectors (the server
+        #: rebinds, never mutates), exactly what the fleet state holds.
+        self._pinned_base: Dict[int, np.ndarray] = {}
+
+    # -- downloads ---------------------------------------------------------------
+
+    def record_download(self, user: int, time_s: float) -> Tuple[int, np.ndarray]:
+        """One user downloads the current model: server + transport bookkeeping.
+
+        Returns the ``(version, params)`` pair the fleet stores as the
+        user's training base.  Must be called in ascending user order within
+        a slot — the transport's network process draws from one stream.
+        """
+        version = self.server.version
+        params = self.server.download(user)
+        self._pinned_base[user] = params
+        self.transport.download(
+            ModelDownload(user_id=user, server_version=version), time_s=time_s
+        )
+        return version, params
+
+    def pinned_base_params(self, user: int) -> np.ndarray:
+        """The base parameters the user trained from (pinned at download)."""
+        return self._pinned_base[user]
+
+    # -- gap dynamics ------------------------------------------------------------
+
+    def total_gap(self) -> float:
+        """The per-slot gap sum ``G(t)`` feeding the virtual queue.
+
+        Summed left-to-right in ascending user order — the order in which
+        the loop engine's :class:`~repro.core.staleness.GapTracker` dict was
+        populated (every user is decided in slot 0), so every execution mode
+        feeds the virtual queue the same ``float``.
+        """
+        return float(sum(self.gaps.tolist()))
+
+    # -- uploads -----------------------------------------------------------------
+
+    def apply_async_update(
+        self,
+        user: int,
+        slot: int,
+        update: LocalUpdate,
+        round_number: int,
+        base_params: Optional[np.ndarray] = None,
+    ) -> float:
+        """Apply one finished user's (already trained) upload asynchronously.
+
+        Uploads are applied in ascending user order within a slot — the
+        deterministic order that makes the server's accumulation commutative
+        *in effect*: any shard layout applies the same updates in the same
+        sequence, so the global model evolves bit for bit identically.
+        Returns the realised Eq. (2) gradient gap.
+
+        Args:
+            base_params: the parameters the user trained from; ``None``
+                (the fleet slot loop) resolves the vector pinned at
+                download, the per-user loop backend passes its own copy.
+        """
+        time_s = slot * self.config.slot_seconds
+        if base_params is None:
+            base_params = self._pinned_base.pop(user)
+        else:
+            self._pinned_base.pop(user, None)
+        realized_gap = gradient_gap_from_params(base_params, self.server.global_params())
+        record = self.server.async_update(update, time_s=time_s, gradient_gap=realized_gap)
+        self.transport.upload(
+            ModelUpload(
+                user_id=user,
+                round_number=round_number,
+                base_version=update.base_version,
+            ),
+            time_s=time_s,
+        )
+        self.policy.notify_update_applied(user, record.lag, realized_gap)
+        self.trace.record_update(
+            UpdateSample(
+                time_s=time_s,
+                user_id=user,
+                lag=record.lag,
+                gradient_gap=realized_gap,
+                train_loss=update.train_loss,
+                sync_round=False,
+            )
+        )
+        return realized_gap
+
+    def buffer_sync_upload(self, user: int, update: LocalUpdate) -> None:
+        """Park a synchronous-round upload until the quorum completes."""
+        self.sync_buffer[user] = update
+        self.server.unregister_inflight(user)
+
+    def maybe_complete_sync_round(
+        self, slot: int, stalled_fn: Optional[Callable[[], List[int]]] = None
+    ) -> List[int]:
+        """Aggregate the synchronous round once the participating quorum uploaded.
+
+        The round completes when every user *able to participate* has
+        uploaded.  A battery-gated user with a zero charge rate can never
+        recover (idle slots only drain the battery), so waiting for it would
+        deadlock every subsequent round; such *stalled* users are excluded
+        from the quorum and are not released into the next round.  Without
+        batteries (or with a positive charge rate, where gated users recover
+        and the round legitimately waits) the quorum is all ``num_users``,
+        which reproduces the original barrier exactly.  Under sharding the
+        quorum naturally spans shards: the buffer and the stalled set are
+        both global.
+
+        Args:
+            slot: current slot (aggregation timestamp).
+            stalled_fn: callable returning the ascending user ids that are
+                permanently unable to join the round (concatenated across
+                shards by the sharded engine); only invoked when the buffer
+                is short of the full fleet.
+
+        Returns:
+            Ascending user ids released into the next round.
+        """
+        if not self.sync_buffer:
+            return []
+        required = self.config.num_users
+        stalled: List[int] = []
+        if len(self.sync_buffer) < required and stalled_fn is not None:
+            stalled = [u for u in stalled_fn() if u not in self.sync_buffer]
+            required -= len(stalled)
+        if len(self.sync_buffer) < required:
+            return []
+        time_s = slot * self.config.slot_seconds
+        updates = [self.sync_buffer[user] for user in sorted(self.sync_buffer)]
+        params_before_round = self.server.global_params()
+        records = self.server.sync_round(updates, time_s=time_s)
+        # In lock-step aggregation the per-round gradient gap is the movement
+        # of the global model over the round (sampled "at the time of
+        # aggregation", Fig. 5a); it is the same for every member of the round.
+        round_gap = gradient_gap_from_params(params_before_round, self.server.global_params())
+        for record, update in zip(records, updates):
+            self._pinned_base.pop(update.user_id, None)
+            self.trace.record_update(
+                UpdateSample(
+                    time_s=time_s,
+                    user_id=update.user_id,
+                    lag=record.lag,
+                    gradient_gap=round_gap,
+                    train_loss=update.train_loss,
+                    sync_round=True,
+                )
+            )
+        self.sync_buffer.clear()
+        stalled_set = set(stalled)
+        return [u for u in range(self.config.num_users) if u not in stalled_set]
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, slot: int) -> None:
+        """Evaluate the current global model on the held-out test set.
+
+        Evaluation is deterministic in the global parameters, which only
+        change when the server version advances — so the (accuracy, loss)
+        pair is cached per version.  The fast-forward path relies on this to
+        replay evaluation ticks inside a quiet region (where the model is
+        frozen) at the cost of a record, not a forward pass; the slot-by-slot
+        paths get the same values either way.
+        """
+        version = self.server.version
+        cached = self._eval_cache
+        if cached is not None and cached[0] == version:
+            accuracy, loss = cached[1], cached[2]
+        else:
+            tick = self.timers.start()
+            self.eval_model.set_flat_params(self.server.global_params())
+            x_test, y_test = self.dataset.test_set()
+            accuracy, loss = evaluate_model(self.eval_model, x_test, y_test)
+            self._eval_cache = (version, accuracy, loss)
+            self.timers.stop("eval", tick)
+        self.accuracy.record(
+            time_s=slot * self.config.slot_seconds,
+            accuracy=accuracy,
+            loss=loss,
+            num_updates=self.server.num_updates(),
+        )

@@ -30,11 +30,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.messages import ModelDownload, ModelUpload
+from repro.comm.messages import ModelDownload
 from repro.comm.network import NetworkModel
 from repro.comm.transport import ModelTransport
 from repro.core.offline import OfflinePolicy
-from repro.core.online import OnlinePolicy
 from repro.core.policies import (
     Aggregation,
     Decision,
@@ -42,13 +41,13 @@ from repro.core.policies import (
     SchedulingPolicy,
     SlotContext,
 )
-from repro.core.staleness import GapTracker, gradient_gap, gradient_gap_from_params
+from repro.core.staleness import GapTracker, gradient_gap
 from repro.device.device import DeviceState, MobileDevice
 from repro.device.models import DeviceSpec, build_device_fleet
 from repro.energy.battery import Battery
 from repro.energy.measurements import MeasurementTable
 from repro.energy.power_model import EnergyAccountant, PowerModel
-from repro.fl.batch import BatchTrainer, TrainRequest
+from repro.fl.batch import TrainAheadScheduler
 from repro.fl.client import FLClient, LocalUpdate
 from repro.fl.dataset import (
     SyntheticCifar10,
@@ -56,7 +55,7 @@ from repro.fl.dataset import (
     partition_iid,
     partition_mixed,
 )
-from repro.fl.metrics import AccuracyTracker, evaluate_model
+from repro.fl.metrics import AccuracyTracker
 from repro.fl.model import Sequential, build_mlp
 from repro.fl.server import AsyncUpdateRule, ParameterServer
 from repro.sim.arrivals import (
@@ -66,11 +65,255 @@ from repro.sim.arrivals import (
     build_arrival_process,
 )
 from repro.sim.config import SimulationConfig
+from repro.sim.coupling import CouplingCore
 from repro.sim.rng import spawn_generators
 from repro.sim.timers import EngineTimers
-from repro.sim.trace import SimulationTrace, SlotSample, UpdateSample
+from repro.sim.trace import TRACE_LEVELS, SimulationTrace, SlotSample
 
-__all__ = ["SimulationEngine", "SimulationResult"]
+__all__ = [
+    "RNG_STREAM_NAMES",
+    "SimulationEngine",
+    "SimulationResult",
+    "build_arrival_schedule",
+    "build_batteries",
+    "build_clients",
+    "build_dataset",
+    "build_eval_model",
+    "build_partitions",
+    "build_rngs",
+    "build_transport",
+]
+
+#: The independent RNG streams every build derives from the master seed.
+#: One list, used by the engine, the sharded coordinator and the shard
+#: workers alike — adding a stream in one place cannot silently desynchronise
+#: the others (each name is an independent child generator, so consumers may
+#: ignore streams they do not draw from).
+RNG_STREAM_NAMES = ("devices", "arrivals", "dataset", "clients", "network", "apps")
+
+
+# ---------------------------------------------------------------------------
+# Component builders
+#
+# The engine's constructor used to assemble the whole simulated system
+# inline; these module-level builders are the same construction steps made
+# reusable, so a shard worker process (repro.sim.shard) can rebuild exactly
+# the slice of the system it owns — same RNG streams, same objects, same
+# bits — without a second copy of the logic.
+# ---------------------------------------------------------------------------
+
+
+def build_batteries(
+    config: SimulationConfig, device_specs: Sequence[DeviceSpec]
+) -> List[Optional[Battery]]:
+    """Per-user batteries (or ``None``) exactly as the engine wires them.
+
+    Dev boards are bench-powered and never gated.  Per-user
+    capacities/rates (the scenario compiler's heterogeneous fleets) override
+    the global knobs; a ``None`` capacity entry means no battery at all.
+    Deterministic in ``config`` — no RNG stream is consumed.
+    """
+    if config.user_battery_capacity_j is not None:
+        capacities = list(config.user_battery_capacity_j)
+    else:
+        capacities = [config.battery_capacity_j] * config.num_users
+    if config.user_charge_rate_w is not None:
+        charge_rates = list(config.user_charge_rate_w)
+    else:
+        charge_rates = [config.battery_charge_rate_w] * config.num_users
+    batteries: List[Optional[Battery]] = []
+    for user, spec in enumerate(device_specs):
+        if capacities[user] is None or spec.is_dev_board():
+            batteries.append(None)
+        else:
+            batteries.append(
+                Battery(
+                    capacity_j=capacities[user],
+                    charge_j=capacities[user],
+                    charge_rate_w=max(charge_rates[user], 0.0),
+                    min_participation_soc=config.min_battery_soc,
+                )
+            )
+    return batteries
+
+
+def fleet_has_batteries(
+    config: SimulationConfig, device_specs: Sequence[DeviceSpec]
+) -> bool:
+    """Whether :func:`build_batteries` would create any battery at all.
+
+    The sharded coordinator only needs this boolean (the Battery objects
+    live in the shards), so it is derived from the config without
+    materialising a population's worth of instances.
+    """
+    if config.user_battery_capacity_j is not None:
+        capacities: Sequence[Optional[float]] = config.user_battery_capacity_j
+    elif config.battery_capacity_j is None:
+        return False
+    else:
+        capacities = [config.battery_capacity_j] * config.num_users
+    return any(
+        capacity is not None and not spec.is_dev_board()
+        for capacity, spec in zip(capacities, device_specs)
+    )
+
+
+def build_rngs(config: SimulationConfig):
+    """The named component generators derived from the master seed."""
+    return spawn_generators(config.seed, list(RNG_STREAM_NAMES))
+
+
+def build_eval_model(config: SimulationConfig, input_dim: int) -> Sequential:
+    """A fresh model with the run's canonical seed initialisation.
+
+    Every client model and the server's initial parameters come from this
+    same construction, so the coordinator and any worker agree on the
+    initial global model bit for bit.
+    """
+    return build_mlp(
+        input_dim=input_dim,
+        hidden_dims=config.hidden_dims,
+        num_classes=config.num_classes,
+        seed=config.seed,
+    )
+
+
+def build_transport(config: SimulationConfig, rng) -> ModelTransport:
+    """The network/transport stack (consumes the ``network`` stream)."""
+    return ModelTransport(
+        NetworkModel(
+            rng=rng,
+            wifi_probability=config.wifi_probability,
+            assignments=config.user_wifi,
+        ),
+        account_radio_energy=config.account_radio_energy,
+    )
+
+
+def build_dataset(
+    config: SimulationConfig, dataset: Optional[SyntheticCifar10] = None
+) -> SyntheticCifar10:
+    """The synthetic dataset of this configuration (seed-deterministic)."""
+    return dataset or SyntheticCifar10(
+        num_train=config.num_train_samples,
+        num_test=config.num_test_samples,
+        num_classes=config.num_classes,
+        feature_dim=config.feature_dim,
+        class_separation=config.class_separation,
+        noise_std=config.noise_std,
+        label_noise=config.label_noise,
+        clusters_per_class=config.clusters_per_class,
+        seed=config.seed,
+    )
+
+
+def build_partitions(config: SimulationConfig, dataset: SyntheticCifar10, rng):
+    """The full-population data partition (consumes the ``dataset`` stream)."""
+    x_train, y_train = dataset.train_set()
+    if config.user_data_alpha is not None:
+        return partition_mixed(
+            x_train,
+            y_train,
+            config.user_data_alpha,
+            rng,
+            num_classes=config.num_classes,
+        )
+    if config.non_iid_alpha is None:
+        return partition_iid(x_train, y_train, config.num_users, rng)
+    return partition_dirichlet(
+        x_train,
+        y_train,
+        config.num_users,
+        rng,
+        alpha=config.non_iid_alpha,
+        num_classes=config.num_classes,
+    )
+
+
+def build_clients(
+    config: SimulationConfig,
+    partitions,
+    input_dim: int,
+    lo: int = 0,
+    hi: Optional[int] = None,
+) -> List[FLClient]:
+    """FL clients for users ``[lo, hi)`` (the whole fleet by default).
+
+    Each client gets a private model instance (identical seed
+    initialisation) and a ``(seed, user)``-salted shuffling RNG, so the
+    construction is slice-independent: building users 40..80 yields the
+    same 40 clients whether or not the rest of the fleet is built.
+    """
+    hi = config.num_users if hi is None else hi
+    clients: List[FLClient] = []
+    for user in range(lo, hi):
+        model = build_mlp(
+            input_dim=input_dim,
+            hidden_dims=config.hidden_dims,
+            num_classes=config.num_classes,
+            seed=config.seed,
+        )
+        clients.append(
+            FLClient(
+                user_id=user,
+                partition=partitions[user],
+                model=model,
+                learning_rate=config.learning_rate,
+                momentum=config.momentum,
+                batch_size=config.batch_size,
+                local_epochs=config.local_epochs,
+                seed=config.seed + 1000 + user,
+            )
+        )
+    return clients
+
+
+def build_arrival_schedule(
+    config: SimulationConfig,
+    device_specs: Sequence[DeviceSpec],
+    rng,
+    table: MeasurementTable,
+) -> ArrivalSchedule:
+    """The pre-generated application arrivals (consumes the ``arrivals`` stream)."""
+    if config.user_arrivals is not None:
+        process = [build_arrival_process(spec) for spec in config.user_arrivals]
+    elif config.diurnal_arrivals:
+        process = DiurnalArrivalProcess(peak_probability=2.0 * config.app_arrival_prob)
+    else:
+        process = BernoulliArrivalProcess(config.app_arrival_prob)
+    return ArrivalSchedule.generate(
+        num_users=config.num_users,
+        total_slots=config.total_slots,
+        slot_seconds=config.slot_seconds,
+        process=process,
+        device_specs=device_specs,
+        rng=rng,
+        table=table,
+        app_weights=config.app_weights,
+    )
+
+
+def _apply_queue_telemetry(policy: SchedulingPolicy, trace_level: str) -> None:
+    """Switch the policy's queues between full histories and streamed stats."""
+    for name in ("task_queue", "virtual_queue"):
+        queue = getattr(policy, name, None)
+        if queue is not None and hasattr(queue, "track_history"):
+            queue.track_history = trace_level == "full"
+
+
+def _policy_queue_stats(policy: SchedulingPolicy) -> Optional[Dict[str, float]]:
+    """Streamed queue aggregates for results without materialised histories."""
+    task_queue = getattr(policy, "task_queue", None)
+    virtual_queue = getattr(policy, "virtual_queue", None)
+    if task_queue is None and virtual_queue is None:
+        return None
+    stats: Dict[str, float] = {}
+    if task_queue is not None:
+        stats["mean_queue"] = float(task_queue.time_average())
+    if virtual_queue is not None:
+        stats["mean_virtual"] = float(virtual_queue.time_average())
+        stats["final_virtual"] = float(virtual_queue.length)
+    return stats
 
 
 @dataclass
@@ -102,6 +345,12 @@ class SimulationResult:
     comm_failures: int = 0
     final_battery_soc: List[float] = field(default_factory=list)
     timers: Optional[EngineTimers] = None
+    #: Streamed queue aggregates (``mean_queue`` / ``mean_virtual`` /
+    #: ``final_virtual``) recorded when the run suppressed the per-slot
+    #: queue histories (``trace_level`` below ``full``); the accessor
+    #: methods fall back to them so headline numbers survive
+    #: memory-bounded telemetry.
+    queue_stats: Optional[Dict[str, float]] = None
 
     # -- energy ----------------------------------------------------------------
 
@@ -137,21 +386,27 @@ class SimulationResult:
 
     def mean_queue_length(self) -> float:
         """Time-averaged task-queue backlog (0 for queue-less policies)."""
-        if not self.queue_history:
-            return 0.0
-        return float(np.mean(self.queue_history))
+        if self.queue_history:
+            return float(np.mean(self.queue_history))
+        if self.queue_stats is not None:
+            return self.queue_stats.get("mean_queue", 0.0)
+        return 0.0
 
     def mean_virtual_queue_length(self) -> float:
         """Time-averaged virtual-queue backlog (0 for queue-less policies)."""
-        if not self.virtual_queue_history:
-            return 0.0
-        return float(np.mean(self.virtual_queue_history))
+        if self.virtual_queue_history:
+            return float(np.mean(self.virtual_queue_history))
+        if self.queue_stats is not None:
+            return self.queue_stats.get("mean_virtual", 0.0)
+        return 0.0
 
     def final_virtual_queue_length(self) -> float:
         """Virtual-queue backlog at the end of the run."""
-        if not self.virtual_queue_history:
-            return 0.0
-        return float(self.virtual_queue_history[-1])
+        if self.virtual_queue_history:
+            return float(self.virtual_queue_history[-1])
+        if self.queue_stats is not None:
+            return self.queue_stats.get("final_virtual", 0.0)
+        return 0.0
 
     # -- battery ----------------------------------------------------------------------
 
@@ -213,6 +468,14 @@ class SimulationEngine:
             itself runs inside a process pool (the experiment runner does)
             so compute-bound threads do not oversubscribe the cores the
             pool already occupies.  Thread count never affects results.
+        trace_level: telemetry volume (:data:`repro.sim.trace.TRACE_LEVELS`).
+            ``full`` (default) records every series; ``summary`` keeps
+            streamed aggregates only — no per-slot samples, no per-user gap
+            traces, no queue histories — so megafleet runs stop accumulating
+            O(users x slots) telemetry; ``off`` additionally drops the
+            per-update samples.  Never affects the simulated system: energy,
+            accuracy, decisions and update counts are bitwise identical
+            across levels.
     """
 
     BACKENDS = ("fleet", "loop")
@@ -228,10 +491,16 @@ class SimulationEngine:
         batched_training: bool = False,
         profile: bool = False,
         training_threads: Optional[int] = None,
+        trace_level: str = "full",
     ) -> None:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {self.BACKENDS}")
+        if trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace_level {trace_level!r}; choose from {TRACE_LEVELS}"
+            )
         self.backend = backend
+        self.trace_level = trace_level
         self.fast_forward = bool(fast_forward)
         self.batched_training = bool(batched_training)
         self.training_threads = training_threads
@@ -240,10 +509,7 @@ class SimulationEngine:
         self.policy = policy
         self.table = measurement_table or MeasurementTable()
 
-        rngs = spawn_generators(
-            config.seed,
-            ["devices", "arrivals", "dataset", "clients", "network", "apps"],
-        )
+        rngs = build_rngs(config)
 
         # -- device fleet -----------------------------------------------------
         self.device_specs: List[DeviceSpec] = build_device_fleet(
@@ -261,90 +527,18 @@ class SimulationEngine:
             include_scheduler_overhead=config.include_scheduler_overhead,
         )
         # Batteries (optional): dev boards are bench-powered and never gated.
-        # Per-user capacities/rates (the scenario compiler's heterogeneous
-        # fleets) override the global knobs; a None capacity entry means the
-        # user has no battery at all.
-        if config.user_battery_capacity_j is not None:
-            capacities = list(config.user_battery_capacity_j)
-        else:
-            capacities = [config.battery_capacity_j] * config.num_users
-        if config.user_charge_rate_w is not None:
-            charge_rates = list(config.user_charge_rate_w)
-        else:
-            charge_rates = [config.battery_charge_rate_w] * config.num_users
-        self.batteries: List[Optional[Battery]] = []
-        for user, spec in enumerate(self.device_specs):
-            if capacities[user] is None or spec.is_dev_board():
-                self.batteries.append(None)
-            else:
-                self.batteries.append(
-                    Battery(
-                        capacity_j=capacities[user],
-                        charge_j=capacities[user],
-                        charge_rate_w=max(charge_rates[user], 0.0),
-                        min_participation_soc=config.min_battery_soc,
-                    )
-                )
+        self.batteries: List[Optional[Battery]] = build_batteries(
+            config, self.device_specs
+        )
         self._has_batteries = any(b is not None for b in self.batteries)
 
         # -- dataset and FL substrate -------------------------------------------
-        self.dataset = dataset or SyntheticCifar10(
-            num_train=config.num_train_samples,
-            num_test=config.num_test_samples,
-            num_classes=config.num_classes,
-            feature_dim=config.feature_dim,
-            class_separation=config.class_separation,
-            noise_std=config.noise_std,
-            label_noise=config.label_noise,
-            clusters_per_class=config.clusters_per_class,
-            seed=config.seed,
+        self.dataset = build_dataset(config, dataset)
+        partitions = build_partitions(config, self.dataset, rngs["dataset"])
+        self.clients: List[FLClient] = build_clients(
+            config, partitions, self.dataset.input_dim()
         )
-        x_train, y_train = self.dataset.train_set()
-        if config.user_data_alpha is not None:
-            partitions = partition_mixed(
-                x_train,
-                y_train,
-                config.user_data_alpha,
-                rngs["dataset"],
-                num_classes=config.num_classes,
-            )
-        elif config.non_iid_alpha is None:
-            partitions = partition_iid(x_train, y_train, config.num_users, rngs["dataset"])
-        else:
-            partitions = partition_dirichlet(
-                x_train,
-                y_train,
-                config.num_users,
-                rngs["dataset"],
-                alpha=config.non_iid_alpha,
-                num_classes=config.num_classes,
-            )
-        self.clients: List[FLClient] = []
-        for user in range(config.num_users):
-            model = build_mlp(
-                input_dim=self.dataset.input_dim(),
-                hidden_dims=config.hidden_dims,
-                num_classes=config.num_classes,
-                seed=config.seed,
-            )
-            self.clients.append(
-                FLClient(
-                    user_id=user,
-                    partition=partitions[user],
-                    model=model,
-                    learning_rate=config.learning_rate,
-                    momentum=config.momentum,
-                    batch_size=config.batch_size,
-                    local_epochs=config.local_epochs,
-                    seed=config.seed + 1000 + user,
-                )
-            )
-        self.eval_model: Sequential = build_mlp(
-            input_dim=self.dataset.input_dim(),
-            hidden_dims=config.hidden_dims,
-            num_classes=config.num_classes,
-            seed=config.seed,
-        )
+        self.eval_model: Sequential = build_eval_model(config, self.dataset.input_dim())
         self.server = ParameterServer(
             self.eval_model.get_flat_params(),
             async_rule=config.async_rule,
@@ -352,46 +546,51 @@ class SimulationEngine:
         )
 
         # -- arrivals and communication -------------------------------------------
-        if config.user_arrivals is not None:
-            process = [build_arrival_process(spec) for spec in config.user_arrivals]
-        elif config.diurnal_arrivals:
-            process = DiurnalArrivalProcess(peak_probability=2.0 * config.app_arrival_prob)
-        else:
-            process = BernoulliArrivalProcess(config.app_arrival_prob)
-        self.arrivals = ArrivalSchedule.generate(
-            num_users=config.num_users,
-            total_slots=config.total_slots,
-            slot_seconds=config.slot_seconds,
-            process=process,
-            device_specs=self.device_specs,
-            rng=rngs["arrivals"],
-            table=self.table,
-            app_weights=config.app_weights,
+        self.arrivals = build_arrival_schedule(
+            config, self.device_specs, rngs["arrivals"], self.table
         )
-        self.transport = ModelTransport(
-            NetworkModel(
-                rng=rngs["network"],
-                wifi_probability=config.wifi_probability,
-                assignments=config.user_wifi,
-            ),
-            account_radio_energy=config.account_radio_energy,
-        )
+        self.transport = build_transport(config, rngs["network"])
 
         # -- bookkeeping ------------------------------------------------------------
         self.gap_tracker = GapTracker(epsilon=config.epsilon)
         self.accountant = EnergyAccountant()
-        self.trace = SimulationTrace(trace_interval_slots=config.trace_interval_slots)
+        self.trace = SimulationTrace(
+            trace_interval_slots=config.trace_interval_slots, level=trace_level
+        )
         self.accuracy = AccuracyTracker()
         self._user_states = [_UserState() for _ in range(config.num_users)]
-        self._sync_buffer: Dict[int, LocalUpdate] = {}
-        self._eval_cache: Optional[Tuple[int, float, float]] = None
         self._has_run = False
-        self._batch_trainer: Optional[BatchTrainer] = None
-        self._pending_train: Dict[int, TrainRequest] = {}
-        self._trained: Dict[int, LocalUpdate] = {}
         # Delta-only uploads suffice for the accumulate rule; replace/mixing
         # rules consume absolute parameter vectors, so clients ship them.
         self._upload_params = config.async_rule is not AsyncUpdateRule.ACCUMULATE
+        # Only the loop backend trains through the engine; the fleet backend
+        # builds its own TrainAheadScheduler inside its FleetShard.
+        self._train_scheduler = (
+            TrainAheadScheduler(
+                self.clients,
+                batched=self.batched_training,
+                threads=training_threads,
+                include_params=self._upload_params,
+            )
+            if backend == "loop"
+            else None
+        )
+        # The coordinator-side coupling core: the cross-user state the paper
+        # routes through the server, shared verbatim by the loop backend,
+        # the fleet slot loop and the sharded engine.
+        self.core = CouplingCore(
+            config=config,
+            policy=policy,
+            server=self.server,
+            transport=self.transport,
+            trace=self.trace,
+            accuracy=self.accuracy,
+            eval_model=self.eval_model,
+            dataset=self.dataset,
+            timers=self.timers,
+        )
+        self._sync_buffer = self.core.sync_buffer
+        _apply_queue_telemetry(policy, trace_level)
 
     # -- helpers ------------------------------------------------------------------
 
@@ -439,180 +638,56 @@ class SimulationEngine:
         )
 
     def _record_scheduled(self, user: int, base_params: np.ndarray, base_version: int) -> None:
-        """Register a just-started training job with the batched trainer.
-
-        A local round's content is fully determined the moment the job is
-        scheduled: the base parameters were captured at download, and the
-        client's RNG and momentum state cannot change while its job is in
-        flight (a training user is never ready, so nothing observes or
-        advances its client state until the upload).  The batched backend
-        exploits this by *training ahead*: pending rounds accumulate here
-        and execute as one stacked tensor program the first time any of
-        them completes — batching the whole in-flight set rather than just
-        the handful of jobs that happen to finish in the same slot.
-        """
-        if self.batched_training:
-            self._pending_train[user] = TrainRequest(
-                user_id=user, base_params=base_params, base_version=int(base_version)
-            )
+        """Register a just-started training job with the train-ahead scheduler."""
+        self._train_scheduler.record(user, base_params, base_version)
 
     def _obtain_update(
         self, user: int, base_params: np.ndarray, base_version: int
     ) -> LocalUpdate:
         """The finished user's upload: serial now, or from the train-ahead batch.
 
-        Serial mode runs ``local_train`` at the completion slot, exactly as
-        before.  Batched mode answers from the train-ahead cache, executing
-        the whole pending in-flight set as one
-        :class:`~repro.fl.batch.BatchTrainer` program on a miss (see
-        :meth:`_record_scheduled` for why that is exact).
+        Orchestration lives in :class:`~repro.fl.batch.TrainAheadScheduler`
+        (shared with the fleet shards); the engine adds only the profiling.
         """
         tick = self.timers.start()
-        if not self.batched_training:
-            update = self.clients[user].local_train(
-                base_params, int(base_version), include_params=self._upload_params
-            )
-            self.timers.stop("training", tick)
-            return update
-        update = self._trained.pop(user, None)
-        if update is None:
-            if user not in self._pending_train:  # defensive: unrecorded schedule
-                self._pending_train[user] = TrainRequest(
-                    user_id=user, base_params=base_params, base_version=int(base_version)
-                )
-            if self._batch_trainer is None:
-                self._batch_trainer = BatchTrainer(
-                    self.clients, threads=self.training_threads
-                )
-            requests = [self._pending_train[u] for u in sorted(self._pending_train)]
-            self._pending_train.clear()
-            updates = self._batch_trainer.train(requests, include_params=self._upload_params)
-            for request, trained in zip(requests, updates):
-                self._trained[request.user_id] = trained
-            update = self._trained.pop(user)
+        update = self._train_scheduler.obtain(user, base_params, base_version)
         self.timers.stop("training", tick)
         return update
 
     def _apply_async_update(
         self, user: int, slot: int, base_params: np.ndarray, update: LocalUpdate
     ) -> float:
-        """Apply one finished user's (already trained) upload asynchronously.
-
-        Shared by both backends (the caller handles its own gap-tracker
-        bookkeeping); returns the realised Eq. (2) gradient gap.
-        """
-        time_s = slot * self.config.slot_seconds
-        realized_gap = gradient_gap_from_params(base_params, self.server.global_params())
-        record = self.server.async_update(update, time_s=time_s, gradient_gap=realized_gap)
-        self.transport.upload(
-            ModelUpload(
-                user_id=user,
-                round_number=self.clients[user].rounds_completed,
-                base_version=update.base_version,
-            ),
-            time_s=time_s,
+        """Apply one finished user's upload (see :class:`CouplingCore`)."""
+        return self.core.apply_async_update(
+            user,
+            slot,
+            update,
+            round_number=self.clients[user].rounds_completed,
+            base_params=base_params,
         )
-        self.policy.notify_update_applied(user, record.lag, realized_gap)
-        self.trace.record_update(
-            UpdateSample(
-                time_s=time_s,
-                user_id=user,
-                lag=record.lag,
-                gradient_gap=realized_gap,
-                train_loss=update.train_loss,
-                sync_round=False,
-            )
-        )
-        return realized_gap
 
     def _maybe_complete_sync_round(
         self, slot: int, stalled_fn: Optional[Callable[[], List[int]]] = None
     ) -> List[int]:
-        """Aggregate the synchronous round once the participating quorum uploaded.
+        """Loop-backend wrapper of the core's quorum completion.
 
-        The round completes when every user *able to participate* has
-        uploaded.  A battery-gated user with a zero charge rate can never
-        recover (idle slots only drain the battery), so waiting for it would
-        deadlock every subsequent round; such *stalled* users are excluded
-        from the quorum and are not released into the next round.  Without
-        batteries (or with a positive charge rate, where gated users recover
-        and the round legitimately waits) the quorum is all ``num_users``,
-        which reproduces the original barrier exactly.
-
-        Args:
-            slot: current slot (aggregation timestamp).
-            stalled_fn: backend-specific callable returning the ascending
-                user ids that are permanently unable to join the round; only
-                invoked when the buffer is short of the full fleet.
-
-        Returns:
-            Ascending user ids released into the next round.
+        The quorum/aggregation logic lives in
+        :meth:`CouplingCore.maybe_complete_sync_round`; this wrapper adds
+        the loop backend's own bookkeeping — gap-tracker resets for the
+        round's members and the per-user ``uploaded_this_round`` flags.
         """
-        if not self._sync_buffer:
-            return []
-        required = self.config.num_users
-        stalled: List[int] = []
-        if len(self._sync_buffer) < required and stalled_fn is not None:
-            stalled = [u for u in stalled_fn() if u not in self._sync_buffer]
-            required -= len(stalled)
-        if len(self._sync_buffer) < required:
-            return []
-        time_s = slot * self.config.slot_seconds
-        updates = [self._sync_buffer[user] for user in sorted(self._sync_buffer)]
-        params_before_round = self.server.global_params()
-        records = self.server.sync_round(updates, time_s=time_s)
-        # In lock-step aggregation the per-round gradient gap is the movement
-        # of the global model over the round (sampled "at the time of
-        # aggregation", Fig. 5a); it is the same for every member of the round.
-        round_gap = gradient_gap_from_params(params_before_round, self.server.global_params())
-        for record, update in zip(records, updates):
-            self.gap_tracker.on_update_applied(update.user_id, 0.0)
-            self.trace.record_update(
-                UpdateSample(
-                    time_s=time_s,
-                    user_id=update.user_id,
-                    lag=record.lag,
-                    gradient_gap=round_gap,
-                    train_loss=update.train_loss,
-                    sync_round=True,
-                )
-            )
-        self._sync_buffer.clear()
-        stalled_set = set(stalled)
-        released = []
-        for user, state in enumerate(self._user_states):
-            state.uploaded_this_round = False
-            if user not in stalled_set:
-                released.append(user)
+        members = sorted(self._sync_buffer)
+        released = self.core.maybe_complete_sync_round(slot, stalled_fn)
+        if members and not self._sync_buffer:  # the round completed
+            for user in members:
+                self.gap_tracker.on_update_applied(user, 0.0)
+            for state in self._user_states:
+                state.uploaded_this_round = False
         return released
 
     def _evaluate(self, slot: int) -> None:
-        """Evaluate the current global model on the held-out test set.
-
-        Evaluation is deterministic in the global parameters, which only
-        change when the server version advances — so the (accuracy, loss)
-        pair is cached per version.  The fast-forward path relies on this to
-        replay evaluation ticks inside a quiet region (where the model is
-        frozen) at the cost of a record, not a forward pass; the slot-by-slot
-        paths get the same values either way.
-        """
-        version = self.server.version
-        cached = self._eval_cache
-        if cached is not None and cached[0] == version:
-            accuracy, loss = cached[1], cached[2]
-        else:
-            tick = self.timers.start()
-            self.eval_model.set_flat_params(self.server.global_params())
-            x_test, y_test = self.dataset.test_set()
-            accuracy, loss = evaluate_model(self.eval_model, x_test, y_test)
-            self._eval_cache = (version, accuracy, loss)
-            self.timers.stop("eval", tick)
-        self.accuracy.record(
-            time_s=slot * self.config.slot_seconds,
-            accuracy=accuracy,
-            loss=loss,
-            num_updates=self.server.num_updates(),
-        )
+        """Evaluate the current global model (see :meth:`CouplingCore.evaluate`)."""
+        self.core.evaluate(slot)
 
     # -- main loop --------------------------------------------------------------------
 
@@ -824,6 +899,7 @@ class SimulationEngine:
             comm_failures=self.transport.failure_count(),
             final_battery_soc=[b.soc for b in self.batteries if b is not None],
             timers=self.timers if self.timers.enabled else None,
+            queue_stats=_policy_queue_stats(self.policy),
         )
 
     def _loop_stalled_sync_users(self) -> List[int]:
@@ -847,172 +923,47 @@ class SimulationEngine:
     # -- vectorized backend ------------------------------------------------------------
 
     def _run_fleet(self) -> SimulationResult:
-        """Vectorized slot loop over a :class:`repro.sim.fleet.FleetState`.
+        """Vectorized slot loop over one in-process fleet shard.
 
-        Follows the same five-step slot timeline as :meth:`_run_loop`, but
-        steps 1 (application churn), 3 (device advancement with the
-        Eq. (10) energy accumulation) and the Eq. (12) gap dynamics operate
-        on struct-of-arrays state, and step 2's decisions go through the
-        policy's batched :meth:`~repro.core.policies.SchedulingPolicy.decide_all`.
-        Per-user Python work remains only where real events happen: app
-        launches, schedule decisions, and finished training jobs (which run
-        the actual NumPy local epoch, exactly as before).
-
-        With ``fast_forward`` enabled (the default), the engine additionally
-        vectorizes *across time*: whenever the upcoming slot is quiet — no
-        pending arrival, empty ready pool, no application event, no
-        co-running job, no training completion due — it advances every slot
-        up to the next event horizon in one fused kernel and backfills the
-        per-slot observables (queues, cumulative energy, traces, evaluation
-        ticks) with the exact values the slot-by-slot path would have
-        produced.  Event slots always run through the normal path below.
+        The loop itself lives in :func:`repro.sim.shard.drive_fleet_loop`
+        and is shared **verbatim** with the sharded engine: this method
+        wraps the engine's pre-built components into a single
+        :class:`~repro.sim.shard.FleetShard` covering the whole population
+        and drives it through an in-process handle.  The staged kernels —
+        application churn, arrivals, batched decisions, fleet advancement,
+        deterministic upload application, sync-round quorum, event-horizon
+        fast-forward — therefore cannot fork between single-process and
+        sharded execution; an N-shard run differs only in where the per-user
+        state resides.
         """
-        from repro.sim.fleet import FleetState
+        from repro.sim.shard import FleetShard, InlineShardHandle, drive_fleet_loop
 
         config = self.config
-        sync_mode = self.policy.aggregation is Aggregation.SYNC
-        fleet = FleetState(
+        shard = FleetShard(
             config=config,
+            lo=0,
+            hi=config.num_users,
             device_specs=self.device_specs,
             power_model=self.power_model,
             batteries=self.batteries,
             clients=self.clients,
             arrivals=self.arrivals,
+            include_params=self._upload_params,
+            batched_training=self.batched_training,
+            training_threads=self.training_threads,
+            timers=self.timers,
         )
-        stalled_fn = fleet.stalled_sync_users if self._has_batteries else None
-
-        # All users download the initial model and arrive at slot 0.
-        pending_arrivals = list(range(config.num_users))
-        self._evaluate(0)
-
-        fast_forward = self.fast_forward
-
-        slot = 0
-        total_slots = config.total_slots
-        while slot < total_slots:
-            if fast_forward and not pending_arrivals:
-                advanced = self._fast_forward_fleet(fleet, slot)
-                if advanced:
-                    slot += advanced
-                    continue
-            time_s = slot * config.slot_seconds
-
-            # 1. Applications: expire finished ones, launch new arrivals.
-            fleet.begin_slot_apps(slot)
-
-            # 2. Arrivals -> ready pool.
-            num_arrivals = len(pending_arrivals)
-            for user in pending_arrivals:
-                fleet.make_ready(user, self.server.version, self.server.download(user))
-                self.transport.download(
-                    ModelDownload(user_id=user, server_version=self.server.version),
-                    time_s=time_s,
-                )
-            pending_arrivals = []
-
-            ready_users = fleet.ready_users()
-            context = SlotContext(
-                slot=slot,
-                slot_seconds=config.slot_seconds,
-                num_arrivals=num_arrivals,
-                num_ready=len(ready_users),
-                num_training=int(fleet.training_active.sum()),
-                num_users=config.num_users,
-            )
-            policy_tick = self.timers.start()
-            self.policy.begin_slot(context)
-
-            # 3. Batched decisions for the ready pool.
-            num_scheduled = 0
-            decided_idle = np.zeros(config.num_users, dtype=bool)
-            if len(ready_users):
-                batch = fleet.observation_batch(slot, ready_users, self.server)
-                schedule = self.policy.decide_all(batch)
-                coupling = batch.coupling()
-                for index in np.nonzero(schedule)[0]:
-                    index = int(index)
-                    user = int(ready_users[index])
-                    corun = bool(fleet.app_active[user])
-                    duration = fleet.start_training(user)
-                    self.server.register_inflight(
-                        user, expected_finish_s=(slot + duration) * config.slot_seconds
-                    )
-                    self._record_scheduled(
-                        user, fleet.base_params[user], int(fleet.base_version[user])
-                    )
-                    # The Eq. (4) gap at schedule time uses the same
-                    # sequentially-coupled lag the policy decided with.
-                    lag = coupling.lag(index)
-                    coupling.record(index)
-                    fleet.gaps[user] = gradient_gap(
-                        float(batch.momentum_norm[index]),
-                        float(batch.learning_rate[index]),
-                        float(batch.momentum_coeff[index]),
-                        lag,
-                    )
-                    num_scheduled += 1
-                    self.trace.record_decision(scheduled=True, corun=corun)
-                idle_users = ready_users[~schedule]
-                fleet.gaps[idle_users] += config.epsilon
-                fleet.waiting_slots[idle_users] += 1
-                decided_idle[idle_users] = True
-                self.trace.decisions["idle"] += len(idle_users)
-            self.timers.stop("policy", policy_tick)
-
-            # 4. Advance the whole fleet by one slot.  Each finisher's upload
-            # is obtained (train-ahead batch or serial round) and applied
-            # sequentially in ascending user order, exactly as before.
-            outcome = fleet.advance(decided_idle)
-            for user in outcome.finished_users:
-                user = int(user)
-                update = self._obtain_update(
-                    user, fleet.base_params[user], int(fleet.base_version[user])
-                )
-                fleet.momentum_norms[user] = update.momentum_norm
-                if sync_mode:
-                    self._sync_buffer[user] = update
-                    self.server.unregister_inflight(user)
-                else:
-                    self._apply_async_update(user, slot, fleet.base_params[user], update)
-                    fleet.gaps[user] = 0.0
-                    pending_arrivals.append(user)
-
-            if sync_mode:
-                released = self._maybe_complete_sync_round(slot, stalled_fn)
-                if released:
-                    fleet.gaps[np.asarray(released, dtype=np.int64)] = 0.0
-                pending_arrivals.extend(released)
-
-            # 5. Close the slot: queues, traces, evaluation.
-            gap_sum = fleet.total_gap()
-            policy_tick = self.timers.start()
-            self.policy.end_slot(context, num_scheduled, gap_sum)
-            self.timers.stop("policy", policy_tick)
-            fleet.accountant.close_slot()
-
-            if slot % config.trace_interval_slots == 0:
-                queue_length = getattr(getattr(self.policy, "task_queue", None), "length", 0.0)
-                virtual_length = getattr(
-                    getattr(self.policy, "virtual_queue", None), "length", 0.0
-                )
-                self.trace.maybe_record_slot(
-                    SlotSample(
-                        slot=slot,
-                        time_s=time_s,
-                        cumulative_energy_j=fleet.accountant.total_j(),
-                        queue_length=queue_length,
-                        virtual_queue_length=virtual_length,
-                        gap_sum=gap_sum,
-                        num_training=context.num_training,
-                        num_ready=context.num_ready,
-                    )
-                )
-                self.trace.record_user_gaps(time_s, fleet.gaps.tolist())
-            if slot > 0 and slot % config.eval_interval_slots == 0:
-                self._evaluate(slot)
-            slot += 1
-
-        self._evaluate(config.total_slots)
+        drive_fleet_loop(
+            core=self.core,
+            handles=[InlineShardHandle(shard)],
+            bounds=[(0, config.num_users)],
+            config=config,
+            fast_forward=self.fast_forward,
+            timers=self.timers,
+            trace_level=self.trace_level,
+            has_batteries=self._has_batteries,
+        )
+        fleet = shard.fleet
 
         queue_history = list(getattr(getattr(self.policy, "task_queue", None), "history", lambda: [])())
         virtual_history = list(
@@ -1033,127 +984,5 @@ class SimulationEngine:
             comm_failures=self.transport.failure_count(),
             final_battery_soc=fleet.final_battery_soc(),
             timers=self.timers if self.timers.enabled else None,
+            queue_stats=_policy_queue_stats(self.policy),
         )
-
-    # -- event-horizon fast forward ----------------------------------------------------
-
-    def _fast_forward_fleet(self, fleet, slot: int) -> int:
-        """Advance through the quiet slots starting at ``slot``; returns the count.
-
-        Called with no pending arrivals.  Returns 0 when the slot is not
-        quiet (a decision is due this slot), in which case the caller falls
-        through to the normal slot path.  Otherwise the fleet state (device
-        advancement *and* application churn, which the kernel replays at
-        in-region segment boundaries), the policy queues, the energy
-        accounting, the traces and the evaluation ticks are all advanced to
-        exactly the state the slot-by-slot path would have reached — see
-        :meth:`repro.sim.fleet.FleetState.advance_quiet` for the kernel's
-        bitwise-equivalence argument.
-
-        During a quiet region no synchronous round can complete either: the
-        upload buffer is frozen (no training finishes) and the stalled-user
-        set cannot grow (every ready user is already battery-gated, gated
-        users with a zero charge rate stay gated, and gated users with a
-        positive rate are not stalled — their recovery terminates the region
-        instead), so skipping the per-slot round check is exact.
-        """
-        config = self.config
-        if len(fleet.ready_users()):
-            return 0  # decisions due this slot
-        horizon = fleet.quiet_horizon(slot, config.total_slots)
-        if horizon <= 0:
-            return 0
-        num_training = int(fleet.training_active.sum())
-        advanced, tick_offsets, tick_totals = fleet.advance_quiet(
-            slot, horizon, config.trace_interval_slots
-        )
-        if advanced <= 0:
-            return 0
-        gap_sum = fleet.total_gap()
-        policy = self.policy
-
-        # Policy bookkeeping for the skipped slots.  The online policy's slot
-        # hooks reduce to the exact multi-slot queue recursions; policies that
-        # inherit the no-op base hooks need nothing; anything else gets its
-        # begin/end hooks invoked per slot with the contexts the slot-by-slot
-        # path would have passed (e.g. the offline policy's window planner).
-        policy_tick = self.timers.start()
-        tick_queue: Optional[List[Tuple[float, float]]] = None
-        if type(policy) is OnlinePolicy:
-            queue_length = policy.task_queue.advance_idle(advanced)
-            virtual_values = policy.virtual_queue.advance_constant(gap_sum, advanced)
-            tick_queue = [
-                (queue_length, virtual_values[offset]) for offset in tick_offsets
-            ]
-        else:
-            begin_hook = type(policy).begin_slot is not SchedulingPolicy.begin_slot
-            end_hook = type(policy).end_slot is not SchedulingPolicy.end_slot
-            if begin_hook or end_hook:
-                tick_set = set(tick_offsets)
-                tick_queue = []
-                for offset in range(advanced):
-                    context = SlotContext(
-                        slot=slot + offset,
-                        slot_seconds=config.slot_seconds,
-                        num_arrivals=0,
-                        num_ready=0,
-                        num_training=num_training,
-                        num_users=config.num_users,
-                    )
-                    if begin_hook:
-                        policy.begin_slot(context)
-                    if end_hook:
-                        policy.end_slot(context, 0, gap_sum)
-                    if offset in tick_set:
-                        tick_queue.append(
-                            (
-                                getattr(
-                                    getattr(policy, "task_queue", None), "length", 0.0
-                                ),
-                                getattr(
-                                    getattr(policy, "virtual_queue", None), "length", 0.0
-                                ),
-                            )
-                        )
-        self.timers.stop("policy", policy_tick)
-
-        # Trace backfill: the sampled slots inside the region carry the
-        # constant gap sum and ready/training counts, the replayed queue
-        # backlogs and the exact cumulative energy captured by the kernel.
-        if tick_offsets:
-            gap_list = fleet.gaps.tolist()
-            for index, offset in enumerate(tick_offsets):
-                sample_slot = slot + offset
-                time_s = sample_slot * config.slot_seconds
-                if tick_queue is not None:
-                    queue_length, virtual_length = tick_queue[index]
-                else:
-                    queue_length = getattr(
-                        getattr(policy, "task_queue", None), "length", 0.0
-                    )
-                    virtual_length = getattr(
-                        getattr(policy, "virtual_queue", None), "length", 0.0
-                    )
-                self.trace.maybe_record_slot(
-                    SlotSample(
-                        slot=sample_slot,
-                        time_s=time_s,
-                        cumulative_energy_j=tick_totals[index],
-                        queue_length=queue_length,
-                        virtual_queue_length=virtual_length,
-                        gap_sum=gap_sum,
-                        num_training=num_training,
-                        num_ready=0,
-                    )
-                )
-                self.trace.record_user_gaps(time_s, gap_list)
-
-        # Evaluation ticks: the global model is frozen across the region, so
-        # the version-keyed cache in _evaluate makes each replay a record.
-        interval = config.eval_interval_slots
-        first = ((slot + interval - 1) // interval) * interval
-        if first == 0:
-            first = interval
-        for eval_slot in range(first, slot + advanced, interval):
-            self._evaluate(eval_slot)
-        return advanced

@@ -51,7 +51,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.policies import ObservationBatch
 from repro.device.apps import ForegroundApp
 from repro.device.models import DeviceSpec
 from repro.device.thermal import ThermalModel
@@ -61,7 +60,7 @@ from repro.fl.client import FLClient
 from repro.sim.arrivals import ArrivalSchedule
 from repro.sim.config import SimulationConfig
 
-__all__ = ["FleetEnergyAccountant", "FleetState", "SlotAdvance"]
+__all__ = ["FleetEnergyAccountant", "FleetState", "ReadyPayload", "SlotAdvance"]
 
 #: Contention penalty for homogeneous (non-big.LITTLE) CPUs (Observation 2,
 #: mirrored from :meth:`repro.device.thermal.ThermalModel.training_slowdown`).
@@ -143,6 +142,64 @@ class FleetEnergyAccountant:
             append(running)
         self._running_total_j = running
 
+    # -- snapshot / merge (the shard layer's mutation-set contract) -------------------
+
+    def quiet_state(self) -> tuple:
+        """Copies of everything the quiet kernel can mutate in this accountant.
+
+        Owned here so the mutation set and the field layout live in one
+        class: :meth:`FleetState.quiet_snapshot` (the two-phase quiet
+        commit) delegates to it.  ``overhead_j`` is excluded — quiet regions
+        have no deciding-idle users, so the quiet kernel never touches it.
+        """
+        return (
+            self.idle_j.copy(),
+            self.app_j.copy(),
+            self.training_j.copy(),
+            self.corunning_j.copy(),
+            list(self._per_slot_total),
+            self._running_total_j,
+        )
+
+    def restore_quiet_state(self, state: tuple) -> None:
+        """Restore :meth:`quiet_state` (single-use: arrays bind directly)."""
+        (
+            self.idle_j,
+            self.app_j,
+            self.training_j,
+            self.corunning_j,
+            per_slot_total,
+            self._running_total_j,
+        ) = state
+        self._per_slot_total = list(per_slot_total)
+
+    @classmethod
+    def merged(cls, accountants: Sequence["FleetEnergyAccountant"]) -> "FleetEnergyAccountant":
+        """Merge per-shard accountants into one population-wide accountant.
+
+        The per-user arrays concatenate in shard (= ascending user) order,
+        so :meth:`total_j` folds exactly the values a single-process
+        accountant would — bitwise.  The cumulative per-slot *series* is
+        reconstituted as the element-wise sum of the shard series; summing
+        shard subtotals re-associates the per-slot float fold, so that one
+        series (a convenience for plots; no headline number reads it) may
+        differ from a single-process run in the last ulp.
+        """
+        merged = cls(sum(accountant.num_users for accountant in accountants))
+        merged.idle_j = np.concatenate([a.idle_j for a in accountants])
+        merged.app_j = np.concatenate([a.app_j for a in accountants])
+        merged.training_j = np.concatenate([a.training_j for a in accountants])
+        merged.corunning_j = np.concatenate([a.corunning_j for a in accountants])
+        merged.overhead_j = np.concatenate([a.overhead_j for a in accountants])
+        series = [np.asarray(a._per_slot_total) for a in accountants]
+        if series and len(series[0]):
+            stacked = series[0].copy()
+            for other in series[1:]:
+                stacked += other
+            merged._per_slot_total = stacked.tolist()
+            merged._running_total_j = float(stacked[-1])
+        return merged
+
     # -- accessors (EnergyAccountant-compatible) -------------------------------------
 
     def user_breakdown(self, user_id: int) -> EnergyBreakdown:
@@ -176,6 +233,40 @@ class FleetEnergyAccountant:
 
 
 @dataclass
+class ReadyPayload:
+    """One shard's decision inputs for its ready pool in one slot.
+
+    The shard-resident half of an
+    :class:`~repro.core.policies.ObservationBatch`: everything a policy
+    needs that lives in per-device state.  The two coupling-state columns —
+    the server-supplied lag estimates and the Eq. (12) gradient gaps — are
+    filled in by the coordinator (see
+    :func:`repro.sim.shard.build_observation_batch`), because they are
+    exactly the cross-shard state the paper routes through the server.
+
+    ``users`` are *shard-local* ascending indices; the shard's user-id
+    offset translates them to global ids at the protocol boundary.
+    """
+
+    users: np.ndarray
+    app_running: np.ndarray
+    power_corun_w: np.ndarray
+    power_app_w: np.ndarray
+    power_training_w: np.ndarray
+    power_idle_w: np.ndarray
+    momentum_norm: np.ndarray
+    learning_rate: np.ndarray
+    momentum_coeff: np.ndarray
+    duration_slots: np.ndarray
+    waiting_slots: np.ndarray
+    device_names: np.ndarray
+    app_names: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+@dataclass
 class SlotAdvance:
     """What happened fleet-wide during one vectorized slot advance.
 
@@ -203,12 +294,16 @@ class FleetState:
       (step 1 of the slot timeline in :mod:`repro.sim.engine`);
     * :meth:`ready_users` — the ready pool, including the Android
       JobScheduler battery-participation condition (Section III.B);
-    * :meth:`observation_batch` — the Eq. (22)/(23) decision inputs for
-      every ready user as one :class:`~repro.core.policies.ObservationBatch`;
+    * :meth:`ready_payload` — the shard-resident half of the Eq. (22)/(23)
+      decision inputs (the coordinator adds the lag and gap coupling
+      columns, which live server-side);
     * :meth:`advance` — device advancement with Eq. (10) energy
-      accumulation, thermal dynamics and training progress (step 3);
-    * the Eq. (12) gap dynamics, operated on directly by the engine via
-      :attr:`gaps` / :meth:`total_gap`.
+      accumulation, thermal dynamics and training progress (step 3).
+
+    The Eq. (12) gap dynamics deliberately do **not** live here: the gap sum
+    ``G(t)`` feeds the global virtual queue, so the per-user gap array is
+    coordinator state (:class:`repro.sim.coupling.CouplingCore`), exchanged
+    with shards only through observation batches.
 
     Args:
         config: the run configuration.
@@ -228,9 +323,13 @@ class FleetState:
         clients: Sequence[FLClient],
         arrivals: ArrivalSchedule,
     ) -> None:
-        n = config.num_users
-        if not (len(device_specs) == len(batteries) == len(clients) == n):
-            raise ValueError("device_specs, batteries and clients must match num_users")
+        # The fleet covers len(device_specs) users — the whole population in
+        # single-process runs, one contiguous shard slice under the sharded
+        # engine.  Every internal index is local to this slice; the shard
+        # layer owns the local <-> global translation.
+        n = len(device_specs)
+        if not (len(batteries) == len(clients) == n):
+            raise ValueError("device_specs, batteries and clients must be equal-length")
         self.config = config
         self.num_users = n
         self.slot_seconds = config.slot_seconds
@@ -278,7 +377,6 @@ class FleetState:
         self.waiting_slots = np.zeros(n, dtype=np.int64)
         self.base_version = np.zeros(n, dtype=np.int64)
         self.base_params: List[Optional[np.ndarray]] = [None] * n
-        self.gaps = np.zeros(n)
 
         self.app_active = np.zeros(n, dtype=bool)
         self.app_end_slot = np.zeros(n, dtype=np.int64)
@@ -366,35 +464,27 @@ class FleetState:
 
     # -- decisions ---------------------------------------------------------------------
 
-    def observation_batch(self, slot: int, users: np.ndarray, server) -> ObservationBatch:
-        """Build the Eq. (22)/(23) decision inputs for the ready pool.
+    def ready_payload(self, users: np.ndarray) -> ReadyPayload:
+        """The shard-resident decision inputs for the ready pool ``users``.
 
-        The lag estimates come from
-        :meth:`repro.fl.server.ParameterServer.estimate_lags` and therefore
-        reflect the jobs in flight *at the start of the slot*; decisions made
-        earlier in the same slot are folded in by
-        :meth:`~repro.core.policies.ObservationBatch.coupled_lag`, exactly
-        as the loop engine's incremental ``register_inflight`` would.
+        Everything in the Eq. (22)/(23) observation that lives in per-device
+        state.  The coordinator completes it into an
+        :class:`~repro.core.policies.ObservationBatch` by adding the two
+        coupling columns — server lag estimates and Eq. (12) gaps
+        (:func:`repro.sim.shard.build_observation_batch`).
         """
-        now_s = slot * self.slot_seconds
-        durations_s = self.duration_slots[users] * self.slot_seconds
-        lags = server.estimate_lags(users, now_s, durations_s)
-        return ObservationBatch(
-            slot=slot,
-            slot_seconds=self.slot_seconds,
-            user_ids=users,
+        return ReadyPayload(
+            users=users,
             app_running=self.app_active[users],
             power_corun_w=self.corun_power_w[users],
             power_app_w=self.app_power_w[users],
             power_training_w=self.training_w[users],
             power_idle_w=self.idle_w[users],
-            estimated_lag=lags,
             momentum_norm=self.momentum_norms[users],
             learning_rate=self.learning_rates[users],
             momentum_coeff=self.momentum_coeffs[users],
-            training_duration_slots=self.duration_slots[users],
+            duration_slots=self.duration_slots[users],
             waiting_slots=self.waiting_slots[users],
-            current_gap=self.gaps[users],
             device_names=self.device_names[users],
             app_names=self.app_names[users],
         )
@@ -557,9 +647,56 @@ class FleetState:
             return []
         return [int(user) for user in np.nonzero(mask)[0]]
 
+    def quiet_snapshot(self) -> tuple:
+        """Copy of every array :meth:`advance_quiet` can mutate.
+
+        The sharded engine advances quiet regions with a two-phase commit:
+        every shard *tries* the region up to its own bound, the coordinator
+        takes the minimum, and shards that advanced further restore this
+        snapshot and re-advance to the agreed count.  Restoring is exact —
+        the snapshot covers application state, thermal state, training
+        progress, batteries and the energy accumulators (the complete
+        mutation set of the quiet kernel; ready/training flags and the
+        launch schedule are invariant inside a quiet region).
+        """
+        return (
+            self.app_active.copy(),
+            self.app_end_slot.copy(),
+            self.app_power_w.copy(),
+            self.corun_power_w.copy(),
+            self.app_slowdown.copy(),
+            self.app_names.copy(),
+            self.temperature_c.copy(),
+            self.remaining_slots.copy(),
+            self.battery_charge_j.copy(),
+            self.battery_cycle_j.copy(),
+            self.accountant.quiet_state(),
+        )
+
+    def quiet_restore(self, snapshot: tuple) -> None:
+        """Restore the state captured by :meth:`quiet_snapshot`."""
+        (
+            self.app_active,
+            self.app_end_slot,
+            self.app_power_w,
+            self.corun_power_w,
+            self.app_slowdown,
+            self.app_names,
+            self.temperature_c,
+            self.remaining_slots,
+            self.battery_charge_j,
+            self.battery_cycle_j,
+            accountant_state,
+        ) = snapshot
+        self.accountant.restore_quiet_state(accountant_state)
+
     def advance_quiet(
-        self, start_slot: int, max_slots: int, trace_interval: int
-    ) -> Tuple[int, List[int], List[float]]:
+        self,
+        start_slot: int,
+        max_slots: int,
+        trace_interval: Optional[int],
+        capture_user_totals: bool = False,
+    ) -> Tuple[int, List[int], List[float], Optional[List[np.ndarray]]]:
         """Advance up to ``max_slots`` quiet slots in one fused region kernel.
 
         Preconditions (established by the engine and :meth:`quiet_horizon`):
@@ -595,12 +732,17 @@ class FleetState:
           increment per segment (:meth:`FleetEnergyAccountant.backfill_quiet`).
 
         Returns:
-            ``(advanced, tick_offsets, tick_totals)`` — the number of slots
-            actually advanced (shorter than ``max_slots`` on a battery
-            flip), the 0-based offsets within the region that fall on the
-            trace-sampling grid, and the system-wide cumulative energy at
+            ``(advanced, tick_offsets, tick_totals, tick_user_totals)`` —
+            the number of slots actually advanced (shorter than
+            ``max_slots`` on a battery flip), the 0-based offsets within the
+            region that fall on the trace-sampling grid
+            (``trace_interval=None`` disables tick capture entirely — the
+            summary-telemetry mode), the system-wide cumulative energy at
             each of those offsets (what ``accountant.total_j()`` would have
-            returned there).
+            returned there), and — only when ``capture_user_totals`` is set
+            — the *per-user* cumulative totals at each tick, which the
+            sharded coordinator folds across shards in global user order to
+            reproduce the single-process tick totals bit for bit.
         """
         n = self.num_users
         acc = self.accountant
@@ -636,6 +778,9 @@ class FleetState:
         flipped = False
         tick_offsets: List[int] = []
         tick_totals: List[float] = []
+        tick_user_totals: Optional[List[np.ndarray]] = (
+            [] if capture_user_totals else None
+        )
         while advanced < max_slots and not flipped:
             seg_slot = start_slot + advanced
             # Top-of-slot application bookkeeping for the segment boundary.
@@ -702,6 +847,7 @@ class FleetState:
                     advanced,
                     tick_offsets,
                     tick_totals,
+                    tick_user_totals,
                 )
             else:
                 self._accumulate_segment_numpy(
@@ -713,6 +859,7 @@ class FleetState:
                     advanced,
                     tick_offsets,
                     tick_totals,
+                    tick_user_totals,
                 )
 
             # Cumulative per-slot energy series: constant increment per slot.
@@ -723,7 +870,7 @@ class FleetState:
             acc.app_j[:] = lists[1]
             acc.training_j[:] = lists[2]
             acc.corunning_j[:] = lists[3]
-        return advanced, tick_offsets, tick_totals
+        return advanced, tick_offsets, tick_totals, tick_user_totals
 
     def _advance_quiet_thermal(
         self, power_w: np.ndarray, corun: np.ndarray, seg_done: int
@@ -879,10 +1026,11 @@ class FleetState:
         state_code: List[int],
         seg_slot: int,
         seg_done: int,
-        trace_interval: int,
+        trace_interval: Optional[int],
         region_offset: int,
         tick_offsets: List[int],
         tick_totals: List[float],
+        tick_user_totals: Optional[List[np.ndarray]],
     ) -> None:
         """Per-user Python accumulation (small fleets): repeated additions.
 
@@ -894,9 +1042,12 @@ class FleetState:
         (``2 * training + app``).
         """
         n = self.num_users
-        seg_ticks = [
-            j for j in range(seg_done) if (seg_slot + j) % trace_interval == 0
-        ]
+        if trace_interval is None:
+            seg_ticks: List[int] = []
+        else:
+            seg_ticks = [
+                j for j in range(seg_done) if (seg_slot + j) % trace_interval == 0
+            ]
         captures: List[List[float]] = [[0.0] * n for _ in seg_ticks]
         for user in range(n):
             active = lists[state_code[user]]
@@ -919,18 +1070,24 @@ class FleetState:
         for t_i, offset in enumerate(seg_ticks):
             cap = captures[t_i]
             total = 0
+            user_totals = np.empty(n) if tick_user_totals is not None else None
             for user in range(n):
                 code = state_code[user]
                 v_idle = cap[user] if code == 0 else lists[0][user]
                 v_app = cap[user] if code == 1 else lists[1][user]
                 v_training = cap[user] if code == 2 else lists[2][user]
                 v_corun = cap[user] if code == 3 else lists[3][user]
-                total = total + (
+                user_total = (
                     (((v_idle + v_app) + v_training) + v_corun)
                     + overhead_list[user]
                 )
+                if user_totals is not None:
+                    user_totals[user] = user_total
+                total = total + user_total
             tick_offsets.append(region_offset + offset)
             tick_totals.append(float(total))
+            if tick_user_totals is not None:
+                tick_user_totals.append(user_totals)
 
     def _accumulate_segment_numpy(
         self,
@@ -938,10 +1095,11 @@ class FleetState:
         masks: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
         seg_slot: int,
         seg_done: int,
-        trace_interval: int,
+        trace_interval: Optional[int],
         region_offset: int,
         tick_offsets: List[int],
         tick_totals: List[float],
+        tick_user_totals: Optional[List[np.ndarray]],
     ) -> None:
         """Per-slot array accumulation (large fleets): masked adds per slot."""
         acc = self.accountant
@@ -959,21 +1117,17 @@ class FleetState:
         for offset in range(seg_done):
             for array, index, values in groups:
                 array[index] += values
-            if (seg_slot + offset) % trace_interval == 0:
+            if trace_interval is not None and (seg_slot + offset) % trace_interval == 0:
+                # Same per-user formula and user-order fold as total_j().
+                user_totals = (
+                    acc.idle_j + acc.app_j + acc.training_j + acc.corunning_j
+                ) + acc.overhead_j
                 tick_offsets.append(region_offset + offset)
-                tick_totals.append(acc.total_j())
+                tick_totals.append(float(sum(user_totals.tolist())))
+                if tick_user_totals is not None:
+                    tick_user_totals.append(user_totals)
 
-    # -- Eq. (12) gap dynamics and reporting -----------------------------------------------
-
-    def total_gap(self) -> float:
-        """The per-slot gap sum ``G(t)`` feeding the virtual queue.
-
-        Summed left-to-right in ascending user order — the order in which
-        the loop engine's :class:`~repro.core.staleness.GapTracker` dict was
-        populated (every user is decided in slot 0), so both backends feed
-        the virtual queue the same ``float``.
-        """
-        return float(sum(self.gaps.tolist()))
+    # -- reporting ---------------------------------------------------------------------
 
     def final_battery_soc(self) -> List[float]:
         """End-of-run state of charge of every battery-powered user."""

@@ -1,0 +1,1139 @@
+"""Sharded fleet engine: the population partitioned across worker processes.
+
+Section V's distributed-implementation argument is an architecture statement:
+each device decides locally from broadcast backlogs and a server-supplied lag
+estimate, so the *only* state that couples users is what flows through the
+parameter server — the global model/version, the in-flight set, the
+``Q(t)``/``H(t)`` backlogs, and the gap sum ``G(t)``.  This module exploits
+that boundary literally:
+
+* the **coordinator** owns exactly the coupling state
+  (:class:`~repro.sim.coupling.CouplingCore`: server, policy queues, gaps,
+  sync buffer, transport accounting, traces, evaluation);
+* each **shard** owns a contiguous slice of the population's per-user state
+  (:class:`FleetShard`: the struct-of-arrays
+  :class:`~repro.sim.fleet.FleetState`, batteries, application churn, FL
+  clients and their actual NumPy training), running either in-process
+  (:class:`InlineShardHandle` — the single-process engine) or in its own
+  worker process (:class:`ProcessShardHandle` — :class:`ShardedEngine`).
+
+Per slot, coordinator and shards exchange only the paper's coupling state:
+downloads (version + parameters), ready-pool observations, decisions,
+finished uploads, and backlog-derived scalars.  Between events, every shard
+fast-forwards its quiet region in lock-step to the global event horizon
+(two-phase try/commit, so a battery flip in one shard never lets another
+shard overshoot).
+
+**Determinism contract.**  For any shard count, a sharded run is *bitwise
+identical* to the single-process fleet fast-forward run: shards are
+contiguous (so per-shard iteration in shard order is ascending-user
+iteration), uploads apply in deterministic ascending user order, decisions
+are made on the concatenated global observation batch (the policy sees the
+exact slot-wise inputs of the single-process engine, including same-slot lag
+coupling across shard boundaries), reductions that are float folds (energy
+totals, the gap sum) are computed coordinator-side over per-user values in
+global user order, and per-user RNG streams (client shuffling, arrivals) are
+partition-independent.  ``tests/test_shard.py`` and the ``shard-smoke`` CI
+gate hold the engine to this contract.
+"""
+
+from __future__ import annotations
+
+import bisect
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.offline import OfflinePolicy
+from repro.core.online import OnlinePolicy
+from repro.core.policies import (
+    Aggregation,
+    ObservationBatch,
+    SchedulingPolicy,
+    SlotContext,
+)
+from repro.core.staleness import gradient_gap
+from repro.comm.network import NetworkModel
+from repro.comm.transport import ModelTransport
+from repro.energy.measurements import MeasurementTable
+from repro.energy.power_model import PowerModel
+from repro.fl.batch import TrainAheadScheduler
+from repro.fl.client import FLClient, LocalUpdate
+from repro.fl.metrics import AccuracyTracker
+from repro.fl.model import build_mlp
+from repro.fl.server import AsyncUpdateRule, ParameterServer
+from repro.sim.arrivals import ArrivalSchedule
+from repro.sim.config import SimulationConfig
+from repro.sim.coupling import CouplingCore
+from repro.sim.engine import (
+    SimulationResult,
+    _policy_queue_stats,
+    _apply_queue_telemetry,
+    build_arrival_schedule,
+    build_batteries,
+    build_clients,
+    build_dataset,
+    build_eval_model,
+    build_partitions,
+    build_rngs,
+    build_transport,
+    fleet_has_batteries,
+)
+from repro.sim.fleet import FleetEnergyAccountant, FleetState, ReadyPayload
+from repro.sim.rng import spawn_generators
+from repro.sim.timers import EngineTimers
+from repro.sim.trace import TRACE_LEVELS, SimulationTrace, SlotSample
+
+__all__ = [
+    "FleetShard",
+    "InlineShardHandle",
+    "ProcessShardHandle",
+    "ShardedEngine",
+    "build_observation_batch",
+    "drive_fleet_loop",
+    "shard_bounds",
+]
+
+
+def shard_bounds(num_users: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` user ranges for ``shards`` partitions.
+
+    Users are split as evenly as possible: the first ``num_users % shards``
+    shards carry one extra user, the last shard is the ragged (smallest)
+    one.  More shards than users clamp to one user per shard.  Contiguity is
+    load-bearing for the determinism contract — iterating shards in order is
+    iterating users in ascending order.
+    """
+    if num_users <= 0:
+        raise ValueError("num_users must be positive")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    shards = min(shards, num_users)
+    base, remainder = divmod(num_users, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        size = base + (1 if index < remainder else 0)
+        bounds.append((lo, lo + size))
+        lo += size
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# Protocol payloads (everything crossing a shard boundary must pickle)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SlotOpenReply:
+    """Shard reply to ``open_slot``: its ready pool and training count."""
+
+    payload: ReadyPayload
+    num_training: int
+
+
+@dataclass
+class SlotExecReply:
+    """Shard reply to ``run_slot``.
+
+    Attributes:
+        finished: ``(user, update, round_number)`` per training completion,
+            ascending user order (global ids).
+        tick_total: shard-local cumulative energy fold at a trace tick
+            (``None`` off-grid); bitwise-equal to ``accountant.total_j()``.
+        tick_user_totals: per-user cumulative totals at the tick, shipped
+            only under multi-shard full tracing so the coordinator can fold
+            the global total in user order.
+        next_ready: size of the shard's ready pool entering the next slot.
+    """
+
+    finished: List[Tuple[int, LocalUpdate, int]]
+    tick_total: Optional[float]
+    tick_user_totals: Optional[np.ndarray]
+    next_ready: int
+
+
+@dataclass
+class QuietTryReply:
+    """Shard reply to ``quiet_try``: how far it could advance, uncommitted."""
+
+    advanced: int
+    num_training: int
+
+
+@dataclass
+class QuietCommitReply:
+    """Shard reply to ``quiet_commit``: tick data of the committed region."""
+
+    tick_offsets: List[int]
+    tick_totals: List[float]
+    tick_user_totals: Optional[List[np.ndarray]]
+    next_ready: int
+
+
+@dataclass
+class ShardFinal:
+    """Everything a shard reports once the horizon is exhausted."""
+
+    accountant: FleetEnergyAccountant
+    final_battery_soc: List[float]
+    training_seconds: float
+
+
+def build_observation_batch(
+    slot: int,
+    slot_seconds: float,
+    payloads: Sequence[ReadyPayload],
+    server: ParameterServer,
+    gaps: np.ndarray,
+) -> ObservationBatch:
+    """Assemble the global per-slot observation batch from shard payloads.
+
+    Payloads arrive in shard order with globally-ascending user ids, so
+    concatenation reproduces exactly the batch the single-process engine
+    builds from its full-population arrays; the two coupling columns —
+    server lag estimates and Eq. (12) gaps — are filled from coordinator
+    state here, which is what makes the batch identical across shard
+    layouts (the lag estimate consults the *global* in-flight set).
+    """
+    def column(name: str) -> np.ndarray:
+        if len(payloads) == 1:  # zero-copy for the single-shard loop
+            return getattr(payloads[0], name)
+        return np.concatenate([getattr(p, name) for p in payloads])
+
+    users = column("users")
+    duration_slots = column("duration_slots")
+    now_s = slot * slot_seconds
+    durations_s = duration_slots * slot_seconds
+    lags = server.estimate_lags(users, now_s, durations_s)
+    return ObservationBatch(
+        slot=slot,
+        slot_seconds=slot_seconds,
+        user_ids=users,
+        app_running=column("app_running"),
+        power_corun_w=column("power_corun_w"),
+        power_app_w=column("power_app_w"),
+        power_training_w=column("power_training_w"),
+        power_idle_w=column("power_idle_w"),
+        estimated_lag=lags,
+        momentum_norm=column("momentum_norm"),
+        learning_rate=column("learning_rate"),
+        momentum_coeff=column("momentum_coeff"),
+        training_duration_slots=duration_slots,
+        waiting_slots=column("waiting_slots"),
+        current_gap=gaps[users],
+        device_names=column("device_names"),
+        app_names=column("app_names"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shard-side execution unit
+# ---------------------------------------------------------------------------
+
+
+class FleetShard:
+    """One contiguous population slice plus its execution kernels.
+
+    Wraps a slice-local :class:`~repro.sim.fleet.FleetState`, the slice's FL
+    clients and a :class:`~repro.fl.batch.TrainAheadScheduler`, and exposes
+    the slot-stage methods the coordinator drives — the same methods whether
+    the shard runs in-process (single-process engine) or inside a worker
+    process (sharded engine).  All protocol arguments and replies use
+    *global* user ids; internally everything is slice-local (``- lo``).
+
+    Args:
+        config: the (full-population) run configuration.
+        lo / hi: the global user range ``[lo, hi)`` this shard owns.
+        device_specs / batteries / clients: the slice's components, already
+            sliced to ``hi - lo`` entries.
+        arrivals: the slice's arrival schedule, re-indexed to local ids
+            (:meth:`~repro.sim.arrivals.ArrivalSchedule.slice_users`).
+        include_params: ship absolute parameter vectors in uploads (non-
+            accumulate merge rules).
+        batched_training / training_threads: train-ahead configuration.
+        timers: profiling sink; the single-process engine passes its own so
+            training time lands in the same report.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        lo: int,
+        hi: int,
+        device_specs,
+        power_model: PowerModel,
+        batteries,
+        clients: Sequence[FLClient],
+        arrivals: ArrivalSchedule,
+        include_params: bool,
+        batched_training: bool,
+        training_threads: Optional[int],
+        timers: Optional[EngineTimers] = None,
+    ) -> None:
+        if hi - lo != len(device_specs):
+            raise ValueError("device_specs must cover exactly [lo, hi)")
+        self.config = config
+        self.lo = lo
+        self.hi = hi
+        self.clients = list(clients)
+        self.fleet = FleetState(
+            config=config,
+            device_specs=device_specs,
+            power_model=power_model,
+            batteries=batteries,
+            clients=self.clients,
+            arrivals=arrivals,
+        )
+        self.trainer = TrainAheadScheduler(
+            self.clients,
+            batched=batched_training,
+            threads=training_threads,
+            include_params=include_params,
+        )
+        self.timers = timers if timers is not None else EngineTimers(enabled=True)
+        self._quiet_stash: Optional[tuple] = None
+
+    @classmethod
+    def build(
+        cls,
+        config: SimulationConfig,
+        lo: int,
+        hi: int,
+        arrivals: ArrivalSchedule,
+        measurement_table: Optional[MeasurementTable],
+        batched_training: bool,
+        training_threads: Optional[int],
+    ) -> "FleetShard":
+        """Reconstruct the shard's slice of the system inside a worker.
+
+        Uses the engine's own component builders with the same RNG streams,
+        so the slice is bitwise-identical to the corresponding rows of a
+        full single-process build; only the arrival schedule is shipped in
+        (already generated by the coordinator, whose ``arrivals`` stream it
+        consumed).
+        """
+        from repro.device.models import build_device_fleet
+
+        rngs = build_rngs(config)
+        device_specs = build_device_fleet(
+            config.num_users,
+            rngs["devices"],
+            mix=config.device_mix,
+            names=config.device_names,
+        )
+        table = measurement_table or MeasurementTable()
+        power_model = PowerModel(
+            table=table,
+            include_scheduler_overhead=config.include_scheduler_overhead,
+        )
+        batteries = build_batteries(config, device_specs)[lo:hi]
+        dataset = build_dataset(config)
+        partitions = build_partitions(config, dataset, rngs["dataset"])
+        clients = build_clients(config, partitions, dataset.input_dim(), lo, hi)
+        include_params = config.async_rule is not AsyncUpdateRule.ACCUMULATE
+        return cls(
+            config=config,
+            lo=lo,
+            hi=hi,
+            device_specs=device_specs[lo:hi],
+            power_model=power_model,
+            batteries=batteries,
+            clients=clients,
+            arrivals=arrivals,
+            include_params=include_params,
+            batched_training=batched_training,
+            training_threads=training_threads,
+        )
+
+    # -- slot stages (called by the coordinator, global ids) -------------------
+
+    def open_slot(
+        self,
+        slot: int,
+        arriving: Sequence[int],
+        version: Optional[int],
+        params: Optional[np.ndarray],
+    ) -> SlotOpenReply:
+        """Step 1+2 of the slot: application churn, arrivals, ready pool."""
+        fleet = self.fleet
+        fleet.begin_slot_apps(slot)
+        for user in arriving:
+            fleet.make_ready(user - self.lo, version, params)
+        users_local = fleet.ready_users()
+        payload = fleet.ready_payload(users_local)
+        payload.users = users_local + self.lo
+        return SlotOpenReply(
+            payload=payload, num_training=int(fleet.training_active.sum())
+        )
+
+    def run_slot(
+        self,
+        slot: int,
+        scheduled: Sequence[int],
+        idle: Sequence[int],
+        want_tick: bool,
+        capture_users: bool,
+    ) -> SlotExecReply:
+        """Steps 2b–3: apply decisions, advance the slice, train finishers."""
+        fleet = self.fleet
+        lo = self.lo
+        for user in scheduled:
+            local = int(user) - lo
+            fleet.start_training(local)
+            self.trainer.record(
+                local, fleet.base_params[local], int(fleet.base_version[local])
+            )
+        decided_idle = np.zeros(fleet.num_users, dtype=bool)
+        if len(idle):
+            idle_local = np.asarray(idle, dtype=np.int64) - lo
+            fleet.waiting_slots[idle_local] += 1
+            decided_idle[idle_local] = True
+        outcome = fleet.advance(decided_idle)
+        finished: List[Tuple[int, LocalUpdate, int]] = []
+        for local in outcome.finished_users:
+            local = int(local)
+            tick = self.timers.start()
+            update = self.trainer.obtain(
+                local, fleet.base_params[local], int(fleet.base_version[local])
+            )
+            self.timers.stop("training", tick)
+            fleet.momentum_norms[local] = update.momentum_norm
+            finished.append((local + lo, update, self.clients[local].rounds_completed))
+        fleet.accountant.close_slot()
+        tick_total = None
+        tick_user_totals = None
+        if want_tick:
+            acc = fleet.accountant
+            # Same per-user formula and fold order as accountant.total_j().
+            user_totals = (
+                acc.idle_j + acc.app_j + acc.training_j + acc.corunning_j
+            ) + acc.overhead_j
+            tick_total = float(sum(user_totals.tolist()))
+            if capture_users:
+                tick_user_totals = user_totals
+        return SlotExecReply(
+            finished=finished,
+            tick_total=tick_total,
+            tick_user_totals=tick_user_totals,
+            next_ready=len(fleet.ready_users()),
+        )
+
+    # -- event-horizon fast forward (two-phase) ---------------------------------
+
+    def quiet_try(
+        self,
+        slot: int,
+        want_ticks: bool,
+        capture_users: bool,
+        two_phase: bool = True,
+    ) -> QuietTryReply:
+        """Phase 1: advance the quiet region up to this shard's own bound.
+
+        With ``two_phase`` (any multi-shard run) the advance happens against
+        a snapshot, so the coordinator's agreed global count (the minimum
+        across shards) can be committed exactly in :meth:`quiet_commit` —
+        shards that advanced further roll back and re-advance; a shard that
+        advanced exactly the agreed count keeps its state (truncation never
+        changes earlier slots' arithmetic).  A single-shard loop passes
+        ``two_phase=False``: its own bound *is* the global minimum, so the
+        snapshot copies are skipped on the fast-forward hot path.
+        """
+        fleet = self.fleet
+        self._quiet_stash = None
+        num_training = int(fleet.training_active.sum())
+        if len(fleet.ready_users()):
+            return QuietTryReply(advanced=0, num_training=num_training)
+        horizon = fleet.quiet_horizon(slot, self.config.total_slots)
+        if horizon <= 0:
+            return QuietTryReply(advanced=0, num_training=num_training)
+        interval = self.config.trace_interval_slots if want_ticks else None
+        snapshot = fleet.quiet_snapshot() if two_phase else None
+        advanced, offsets, totals, user_totals = fleet.advance_quiet(
+            slot, horizon, interval, capture_users
+        )
+        self._quiet_stash = (
+            slot,
+            snapshot,
+            advanced,
+            offsets,
+            totals,
+            user_totals,
+            interval,
+            capture_users,
+        )
+        return QuietTryReply(advanced=advanced, num_training=num_training)
+
+    def quiet_commit(self, count: int) -> QuietCommitReply:
+        """Phase 2: settle on the globally-agreed advance count."""
+        fleet = self.fleet
+        stash = self._quiet_stash
+        self._quiet_stash = None
+        if stash is None:
+            if count != 0:
+                raise RuntimeError("quiet_commit without a pending quiet_try")
+            return QuietCommitReply([], [], None, len(fleet.ready_users()))
+        slot, snapshot, advanced, offsets, totals, user_totals, interval, capture = stash
+        if count != advanced:
+            if snapshot is None:  # single-phase try can never be cut short
+                raise RuntimeError(
+                    f"quiet_commit({count}) after a single-phase try of {advanced}"
+                )
+            fleet.quiet_restore(snapshot)
+            offsets, totals = [], []
+            user_totals = [] if capture else None
+            if count > 0:
+                redone, offsets, totals, user_totals = fleet.advance_quiet(
+                    slot, count, interval, capture
+                )
+                if redone != count:  # count <= the shard's own stop bound
+                    raise RuntimeError(
+                        f"quiet region re-advance made {redone} slots, wanted {count}"
+                    )
+        return QuietCommitReply(
+            tick_offsets=offsets,
+            tick_totals=totals,
+            tick_user_totals=user_totals,
+            next_ready=len(fleet.ready_users()),
+        )
+
+    # -- queries / teardown -------------------------------------------------------
+
+    def stalled_users(self) -> List[int]:
+        """Global ids of this shard's permanently-stalled synchronous users."""
+        return [user + self.lo for user in self.fleet.stalled_sync_users()]
+
+    def finalize(self) -> ShardFinal:
+        """Collect the shard's end-of-run state for the merged result."""
+        return ShardFinal(
+            accountant=self.fleet.accountant,
+            final_battery_soc=self.fleet.final_battery_soc(),
+            training_seconds=float(self.timers.seconds.get("training", 0.0)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shard handles: in-process and worker-process transports
+# ---------------------------------------------------------------------------
+
+
+class InlineShardHandle:
+    """Direct in-process shard invocation (the single-process engine)."""
+
+    def __init__(self, shard: FleetShard) -> None:
+        self.shard = shard
+        self._result = None
+
+    def post(self, method: str, *args) -> None:
+        self._result = getattr(self.shard, method)(*args)
+
+    def wait(self):
+        result, self._result = self._result, None
+        return result
+
+    def close(self) -> None:  # pragma: no cover - nothing to tear down
+        pass
+
+
+def _shard_worker_main(conn, init_kwargs: Dict) -> None:
+    """Worker-process entry point: build the shard lazily, serve commands."""
+    shard: Optional[FleetShard] = None
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        method, args = message
+        if method == "__stop__":
+            break
+        try:
+            if shard is None:
+                shard = FleetShard.build(**init_kwargs)
+            conn.send(("ok", getattr(shard, method)(*args)))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+class ProcessShardHandle:
+    """One shard living in its own worker process, driven over a pipe.
+
+    ``post`` is asynchronous — the coordinator posts to every shard before
+    waiting on any, so shard compute (fleet kernels, local training)
+    overlaps across workers.
+    """
+
+    def __init__(self, context, init_kwargs: Dict) -> None:
+        parent_conn, child_conn = context.Pipe()
+        self._conn = parent_conn
+        self._process = context.Process(
+            target=_shard_worker_main, args=(child_conn, init_kwargs), daemon=True
+        )
+        self._process.start()
+        child_conn.close()
+
+    def post(self, method: str, *args) -> None:
+        self._conn.send((method, args))
+
+    def wait(self):
+        status, value = self._conn.recv()
+        if status == "error":
+            raise RuntimeError(f"shard worker failed:\n{value}")
+        return value
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("__stop__", ()))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - defensive teardown
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._conn.close()
+
+
+# ---------------------------------------------------------------------------
+# The shared slot loop
+# ---------------------------------------------------------------------------
+
+
+def _split_users(users: Sequence[int], bounds: Sequence[Tuple[int, int]]) -> List[List[int]]:
+    """Partition an ascending global user list along the shard bounds."""
+    out: List[List[int]] = [[] for _ in bounds]
+    if not users:
+        return out
+    his = [hi for _, hi in bounds]
+    for user in users:
+        out[bisect.bisect_right(his, user)].append(user)
+    return out
+
+
+def drive_fleet_loop(
+    core: CouplingCore,
+    handles: Sequence,
+    bounds: Sequence[Tuple[int, int]],
+    config: SimulationConfig,
+    fast_forward: bool,
+    timers: EngineTimers,
+    trace_level: str,
+    has_batteries: bool,
+) -> None:
+    """Run the fleet slot loop over one or many shards.
+
+    This is the five-step slot timeline of :mod:`repro.sim.engine`, staged
+    so that per-user work executes shard-side and coupling-state work
+    executes coordinator-side.  With a single inline shard it *is* the
+    single-process fleet backend; with process shards it is the sharded
+    engine — same code, same operation order, bitwise-identical results.
+    """
+    policy = core.policy
+    server = core.server
+    trace = core.trace
+    sync_mode = policy.aggregation is Aggregation.SYNC
+    num_shards = len(handles)
+    want_trace = trace_level == "full"
+    capture_users = want_trace and num_shards > 1
+
+    stalled_fn = None
+    if has_batteries:
+
+        def stalled_fn() -> List[int]:
+            for handle in handles:
+                handle.post("stalled_users")
+            stalled: List[int] = []
+            for handle in handles:
+                stalled.extend(handle.wait())
+            return stalled
+
+    # All users download the initial model and arrive at slot 0.
+    pending_arrivals: List[int] = list(range(config.num_users))
+    core.evaluate(0)
+    global_ready = -1  # unknown until the first slot executes
+
+    slot = 0
+    total_slots = config.total_slots
+    while slot < total_slots:
+        if fast_forward and not pending_arrivals and global_ready == 0:
+            advanced, global_ready = _fast_forward_epoch(
+                core, handles, config, timers, want_trace, capture_users, slot,
+                num_shards,
+            )
+            if advanced:
+                slot += advanced
+                continue
+        time_s = slot * config.slot_seconds
+
+        # 1+2. Applications and arrivals -> ready pool.  Downloads are
+        # coordinator work (server version bookkeeping, transport RNG) and
+        # run in ascending global user order; the per-user state lands in
+        # the owning shard.
+        arriving_by_shard = _split_users(pending_arrivals, bounds)
+        num_arrivals = len(pending_arrivals)
+        pending_arrivals = []
+        for handle, arriving in zip(handles, arriving_by_shard):
+            version = params = None
+            for user in arriving:
+                version, params = core.record_download(user, time_s)
+            handle.post("open_slot", slot, arriving, version, params)
+        open_replies = [handle.wait() for handle in handles]
+        payloads = [reply.payload for reply in open_replies]
+        total_ready = sum(len(payload) for payload in payloads)
+        num_training = sum(reply.num_training for reply in open_replies)
+
+        context = SlotContext(
+            slot=slot,
+            slot_seconds=config.slot_seconds,
+            num_arrivals=num_arrivals,
+            num_ready=total_ready,
+            num_training=num_training,
+            num_users=config.num_users,
+        )
+        policy_tick = timers.start()
+        policy.begin_slot(context)
+
+        # 2b. Batched decisions on the concatenated global ready pool.
+        num_scheduled = 0
+        scheduled_by_shard: List[List[int]] = [[] for _ in handles]
+        idle_by_shard: List[List[int]] = [[] for _ in handles]
+        if total_ready:
+            batch = build_observation_batch(
+                slot, config.slot_seconds, payloads, server, core.gaps
+            )
+            schedule = policy.decide_all(batch)
+            coupling = batch.coupling()
+            for index in np.nonzero(schedule)[0]:
+                index = int(index)
+                user = int(batch.user_ids[index])
+                duration = int(batch.training_duration_slots[index])
+                server.register_inflight(
+                    user, expected_finish_s=(slot + duration) * config.slot_seconds
+                )
+                # The Eq. (4) gap at schedule time uses the same
+                # sequentially-coupled lag the policy decided with.
+                lag = coupling.lag(index)
+                coupling.record(index)
+                core.gaps[user] = gradient_gap(
+                    float(batch.momentum_norm[index]),
+                    float(batch.learning_rate[index]),
+                    float(batch.momentum_coeff[index]),
+                    lag,
+                )
+                num_scheduled += 1
+                trace.record_decision(
+                    scheduled=True, corun=bool(batch.app_running[index])
+                )
+            idle_users = batch.user_ids[~schedule]
+            core.gaps[idle_users] += config.epsilon
+            trace.decisions["idle"] += len(idle_users)
+            scheduled_by_shard = _split_users(
+                [int(u) for u in batch.user_ids[schedule]], bounds
+            )
+            idle_by_shard = _split_users([int(u) for u in idle_users], bounds)
+        timers.stop("policy", policy_tick)
+
+        # 3. Advance every shard by one slot; each finisher's upload is
+        # obtained shard-side (train-ahead batch or serial round) and
+        # applied here in ascending global user order, exactly as before.
+        tick_wanted = want_trace and slot % config.trace_interval_slots == 0
+        for handle, scheduled, idle in zip(handles, scheduled_by_shard, idle_by_shard):
+            handle.post("run_slot", slot, scheduled, idle, tick_wanted, capture_users)
+        exec_replies = [handle.wait() for handle in handles]
+        for reply in exec_replies:  # shard order == ascending user order
+            for user, update, round_number in reply.finished:
+                if sync_mode:
+                    core.buffer_sync_upload(user, update)
+                else:
+                    core.apply_async_update(user, slot, update, round_number)
+                    core.gaps[user] = 0.0
+                    pending_arrivals.append(user)
+
+        if sync_mode:
+            released = core.maybe_complete_sync_round(slot, stalled_fn)
+            if released:
+                core.gaps[np.asarray(released, dtype=np.int64)] = 0.0
+            pending_arrivals.extend(released)
+
+        # 4+5. Close the slot: queues, traces, evaluation.
+        gap_sum = core.total_gap()
+        policy_tick = timers.start()
+        policy.end_slot(context, num_scheduled, gap_sum)
+        timers.stop("policy", policy_tick)
+
+        if tick_wanted:
+            queue_length = getattr(getattr(policy, "task_queue", None), "length", 0.0)
+            virtual_length = getattr(
+                getattr(policy, "virtual_queue", None), "length", 0.0
+            )
+            if num_shards == 1:
+                cumulative_j = exec_replies[0].tick_total
+            else:
+                cumulative_j = float(
+                    sum(
+                        np.concatenate(
+                            [reply.tick_user_totals for reply in exec_replies]
+                        ).tolist()
+                    )
+                )
+            trace.maybe_record_slot(
+                SlotSample(
+                    slot=slot,
+                    time_s=time_s,
+                    cumulative_energy_j=cumulative_j,
+                    queue_length=queue_length,
+                    virtual_queue_length=virtual_length,
+                    gap_sum=gap_sum,
+                    num_training=context.num_training,
+                    num_ready=context.num_ready,
+                )
+            )
+            trace.record_user_gaps(time_s, core.gaps.tolist())
+        if slot > 0 and slot % config.eval_interval_slots == 0:
+            core.evaluate(slot)
+        global_ready = sum(reply.next_ready for reply in exec_replies)
+        slot += 1
+
+    core.evaluate(total_slots)
+
+
+def _fast_forward_epoch(
+    core: CouplingCore,
+    handles: Sequence,
+    config: SimulationConfig,
+    timers: EngineTimers,
+    want_trace: bool,
+    capture_users: bool,
+    slot: int,
+    num_shards: int,
+) -> Tuple[int, int]:
+    """Advance all shards through the quiet slots starting at ``slot``.
+
+    Returns ``(advanced, global_ready)``.  ``advanced == 0`` means some
+    shard has an event due this slot and the caller falls through to the
+    normal slot path.  The global advance is the minimum of the per-shard
+    bounds (each shard's event horizon, battery flips included), committed
+    in lock-step via the shards' two-phase try/commit; the coordinator then
+    backfills the policy queues, the traces and the evaluation ticks with
+    exactly the values the slot-by-slot path would have produced — the same
+    backfill the single-process engine always performed, now over the
+    coordinator-resident coupling state.
+
+    During a quiet region no synchronous round can complete either: the
+    upload buffer is frozen (no training finishes) and the stalled-user set
+    cannot grow, so skipping the per-slot round check is exact.
+    """
+    two_phase = num_shards > 1
+    for handle in handles:
+        handle.post("quiet_try", slot, want_trace, capture_users, two_phase)
+    tries = [handle.wait() for handle in handles]
+    advanced = min(reply.advanced for reply in tries)
+    num_training = sum(reply.num_training for reply in tries)
+    for handle in handles:
+        handle.post("quiet_commit", advanced)
+    commits = [handle.wait() for handle in handles]
+    global_ready = sum(reply.next_ready for reply in commits)
+    if advanced <= 0:
+        return 0, global_ready
+
+    policy = core.policy
+    gap_sum = core.total_gap()
+    tick_offsets = commits[0].tick_offsets
+
+    # Policy bookkeeping for the skipped slots.  The online policy's slot
+    # hooks reduce to the exact multi-slot queue recursions; policies that
+    # inherit the no-op base hooks need nothing; anything else gets its
+    # begin/end hooks invoked per slot with the contexts the slot-by-slot
+    # path would have passed (e.g. the offline policy's window planner).
+    policy_tick = timers.start()
+    tick_queue: Optional[List[Tuple[float, float]]] = None
+    if type(policy) is OnlinePolicy:
+        queue_length = policy.task_queue.advance_idle(advanced)
+        virtual_values = policy.virtual_queue.advance_constant(gap_sum, advanced)
+        tick_queue = [
+            (queue_length, virtual_values[offset]) for offset in tick_offsets
+        ]
+    else:
+        begin_hook = type(policy).begin_slot is not SchedulingPolicy.begin_slot
+        end_hook = type(policy).end_slot is not SchedulingPolicy.end_slot
+        if begin_hook or end_hook:
+            tick_set = set(tick_offsets)
+            tick_queue = []
+            for offset in range(advanced):
+                context = SlotContext(
+                    slot=slot + offset,
+                    slot_seconds=config.slot_seconds,
+                    num_arrivals=0,
+                    num_ready=0,
+                    num_training=num_training,
+                    num_users=config.num_users,
+                )
+                if begin_hook:
+                    policy.begin_slot(context)
+                if end_hook:
+                    policy.end_slot(context, 0, gap_sum)
+                if offset in tick_set:
+                    tick_queue.append(
+                        (
+                            getattr(
+                                getattr(policy, "task_queue", None), "length", 0.0
+                            ),
+                            getattr(
+                                getattr(policy, "virtual_queue", None), "length", 0.0
+                            ),
+                        )
+                    )
+    timers.stop("policy", policy_tick)
+
+    # Trace backfill: the sampled slots inside the region carry the constant
+    # gap sum and ready/training counts, the replayed queue backlogs and the
+    # exact cumulative energy captured by the shard kernels (folded across
+    # shards in global user order when partitioned).
+    if tick_offsets:
+        gap_list = core.gaps.tolist()
+        for index, offset in enumerate(tick_offsets):
+            sample_slot = slot + offset
+            time_s = sample_slot * config.slot_seconds
+            if tick_queue is not None:
+                queue_length, virtual_length = tick_queue[index]
+            else:
+                queue_length = getattr(
+                    getattr(policy, "task_queue", None), "length", 0.0
+                )
+                virtual_length = getattr(
+                    getattr(policy, "virtual_queue", None), "length", 0.0
+                )
+            if num_shards == 1:
+                cumulative_j = commits[0].tick_totals[index]
+            else:
+                cumulative_j = float(
+                    sum(
+                        np.concatenate(
+                            [commit.tick_user_totals[index] for commit in commits]
+                        ).tolist()
+                    )
+                )
+            core.trace.maybe_record_slot(
+                SlotSample(
+                    slot=sample_slot,
+                    time_s=time_s,
+                    cumulative_energy_j=cumulative_j,
+                    queue_length=queue_length,
+                    virtual_queue_length=virtual_length,
+                    gap_sum=gap_sum,
+                    num_training=num_training,
+                    num_ready=0,
+                )
+            )
+            core.trace.record_user_gaps(time_s, gap_list)
+
+    # Evaluation ticks: the global model is frozen across the region, so the
+    # version-keyed cache in CouplingCore.evaluate makes each replay a record.
+    interval = config.eval_interval_slots
+    first = ((slot + interval - 1) // interval) * interval
+    if first == 0:
+        first = interval
+    for eval_slot in range(first, slot + advanced, interval):
+        core.evaluate(eval_slot)
+    return advanced, global_ready
+
+
+# ---------------------------------------------------------------------------
+# The sharded engine
+# ---------------------------------------------------------------------------
+
+
+class ShardedEngine:
+    """Simulate the federated system with the population sharded across processes.
+
+    Drop-in sibling of :class:`~repro.sim.engine.SimulationEngine` for the
+    fleet fast-forward backend: the constructor takes the same configuration
+    and policy, ``run()`` returns the same
+    :class:`~repro.sim.engine.SimulationResult`, and for any ``shards`` the
+    result is bitwise identical to the single-process fleet fast-forward run
+    (see the module docstring for the contract and
+    ``tests/test_shard.py`` for the enforcement).
+
+    The coordinator process owns the coupling state (parameter server,
+    policy queues, gaps, sync quorum, transport accounting, traces,
+    evaluation); each worker process rebuilds its contiguous population
+    slice from the configuration (same RNG streams as a full build) and runs
+    the per-user kernels — including the actual NumPy local training, which
+    is where multi-core machines gain real parallelism.
+
+    Args:
+        config: run configuration (the full population).
+        policy: scheduling policy (coordinator-resident).
+        dataset: optional pre-built dataset for the coordinator's
+            evaluation; workers always rebuild from the config seed.
+        measurement_table: optional Table II/III calibration override
+            (shipped to workers; must pickle).
+        shards: number of worker processes (clamped to ``num_users``).
+        fast_forward: event-horizon fast-forward across shards (default on).
+        batched_training: per-shard train-ahead batching
+            (:class:`~repro.fl.batch.BatchTrainer`).  Note: batching groups
+            are per-shard, so the serial-trainer bitwise contract applies —
+            batched runs match to tight numerical tolerance instead.
+        profile: collect per-subsystem wall-clock shares; worker training
+            time is folded into the ``training`` bucket at the end.
+        trace_level: telemetry volume (see
+            :class:`~repro.sim.engine.SimulationEngine`); ``summary`` is the
+            intended setting for megafleet populations.
+        training_threads: per-worker batched-trainer threads (default 1 —
+            the shard processes already occupy the cores).
+        start_method: ``multiprocessing`` start method; defaults to
+            ``"fork"`` where available.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: SchedulingPolicy,
+        dataset=None,
+        measurement_table: Optional[MeasurementTable] = None,
+        shards: int = 2,
+        fast_forward: bool = True,
+        batched_training: bool = False,
+        profile: bool = False,
+        trace_level: str = "full",
+        training_threads: Optional[int] = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace_level {trace_level!r}; choose from {TRACE_LEVELS}"
+            )
+        self.config = config
+        self.policy = policy
+        self.bounds = shard_bounds(config.num_users, shards)
+        self.fast_forward = bool(fast_forward)
+        self.batched_training = bool(batched_training)
+        self.trace_level = trace_level
+        self.training_threads = training_threads
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self.timers = EngineTimers(enabled=profile)
+
+        rngs = build_rngs(config)
+        from repro.device.models import build_device_fleet
+
+        self.device_specs = build_device_fleet(
+            config.num_users,
+            rngs["devices"],
+            mix=config.device_mix,
+            names=config.device_names,
+        )
+        self.table = measurement_table or MeasurementTable()
+        self._has_batteries = fleet_has_batteries(config, self.device_specs)
+        self.dataset = build_dataset(config, dataset)
+        self.eval_model = build_eval_model(config, self.dataset.input_dim())
+        self.server = ParameterServer(
+            self.eval_model.get_flat_params(),
+            async_rule=config.async_rule,
+            mixing_alpha=config.mixing_alpha,
+        )
+        self.arrivals = build_arrival_schedule(
+            config, self.device_specs, rngs["arrivals"], self.table
+        )
+        self.transport = build_transport(config, rngs["network"])
+        self.trace = SimulationTrace(
+            trace_interval_slots=config.trace_interval_slots, level=trace_level
+        )
+        self.accuracy = AccuracyTracker()
+        self.core = CouplingCore(
+            config=config,
+            policy=policy,
+            server=self.server,
+            transport=self.transport,
+            trace=self.trace,
+            accuracy=self.accuracy,
+            eval_model=self.eval_model,
+            dataset=self.dataset,
+            timers=self.timers,
+        )
+        _apply_queue_telemetry(policy, trace_level)
+        self._has_run = False
+
+    def run(self) -> SimulationResult:
+        """Run the sharded simulation and return its (merged) result."""
+        if self._has_run:
+            raise RuntimeError("this engine has already run; create a new one")
+        self._has_run = True
+        self.policy.reset()
+        if isinstance(self.policy, OfflinePolicy):
+            self.policy.attach_oracle(self.arrivals)
+        total_tick = self.timers.start()
+        context = multiprocessing.get_context(self.start_method)
+        # Inside an ExperimentSuite pool worker (daemonic), children are
+        # forbidden — run the shards inline instead.  Results are identical
+        # either way (the handles drive the same FleetShard methods); only
+        # the process isolation is lost, which a pool worker already lacks.
+        nested = multiprocessing.current_process().daemon
+        handles: List = []
+        try:
+            for lo, hi in self.bounds:
+                init_kwargs = dict(
+                    config=self.config,
+                    lo=lo,
+                    hi=hi,
+                    arrivals=self.arrivals.slice_users(lo, hi),
+                    measurement_table=self.table,
+                    batched_training=self.batched_training,
+                    training_threads=self.training_threads,
+                )
+                if nested:
+                    handles.append(InlineShardHandle(FleetShard.build(**init_kwargs)))
+                else:
+                    handles.append(ProcessShardHandle(context, init_kwargs))
+            drive_fleet_loop(
+                core=self.core,
+                handles=handles,
+                bounds=self.bounds,
+                config=self.config,
+                fast_forward=self.fast_forward,
+                timers=self.timers,
+                trace_level=self.trace_level,
+                has_batteries=self._has_batteries,
+            )
+            for handle in handles:
+                handle.post("finalize")
+            finals = [handle.wait() for handle in handles]
+        finally:
+            for handle in handles:
+                handle.close()
+        self.timers.stop_total(total_tick)
+        if self.timers.enabled:
+            self.timers.seconds["training"] += sum(
+                final.training_seconds for final in finals
+            )
+
+        accountant = FleetEnergyAccountant.merged([final.accountant for final in finals])
+        queue_history = list(
+            getattr(getattr(self.policy, "task_queue", None), "history", lambda: [])()
+        )
+        virtual_history = list(
+            getattr(getattr(self.policy, "virtual_queue", None), "history", lambda: [])()
+        )
+        return SimulationResult(
+            config=self.config,
+            policy_name=self.policy.name,
+            trace=self.trace,
+            accuracy=self.accuracy,
+            accountant=accountant,
+            num_updates=self.server.num_updates(),
+            decision_evaluations=self.policy.decision_cost_evaluations(),
+            device_names=[spec.name for spec in self.device_specs],
+            queue_history=queue_history,
+            virtual_queue_history=virtual_history,
+            comm_bytes_mb=self.transport.total_bytes_mb(),
+            comm_failures=self.transport.failure_count(),
+            final_battery_soc=[
+                soc for final in finals for soc in final.final_battery_soc
+            ],
+            timers=self.timers if self.timers.enabled else None,
+            queue_stats=_policy_queue_stats(self.policy),
+        )

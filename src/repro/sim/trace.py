@@ -12,7 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["SlotSample", "UpdateSample", "SimulationTrace"]
+__all__ = ["TRACE_LEVELS", "SlotSample", "UpdateSample", "SimulationTrace"]
+
+#: Telemetry volume knobs, from most to least detailed:
+#:
+#: * ``full``    — every series (the default; unchanged behaviour).
+#: * ``summary`` — streamed aggregates only: decision counters and applied
+#:   updates are kept, but the per-slot ``SlotSample`` series and the
+#:   per-user gap traces (the two structures that grow as O(users x slots))
+#:   are not materialised.  A megafleet run's telemetry stays O(updates).
+#: * ``off``     — additionally drops the per-update samples; only scalar
+#:   counters survive.
+TRACE_LEVELS = ("full", "summary", "off")
 
 
 @dataclass(frozen=True)
@@ -44,10 +55,13 @@ class UpdateSample:
 class SimulationTrace:
     """Collects every time series the evaluation figures need."""
 
-    def __init__(self, trace_interval_slots: int = 10) -> None:
+    def __init__(self, trace_interval_slots: int = 10, level: str = "full") -> None:
         if trace_interval_slots <= 0:
             raise ValueError("trace_interval_slots must be positive")
+        if level not in TRACE_LEVELS:
+            raise ValueError(f"unknown trace level {level!r}; choose from {TRACE_LEVELS}")
         self.trace_interval_slots = trace_interval_slots
+        self.level = level
         self.slot_samples: List[SlotSample] = []
         self.update_samples: List[UpdateSample] = []
         self.per_user_gaps: Dict[int, List[Tuple[float, float]]] = {}
@@ -60,15 +74,21 @@ class SimulationTrace:
 
     def maybe_record_slot(self, sample: SlotSample) -> None:
         """Record a slot sample if it falls on the sampling grid."""
+        if self.level != "full":
+            return
         if sample.slot % self.trace_interval_slots == 0:
             self.slot_samples.append(sample)
 
     def record_update(self, sample: UpdateSample) -> None:
         """Record one applied update."""
+        if self.level == "off":
+            return
         self.update_samples.append(sample)
 
     def record_user_gap(self, user_id: int, time_s: float, gap: float) -> None:
         """Record one point of a user's gradient-gap trace (Fig. 5d)."""
+        if self.level != "full":
+            return
         self.per_user_gaps.setdefault(user_id, []).append((time_s, gap))
 
     def record_user_gaps(self, time_s: float, gaps: Sequence[float]) -> None:
@@ -81,6 +101,8 @@ class SimulationTrace:
         per-user lists are bound once and cached, so a bulk record is one
         append per user.
         """
+        if self.level != "full":
+            return
         lists = self._gap_lists
         if lists is None or len(lists) != len(gaps):
             lists = self._gap_lists = [

@@ -227,3 +227,53 @@ class TestCacheInvalidation:
         assert ff.energy_j == slot.energy_j
         assert ff.num_updates == slot.num_updates
         assert ff.mean_virtual_queue_length == slot.mean_virtual_queue_length
+
+    def test_hash_changes_with_shards_and_trace_level(self):
+        """Shard count and telemetry level are cache keys (never silently
+        serve a summary simulated by a different engine/telemetry mode)."""
+        base = _smoke_spec()
+        sharded = RunSpec(
+            policy=base.policy,
+            policy_kwargs=base.policy_kwargs,
+            config=base.config,
+            shards=2,
+        )
+        summary_level = RunSpec(
+            policy=base.policy,
+            policy_kwargs=base.policy_kwargs,
+            config=base.config,
+            trace_level="summary",
+        )
+        hashes = {
+            base.config_hash(),
+            sharded.config_hash(),
+            summary_level.config_hash(),
+        }
+        assert len(hashes) == 3
+
+    def test_sharded_spec_summary_matches_single_process(self, tmp_path):
+        """shards=2 through the suite yields the single-process summary."""
+        suite = ExperimentSuite(cache_dir=str(tmp_path), jobs=1)
+        single = _smoke_spec()
+        sharded = RunSpec(
+            policy=single.policy,
+            policy_kwargs=single.policy_kwargs,
+            config=single.config,
+            shards=2,
+        )
+        a, b = suite.run([single, sharded])
+        assert a.energy_j == b.energy_j
+        assert a.num_updates == b.num_updates
+        assert a.final_accuracy == b.final_accuracy
+        assert a.mean_queue_length == b.mean_queue_length
+        assert a.mean_virtual_queue_length == b.mean_virtual_queue_length
+        assert a.schedule_fraction == b.schedule_fraction
+        assert a.comm_bytes_mb == b.comm_bytes_mb
+        # Both cached under their own keys afterwards.
+        assert all(s.from_cache for s in suite.run([single, sharded]))
+
+    def test_sharded_spec_rejects_loop_backend(self):
+        spec = RunSpec(policy="immediate", config=dict(SMOKE_CONFIG),
+                       backend="loop", shards=2)
+        with pytest.raises(ValueError, match="sharded execution"):
+            run_spec(spec)

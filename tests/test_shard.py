@@ -1,0 +1,373 @@
+"""Sharded fleet engine: bitwise shard-count invariance and its substrate.
+
+The contract (see :mod:`repro.sim.shard`) is *bitwise* identity, not
+approximate agreement: for any shard count, a :class:`ShardedEngine` run
+must produce the same decisions, energy, queues, traces and accuracy curve
+as the single-process fleet fast-forward engine — every floating-point value
+compared with ``==``.  The matrix here covers the paper-baseline scenario
+and a heterogeneous registry scenario (per-cohort devices, connectivity and
+arrivals), sync-round quorums that span shards, battery flips inside quiet
+regions (the two-phase fast-forward commit), and ragged last-shard sizing.
+
+The substrate pieces ride along: the sparse launch-event arrival generator
+(bitwise-equal to the dense per-slot draws), schedule slicing, and the
+memory-bounded ``trace_level`` telemetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlinePolicy
+from repro.core.policies import ImmediatePolicy, SyncPolicy
+from repro.scenarios import compile_scenario, get_scenario
+from repro.sim.arrivals import (
+    ArrivalSchedule,
+    BernoulliArrivalProcess,
+    DiurnalArrivalProcess,
+    TraceArrivalProcess,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.shard import ShardedEngine, shard_bounds
+
+PHONE_MIX = {"pixel2": 1.0 / 3, "nexus6": 1.0 / 3, "nexus6p": 1.0 / 3}
+
+
+def _scenario_config(name: str, **overrides) -> SimulationConfig:
+    """A registry scenario's compiled config, scaled down for test speed."""
+    compiled = compile_scenario(get_scenario(name))
+    config = dict(compiled.overrides)
+    config.update(overrides)
+    return SimulationConfig(**config)
+
+
+def _observables(result, num_users: int) -> dict:
+    """Everything the bitwise contract covers, ``==``-comparable."""
+    return {
+        "energy_j": result.total_energy_j(),
+        "training_related_j": result.accountant.training_related_j(),
+        "breakdowns": tuple(
+            result.accountant.user_breakdown(u) for u in range(num_users)
+        ),
+        "accuracies": tuple(result.accuracy.accuracies()),
+        "accuracy_times": tuple(result.accuracy.times()),
+        "num_updates": result.num_updates,
+        "decision_evaluations": result.decision_evaluations,
+        "decisions": dict(result.trace.decisions),
+        "corun_jobs": result.trace.corun_jobs,
+        "background_jobs": result.trace.background_jobs,
+        "slot_samples": tuple(result.trace.slot_samples),
+        "update_samples": tuple(result.trace.update_samples),
+        "user_gaps": tuple(
+            tuple(result.trace.user_gap_trace(u)) for u in range(num_users)
+        ),
+        "queue_history": tuple(result.queue_history),
+        "virtual_queue_history": tuple(result.virtual_queue_history),
+        "mean_queue": result.mean_queue_length(),
+        "mean_virtual": result.mean_virtual_queue_length(),
+        "comm_bytes_mb": result.comm_bytes_mb,
+        "comm_failures": result.comm_failures,
+        "battery_soc": tuple(result.final_battery_soc),
+        "device_names": tuple(result.device_names),
+    }
+
+
+def _assert_shard_invariant(config: SimulationConfig, make_policy, shard_counts=(1, 2, 4)):
+    """Sharded runs must match the single-process fleet fast-forward run."""
+    single = SimulationEngine(
+        config, make_policy(), backend="fleet", fast_forward=True
+    ).run()
+    expected = _observables(single, config.num_users)
+    for shards in shard_counts:
+        sharded = ShardedEngine(config, make_policy(), shards=shards).run()
+        observed = _observables(sharded, config.num_users)
+        mismatched = [key for key in expected if observed[key] != expected[key]]
+        assert not mismatched, f"shards={shards} diverged on {mismatched}"
+    return single
+
+
+class TestShardBounds:
+    def test_even_split_is_contiguous(self):
+        assert shard_bounds(100, 4) == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_ragged_last_shard_is_smallest(self):
+        bounds = shard_bounds(10, 4)
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sum(sizes) == 10 and max(sizes) - min(sizes) <= 1
+        assert sizes[-1] == min(sizes)
+
+    def test_more_shards_than_users_clamps(self):
+        assert shard_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            shard_bounds(0, 2)
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+
+
+class TestShardCountInvariance:
+    """The acceptance matrix: shards in {1, 2, 4} bitwise vs single-process."""
+
+    def test_paper_baseline_scaled(self):
+        config = _scenario_config(
+            "paper-baseline",
+            total_slots=300,
+            app_arrival_prob=0.01,
+            num_train_samples=500,
+            num_test_samples=200,
+            eval_interval_slots=150,
+        )
+        result = _assert_shard_invariant(config, lambda: OnlinePolicy(v=4000.0))
+        assert result.num_updates > 0  # the comparison must cover real uploads
+
+    def test_heterogeneous_registry_scenario(self):
+        # flagship-vs-budget pins per-cohort device mixes and connectivity,
+        # so the comparison exercises per-user arrays across shard borders.
+        config = _scenario_config(
+            "flagship-vs-budget",
+            total_slots=250,
+            num_train_samples=400,
+            num_test_samples=150,
+            eval_interval_slots=125,
+        )
+        result = _assert_shard_invariant(config, lambda: OnlinePolicy(v=4000.0))
+        assert result.num_updates > 0
+
+    def test_ragged_last_shard_run(self):
+        # 10 users over 4 shards: sizes 3/3/2/2 (the ragged tail).
+        config = SimulationConfig(
+            num_users=10,
+            total_slots=250,
+            app_arrival_prob=0.01,
+            seed=5,
+            num_train_samples=300,
+            num_test_samples=120,
+            eval_interval_slots=125,
+        )
+        _assert_shard_invariant(config, ImmediatePolicy, shard_counts=(4,))
+
+    def test_battery_flip_inside_quiet_region(self):
+        # Charging batteries re-enter the pool mid-region: the two-phase
+        # quiet commit must keep every shard in lock-step.
+        config = SimulationConfig(
+            num_users=10,
+            total_slots=1000,
+            app_arrival_prob=0.002,
+            seed=1,
+            num_train_samples=240,
+            num_test_samples=100,
+            eval_interval_slots=400,
+            device_mix=PHONE_MIX,
+            battery_capacity_j=1200.0,
+            battery_charge_rate_w=2.0,
+            min_battery_soc=0.2,
+        )
+        _assert_shard_invariant(config, ImmediatePolicy, shard_counts=(2, 3))
+
+
+class TestSyncQuorumAcrossShards:
+    def test_sync_round_spans_shards(self):
+        # One phone pre-drains inside every engine (battery capacity sized
+        # so the fleet gates out mid-run); rounds must still complete over
+        # the participating quorum with the buffer and stalled set global.
+        config = SimulationConfig(
+            num_users=8,
+            total_slots=900,
+            app_arrival_prob=0.01,
+            seed=0,
+            num_train_samples=240,
+            num_test_samples=100,
+            eval_interval_slots=300,
+            device_mix=PHONE_MIX,
+            battery_capacity_j=2000.0,
+            battery_charge_rate_w=0.0,
+            min_battery_soc=0.2,
+        )
+        single = _assert_shard_invariant(config, SyncPolicy, shard_counts=(2, 4))
+        assert single.num_updates > 0
+        # The drained fleet really gated out (otherwise the quorum logic
+        # never fired and the test proves nothing).
+        assert any(soc < 0.2 + 1e-9 for soc in single.final_battery_soc)
+
+
+class TestTraceLevels:
+    def _run(self, trace_level, shards=1):
+        config = SimulationConfig(
+            num_users=8,
+            total_slots=250,
+            app_arrival_prob=0.01,
+            seed=2,
+            num_train_samples=240,
+            num_test_samples=100,
+            eval_interval_slots=125,
+        )
+        policy = OnlinePolicy(v=4000.0)
+        if shards > 1:
+            return ShardedEngine(
+                config, policy, shards=shards, trace_level=trace_level
+            ).run()
+        return SimulationEngine(config, policy, trace_level=trace_level).run()
+
+    def test_summary_keeps_headline_numbers_bitwise(self):
+        full = self._run("full")
+        summary = self._run("summary")
+        assert summary.total_energy_j() == full.total_energy_j()
+        assert summary.num_updates == full.num_updates
+        assert summary.accuracy.accuracies() == full.accuracy.accuracies()
+        assert dict(summary.trace.decisions) == dict(full.trace.decisions)
+        # Streamed queue means agree with the history-backed values up to
+        # the reduction (left-to-right fold vs np.mean's pairwise sum).
+        assert summary.mean_queue_length() == pytest.approx(full.mean_queue_length())
+        assert summary.final_virtual_queue_length() == pytest.approx(
+            full.final_virtual_queue_length()
+        )
+
+    def test_summary_is_memory_bounded(self):
+        summary = self._run("summary")
+        assert summary.trace.slot_samples == []
+        assert summary.trace.per_user_gaps == {}
+        assert summary.queue_history == []
+        assert summary.virtual_queue_history == []
+        assert summary.queue_stats is not None
+        assert summary.trace.update_samples  # per-update samples survive
+
+    def test_off_drops_update_samples_too(self):
+        off = self._run("off")
+        assert off.trace.update_samples == []
+        assert off.num_updates > 0  # the counter survives on the server
+
+    def test_summary_matches_under_sharding(self):
+        single = self._run("summary")
+        sharded = self._run("summary", shards=2)
+        assert sharded.total_energy_j() == single.total_energy_j()
+        assert sharded.num_updates == single.num_updates
+        assert sharded.mean_queue_length() == single.mean_queue_length()
+
+    def test_engine_rejects_unknown_level(self):
+        config = SimulationConfig(num_users=4, total_slots=10)
+        with pytest.raises(ValueError, match="trace_level"):
+            SimulationEngine(config, ImmediatePolicy(), trace_level="everything")
+
+
+class TestSparseArrivals:
+    """The sparse launch-event generator consumes the dense draw stream."""
+
+    def _specs(self, n, seed):
+        from repro.device.models import build_device_fleet
+
+        return build_device_fleet(n, np.random.default_rng(seed))
+
+    def _compare(self, process, num_users=8, total_slots=2000, seed=0, **kwargs):
+        specs = self._specs(num_users, seed)
+        dense_rng = np.random.default_rng(seed)
+        sparse_rng = np.random.default_rng(seed)
+        dense = ArrivalSchedule.generate(
+            num_users=num_users, total_slots=total_slots, slot_seconds=1.0,
+            process=process, device_specs=specs, rng=dense_rng,
+            method="dense", **kwargs,
+        )
+        sparse = ArrivalSchedule.generate(
+            num_users=num_users, total_slots=total_slots, slot_seconds=1.0,
+            process=process, device_specs=specs, rng=sparse_rng,
+            method="sparse", **kwargs,
+        )
+        for user in range(num_users):
+            dense_apps = [
+                (a.arrival_slot, a.name, a.duration_slots)
+                for a in dense.arrivals_for(user)
+            ]
+            sparse_apps = [
+                (a.arrival_slot, a.name, a.duration_slots)
+                for a in sparse.arrivals_for(user)
+            ]
+            assert dense_apps == sparse_apps
+        # Equal stream positions: later users (and later components) see the
+        # same generator state whichever method produced the schedule.
+        assert dense_rng.bit_generator.state == sparse_rng.bit_generator.state
+        return dense
+
+    def test_bernoulli_equivalence(self):
+        schedule = self._compare(BernoulliArrivalProcess(0.01), seed=3)
+        assert schedule.total_arrivals() > 0
+
+    def test_diurnal_equivalence(self):
+        self._compare(DiurnalArrivalProcess(peak_probability=0.02), seed=1)
+
+    def test_trace_replay_equivalence(self):
+        self._compare(TraceArrivalProcess([3, 50, 400], period_slots=500), seed=2)
+
+    def test_per_user_process_mix_equivalence(self):
+        processes = [
+            BernoulliArrivalProcess(0.01)
+            if user % 3 == 0
+            else (
+                DiurnalArrivalProcess(peak_probability=0.03)
+                if user % 3 == 1
+                else TraceArrivalProcess([5, 60, 200], period_slots=300)
+            )
+            for user in range(9)
+        ]
+        self._compare(processes, num_users=9, seed=4)
+
+    def test_weighted_apps_equivalence(self):
+        self._compare(
+            BernoulliArrivalProcess(0.02),
+            seed=5,
+            app_weights=[1.0, 1.0, 0.5, 2.0, 2.0, 0.5, 6.0, 6.0],
+        )
+
+    def test_auto_threshold_selects_sparse_transparently(self):
+        # Above the threshold "auto" must still equal the dense reference.
+        process = BernoulliArrivalProcess(0.005)
+        specs = self._specs(4, 0)
+        dense = ArrivalSchedule.generate(
+            num_users=4, total_slots=600_000, slot_seconds=1.0, process=process,
+            device_specs=specs, rng=np.random.default_rng(0), method="dense",
+        )
+        auto = ArrivalSchedule.generate(
+            num_users=4, total_slots=600_000, slot_seconds=1.0, process=process,
+            device_specs=specs, rng=np.random.default_rng(0), method="auto",
+        )
+        for user in range(4):
+            assert [a.arrival_slot for a in auto.arrivals_for(user)] == [
+                a.arrival_slot for a in dense.arrivals_for(user)
+            ]
+
+    def test_generate_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="generation method"):
+            ArrivalSchedule.generate(
+                num_users=1, total_slots=10, slot_seconds=1.0,
+                process=BernoulliArrivalProcess(0.1),
+                device_specs=self._specs(1, 0),
+                rng=np.random.default_rng(0), method="fancy",
+            )
+
+
+class TestScheduleSlicing:
+    def test_slice_users_reindexes(self):
+        specs = np.random.default_rng(0)
+        from repro.device.models import build_device_fleet
+
+        schedule = ArrivalSchedule.generate(
+            num_users=6, total_slots=800, slot_seconds=1.0,
+            process=BernoulliArrivalProcess(0.02),
+            device_specs=build_device_fleet(6, np.random.default_rng(0)),
+            rng=np.random.default_rng(1),
+        )
+        sliced = schedule.slice_users(2, 5)
+        for local, user in enumerate(range(2, 5)):
+            assert [a.arrival_slot for a in sliced.arrivals_for(local)] == [
+                a.arrival_slot for a in schedule.arrivals_for(user)
+            ]
+        assert sliced.total_arrivals() == sum(
+            len(schedule.arrivals_for(user)) for user in range(2, 5)
+        )
+
+    def test_slice_users_validates_range(self):
+        schedule = ArrivalSchedule({0: []})
+        with pytest.raises(ValueError):
+            schedule.slice_users(3, 3)
