@@ -48,6 +48,7 @@ __all__ = [
     "RunSummary",
     "ExperimentSuite",
     "annotate_carbon",
+    "execute_spec",
     "make_policy",
     "run_spec",
     "summarize_result",
@@ -221,6 +222,67 @@ class RunSummary:
         return cls(**json.loads(payload))
 
 
+def execute_spec(
+    spec: RunSpec, checkpointer=None, resume_from=None
+) -> SimulationResult:
+    """Execute one spec, optionally checkpointing and/or resuming.
+
+    The engine-dispatch twin of :func:`run_spec` used by the experiment
+    service (:mod:`repro.service.jobs`): ``checkpointer`` is threaded into
+    the engine's slot loop, and ``resume_from`` (an
+    :class:`~repro.service.checkpoint.EngineCheckpoint`) restores the
+    matching engine — honouring the spec's ``shards`` layout, which may
+    differ from the layout that wrote the checkpoint — and continues the
+    run bitwise-identically to an uninterrupted one.
+    """
+    if spec.shards > 1:
+        if spec.backend != "fleet":
+            raise ValueError(
+                "sharded execution partitions the fleet backend; "
+                f"backend={spec.backend!r} cannot run with shards={spec.shards}"
+            )
+        from repro.sim.shard import ShardedEngine
+
+        if resume_from is not None:
+            engine = ShardedEngine.restore(
+                resume_from,
+                shards=spec.shards,
+                profile=True,
+                training_threads=1,
+            )
+        else:
+            engine = ShardedEngine(
+                spec.build_config(),
+                spec.build_policy(),
+                shards=spec.shards,
+                fast_forward=spec.fast_forward,
+                batched_training=spec.batched_training,
+                profile=True,
+                trace_level=spec.trace_level,
+                training_threads=1,
+            )
+        return engine.run(checkpointer)
+    if resume_from is not None:
+        engine = SimulationEngine.restore(
+            resume_from, profile=True, training_threads=1
+        )
+    else:
+        engine = SimulationEngine(
+            spec.build_config(),
+            spec.build_policy(),
+            backend=spec.backend,
+            fast_forward=spec.fast_forward,
+            batched_training=spec.batched_training,
+            profile=True,
+            trace_level=spec.trace_level,
+            # Suite runs may already occupy every core with worker
+            # processes; nested compute-bound trainer threads would only
+            # oversubscribe.  Thread count never changes results.
+            training_threads=1,
+        )
+    return engine.run(checkpointer)
+
+
 def run_spec(spec: RunSpec) -> SimulationResult:
     """Execute one spec and return the full :class:`SimulationResult`.
 
@@ -231,37 +293,7 @@ def run_spec(spec: RunSpec) -> SimulationResult:
     (:class:`repro.sim.shard.ShardedEngine`) — same results, partitioned
     execution.
     """
-    if spec.shards > 1:
-        if spec.backend != "fleet":
-            raise ValueError(
-                "sharded execution partitions the fleet backend; "
-                f"backend={spec.backend!r} cannot run with shards={spec.shards}"
-            )
-        from repro.sim.shard import ShardedEngine
-
-        return ShardedEngine(
-            spec.build_config(),
-            spec.build_policy(),
-            shards=spec.shards,
-            fast_forward=spec.fast_forward,
-            batched_training=spec.batched_training,
-            profile=True,
-            trace_level=spec.trace_level,
-            training_threads=1,
-        ).run()
-    return SimulationEngine(
-        spec.build_config(),
-        spec.build_policy(),
-        backend=spec.backend,
-        fast_forward=spec.fast_forward,
-        batched_training=spec.batched_training,
-        profile=True,
-        trace_level=spec.trace_level,
-        # Suite runs may already occupy every core with worker processes;
-        # nested compute-bound trainer threads would only oversubscribe.
-        # Thread count never changes results.
-        training_threads=1,
-    ).run()
+    return execute_spec(spec)
 
 
 def summarize_result(

@@ -527,6 +527,148 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Service subcommands
+# ---------------------------------------------------------------------------
+
+
+def _build_service(args: argparse.Namespace):
+    from repro.service import ExperimentService
+
+    every = getattr(args, "checkpoint_every", None)
+    if every is not None and every <= 0:
+        every = None
+    return ExperimentService(
+        args.root,
+        workers=getattr(args, "workers", 1),
+        checkpoint_every=every,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceAPI
+
+    service = _build_service(args)
+    recovered = service.recover()
+    if recovered:
+        print(f"recovered {len(recovered)} interrupted job(s): "
+              f"{' '.join(recovered)}", file=sys.stderr)
+    api = ServiceAPI(service, host=args.host, port=args.port)
+    print(f"serving on http://{args.host}:{args.port} "
+          f"(state: {service.root})", file=sys.stderr)
+    api.serve_forever()
+    return 0
+
+
+def _job_rows(records) -> List[List]:
+    rows = []
+    for record in records:
+        telemetry = record.telemetry or {}
+        rows.append([
+            record.id,
+            record.spec.display_name(),
+            record.state,
+            f"{record.slot}/{record.total_slots}",
+            telemetry.get("energy_j"),
+            telemetry.get("accuracy"),
+        ])
+    return rows
+
+
+_JOB_HEADERS = ["job", "spec", "state", "slot", "energy (J)", "accuracy"]
+
+
+def _cmd_jobs_list(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    records = service.list_jobs()
+    if not records:
+        print(f"no jobs under {service.jobs_dir}")
+        return 0
+    print(format_table(_JOB_HEADERS, _job_rows(records), float_format=".3f",
+                       title=f"Jobs ({service.jobs_dir})"))
+    return 0
+
+
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    service = _build_service(args)
+    try:
+        record = service.get(args.job_id)
+    except KeyError as error:
+        raise SystemExit(str(error))
+    print(format_table(_JOB_HEADERS, _job_rows([record]), float_format=".3f"))
+    if record.error:
+        print(f"\nerror:\n{record.error}")
+    if record.state == "done":
+        result = service.result(record.id)
+        if result is not None:
+            print("\nresult:")
+            print(_json.dumps(result, indent=2))
+    return 0
+
+
+def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    from repro.scenarios.runner import scenario_run_spec
+
+    spec = scenario_run_spec(
+        args.scenario,
+        policy=args.policy,
+        policy_kwargs=(
+            {"v": args.v, "staleness_bound": args.staleness_bound}
+            if args.policy == "online"
+            else None
+        ),
+        backend=args.backend,
+        fast_forward=not args.no_fast_forward,
+        batched_training=args.batched_training,
+        shards=args.shards,
+        trace_level=args.trace_level,
+    )
+    service = _build_service(args)
+    if args.run:
+        record = service.submit(spec)
+        record = service.run_job(record.id)
+    else:
+        # Register without starting a worker: the serving process (or a
+        # later `jobs resume`) picks it up.
+        record = service.submit(spec)
+        service.shutdown(wait=False)
+    print(format_table(_JOB_HEADERS, _job_rows([record]), float_format=".3f"))
+    if record.state == "failed" and record.error:
+        print(f"\nerror:\n{record.error}")
+        return 1
+    return 0
+
+
+def _cmd_jobs_resume(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    try:
+        record = service.resume(args.job_id, sync=True)
+    except KeyError as error:
+        raise SystemExit(str(error))
+    print(format_table(_JOB_HEADERS, _job_rows([record]), float_format=".3f"))
+    if record.state == "failed" and record.error:
+        print(f"\nerror:\n{record.error}")
+        return 1
+    return 0
+
+
+def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    try:
+        record = service.cancel(args.job_id)
+    except KeyError as error:
+        raise SystemExit(str(error))
+    if record.state == "running":
+        print(f"{record.id}: owned by the serving process; cancel it over "
+              f"HTTP (POST /jobs/{record.id}/cancel) so the owner "
+              f"checkpoints at the next slot boundary", file=sys.stderr)
+        return 1
+    print(f"{record.id}: {record.state}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -691,6 +833,78 @@ def build_parser() -> argparse.ArgumentParser:
                           default=["immediate", "sync", "offline", "online"],
                           choices=["immediate", "sync", "offline", "online"])
     sc_sweep.set_defaults(func=_cmd_scenario_sweep)
+
+    def _add_service_root(sub: argparse.ArgumentParser):
+        sub.add_argument("--root", default=".repro-service",
+                         help="service state directory (job store + checkpoints)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the experiment service (HTTP API + worker pool; see "
+             "docs/service.md)",
+    )
+    _add_service_root(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job worker threads")
+    serve.add_argument("--checkpoint-every", type=int, default=200,
+                       help="auto-checkpoint interval in slots (0 disables "
+                            "the periodic grid; cancel still checkpoints)")
+    serve.set_defaults(func=_cmd_serve)
+
+    jobs = subparsers.add_parser(
+        "jobs", help="inspect and drive the experiment service's job store"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    j_list = jobs_sub.add_parser("list", help="list all jobs")
+    _add_service_root(j_list)
+    j_list.set_defaults(func=_cmd_jobs_list)
+
+    j_status = jobs_sub.add_parser("status", help="one job's record and result")
+    _add_service_root(j_status)
+    j_status.add_argument("job_id")
+    j_status.set_defaults(func=_cmd_jobs_status)
+
+    j_submit = jobs_sub.add_parser(
+        "submit", help="register a registry scenario as a job"
+    )
+    _add_service_root(j_submit)
+    j_submit.add_argument("scenario", help="registry scenario name")
+    j_submit.add_argument("--policy",
+                          choices=["immediate", "sync", "offline", "online"],
+                          default="online")
+    j_submit.add_argument("--v", type=float, default=4000.0)
+    j_submit.add_argument("--staleness-bound", type=float, default=500.0)
+    j_submit.add_argument("--backend", choices=["fleet", "loop"], default="fleet")
+    j_submit.add_argument("--no-fast-forward", action="store_true")
+    j_submit.add_argument("--batched-training", action="store_true")
+    j_submit.add_argument("--shards", type=int, default=1)
+    j_submit.add_argument("--trace-level", choices=["full", "summary", "off"],
+                          default="full")
+    j_submit.add_argument("--checkpoint-every", type=int, default=200,
+                          help="auto-checkpoint interval in slots when --run")
+    j_submit.add_argument("--run", action="store_true",
+                          help="execute the job on this process before "
+                               "returning (otherwise it waits for the "
+                               "serving process or `jobs resume`)")
+    j_submit.set_defaults(func=_cmd_jobs_submit)
+
+    j_resume = jobs_sub.add_parser(
+        "resume",
+        help="continue a checkpointed/crashed job on this process "
+             "(bitwise-identical to the uninterrupted run)",
+    )
+    _add_service_root(j_resume)
+    j_resume.add_argument("job_id")
+    j_resume.add_argument("--checkpoint-every", type=int, default=200)
+    j_resume.set_defaults(func=_cmd_jobs_resume)
+
+    j_cancel = jobs_sub.add_parser("cancel", help="stop a queued job")
+    _add_service_root(j_cancel)
+    j_cancel.add_argument("job_id")
+    j_cancel.set_defaults(func=_cmd_jobs_cancel)
 
     return parser
 

@@ -761,3 +761,36 @@ class TrainAheadScheduler:
                 self._trained[request.user_id] = trained
             update = self._trained.pop(index)
         return update
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The in-flight train-ahead state, as plain picklable values.
+
+        Pending requests that have not been materialized keep their exact
+        base parameters and version, so a restored scheduler re-trains them
+        with the client RNG untouched; already-trained updates are carried
+        verbatim so the client RNG is *not* re-consumed for them.  The
+        :class:`BatchTrainer` itself (which owns a thread pool) is dropped
+        and rebuilt lazily on the next cache miss.
+        """
+        return {
+            "pending": {
+                index: (request.base_params.copy(), request.base_version)
+                for index, request in self._pending.items()
+            },
+            "trained": dict(self._trained),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the state captured by :meth:`state_dict`."""
+        self._pending = {
+            int(index): TrainRequest(
+                user_id=int(index),
+                base_params=np.asarray(base_params, dtype=float),
+                base_version=int(base_version),
+            )
+            for index, (base_params, base_version) in state["pending"].items()
+        }
+        self._trained = dict(state["trained"])
+        self._trainer = None

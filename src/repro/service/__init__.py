@@ -1,0 +1,40 @@
+"""Long-lived experiment service over the deterministic simulation core.
+
+The service layer turns the batch CLI into a system that serves traffic,
+following the SimCash shape referenced in ROADMAP.md — a thin REST/CLI
+surface over a deterministic engine:
+
+* :mod:`repro.service.checkpoint` — the snapshot/restore subsystem with a
+  bitwise resume contract for every backend (loop, fleet/fast-forward,
+  sharded);
+* :mod:`repro.service.jobs` — the experiment orchestrator: a JSON-on-disk
+  job store keyed by :class:`~repro.analysis.runner.RunSpec` content hash,
+  a worker pool, periodic auto-checkpointing and crash-resume;
+* :mod:`repro.service.api` — the stdlib ``ThreadingHTTPServer`` API
+  (submit / status / telemetry-so-far / cancel / resume).
+"""
+
+from repro.service.checkpoint import (
+    CheckpointStore,
+    Checkpointer,
+    CoordinatorState,
+    EngineCheckpoint,
+    RunInterrupted,
+    reslice,
+)
+from repro.service.jobs import ExperimentService, JobRecord
+from repro.service.api import ServiceAPI, build_run_spec, serve
+
+__all__ = [
+    "CheckpointStore",
+    "Checkpointer",
+    "CoordinatorState",
+    "EngineCheckpoint",
+    "ExperimentService",
+    "JobRecord",
+    "RunInterrupted",
+    "ServiceAPI",
+    "build_run_spec",
+    "reslice",
+    "serve",
+]

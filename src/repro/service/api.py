@@ -1,0 +1,212 @@
+"""Thin HTTP front-end for :class:`~repro.service.jobs.ExperimentService`.
+
+Built on the stdlib ``ThreadingHTTPServer`` so the service has zero
+dependencies beyond NumPy.  Endpoints (all JSON):
+
+==========  ===========================  ===========================================
+method      path                         action
+==========  ===========================  ===========================================
+GET         /healthz                     liveness probe
+GET         /jobs                        list all jobs
+GET         /jobs/<id>                   one job's record (+ result when done)
+GET         /jobs/<id>/telemetry         telemetry-so-far from the latest checkpoint
+POST        /jobs                        submit a spec (see below)
+POST        /jobs/<id>/resume            re-queue a checkpointed/failed job
+POST        /jobs/<id>/cancel            stop at the next slot boundary
+==========  ===========================  ===========================================
+
+``POST /jobs`` accepts either a raw spec::
+
+    {"spec": {"policy": "online", "config": {"num_users": 8, ...}, ...}}
+
+or a registered scenario by name::
+
+    {"scenario": "megafleet-1k", "policy": "online", "shards": 4}
+
+Scenario submissions pass the remaining keys straight to
+:func:`repro.scenarios.runner.scenario_run_spec`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.runner import RunSpec
+from repro.service.jobs import ExperimentService, JobRecord
+
+__all__ = ["ServiceAPI", "build_run_spec", "serve"]
+
+
+def build_run_spec(payload: Dict[str, object]) -> RunSpec:
+    """Turn a submit payload (raw spec or scenario reference) into a RunSpec."""
+    if "spec" in payload:
+        spec_payload = dict(payload["spec"])
+        return RunSpec(**spec_payload)
+    if "scenario" in payload:
+        from repro.scenarios.runner import scenario_run_spec
+
+        kwargs = {k: v for k, v in payload.items() if k != "scenario"}
+        return scenario_run_spec(payload["scenario"], **kwargs)
+    raise ValueError("payload must contain either 'spec' or 'scenario'")
+
+
+def _record_payload(record: JobRecord) -> Dict[str, object]:
+    payload = record.to_dict()
+    payload["display_name"] = record.spec.display_name()
+    return payload
+
+
+class ServiceAPI:
+    """Bind an :class:`ExperimentService` to an HTTP server."""
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- request routing ---------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: Optional[Dict[str, object]]
+    ) -> Tuple[int, Dict[str, object]]:
+        """Route one request; returns (status_code, json_payload).
+
+        Kept transport-free so tests can exercise routing without sockets.
+        """
+        parts = [p for p in path.split("/") if p]
+        try:
+            if method == "GET":
+                if parts == ["healthz"]:
+                    return 200, {"ok": True}
+                if parts == ["jobs"]:
+                    return 200, {
+                        "jobs": [_record_payload(r) for r in self.service.list_jobs()]
+                    }
+                if len(parts) == 2 and parts[0] == "jobs":
+                    record = self.service.get(parts[1])
+                    payload = _record_payload(record)
+                    if record.state == "done":
+                        payload["result"] = self.service.result(record.id)
+                    return 200, payload
+                if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "telemetry":
+                    return 200, self.service.telemetry(parts[1])
+            elif method == "POST":
+                if parts == ["jobs"]:
+                    if not body:
+                        return 400, {"error": "missing JSON body"}
+                    spec = build_run_spec(body)
+                    record = self.service.submit(spec)
+                    return 202, _record_payload(record)
+                if len(parts) == 3 and parts[0] == "jobs":
+                    job_id, action = parts[1], parts[2]
+                    if action == "resume":
+                        return 202, _record_payload(self.service.resume(job_id))
+                    if action == "cancel":
+                        return 202, _record_payload(self.service.cancel(job_id))
+            return 404, {"error": f"no route for {method} {path}"}
+        except KeyError as exc:
+            return 404, {"error": str(exc)}
+        except (ValueError, TypeError) as exc:
+            return 400, {"error": str(exc)}
+
+    # -- server lifecycle ---------------------------------------------------------
+
+    def _make_handler(self):
+        api = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _respond(self, status: int, payload: Dict[str, object]) -> None:
+                body = json.dumps(payload, default=str).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _dispatch(self, method: str) -> None:
+                body = None
+                length = int(self.headers.get("Content-Length") or 0)
+                if length:
+                    try:
+                        body = json.loads(self.rfile.read(length))
+                    except ValueError:
+                        self._respond(400, {"error": "invalid JSON body"})
+                        return
+                status, payload = api.handle(method, self.path, body)
+                self._respond(status, payload)
+
+            def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+                self._dispatch("GET")
+
+            def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+                self._dispatch("POST")
+
+            def log_message(self, fmt: str, *args: object) -> None:
+                pass  # quiet by default; the job store is the source of truth
+
+        return Handler
+
+    def start(self) -> None:
+        """Start serving on a daemon thread (returns immediately)."""
+        if self._httpd is not None:
+            return
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.port), self._make_handler()
+        )
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-api", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Start serving on the calling thread (blocks until shutdown)."""
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.port), self._make_handler()
+        )
+        self.port = self._httpd.server_address[1]
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.shutdown(wait=False)
+
+
+def serve(
+    root,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+    checkpoint_every: Optional[int] = None,
+    recover: bool = True,
+) -> ServiceAPI:
+    """Convenience constructor: service + API bound together (not started)."""
+    service = ExperimentService(
+        root, workers=workers, checkpoint_every=checkpoint_every
+    )
+    if recover:
+        service.recover()
+    return ServiceAPI(service, host=host, port=port)

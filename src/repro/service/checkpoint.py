@@ -1,0 +1,427 @@
+"""Checkpoint subsystem: snapshot/restore with a bitwise resume contract.
+
+A checkpoint captures everything a run has mutated — the coordinator-side
+coupling state (parameter server, policy queues, lag estimates, the
+Eq. (12) gap array, transport accounting, trace aggregates, the evaluation
+cache) plus the per-user state (device/app/thermal/battery arrays, client
+RNG generator states, momentum velocities, train-ahead scheduler flight
+state).  Everything *static* — device calibration, arrival schedules, data
+partitions — is rebuilt bitwise from the configuration by the existing
+builders, so checkpoints stay small and a restored run re-derives the same
+immutable inputs the original run had.
+
+The determinism contract: a run restored from a checkpoint taken at slot
+``S`` and driven to the horizon produces results bitwise-identical to the
+uninterrupted run, for the loop backend, the fleet backend with or without
+event-horizon fast-forward, and the sharded engine — including restoring
+under a *different* shard count than the one that wrote the checkpoint
+(per-user state is sliced contiguously, and every cross-user reduction in
+the engine folds in ascending user order regardless of layout).
+
+Checkpoints are taken at slot boundaries only.  Inside a fast-forwarded
+quiet region the :class:`Checkpointer` caps the region at the next due
+slot (`limit`); quiet regions are split-exact at any slot boundary, so the
+cap changes nothing but the checkpoint opportunity.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SimulationConfig
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointStore",
+    "Checkpointer",
+    "CoordinatorState",
+    "EngineCheckpoint",
+    "RunInterrupted",
+    "reslice",
+]
+
+#: Bumped whenever the on-disk layout or the state dicts change shape.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class RunInterrupted(Exception):
+    """Raised out of the slot loop when a stop was requested.
+
+    Carries the just-taken :class:`EngineCheckpoint` so the caller (the job
+    orchestrator, a signal handler) can persist it and mark the run
+    resumable.
+    """
+
+    def __init__(self, checkpoint: "EngineCheckpoint") -> None:
+        super().__init__(f"run interrupted at slot {checkpoint.slot}")
+        self.checkpoint = checkpoint
+
+
+@dataclass
+class CoordinatorState:
+    """The coordinator-side coupling state of one checkpoint.
+
+    The nine coupled objects are deep-copied as *one* memo unit so shared
+    references — in particular the parameter-server vectors that the
+    pinned-base map and the fleet's ``base_params`` view — stay shared
+    inside the copy.  :meth:`materialize` deep-copies the unit back out, so
+    a single in-memory checkpoint can be restored more than once without
+    the restored engines aliasing each other.
+    """
+
+    unit: tuple
+    timer_seconds: Dict[str, float]
+
+    _FIELDS = (
+        "policy",
+        "server",
+        "transport",
+        "trace",
+        "accuracy",
+        "gaps",
+        "sync_buffer",
+        "eval_cache",
+        "pinned_base",
+    )
+
+    @classmethod
+    def capture(cls, core, timers) -> "CoordinatorState":
+        """Snapshot a :class:`~repro.sim.coupling.CouplingCore` (+ timers)."""
+        unit = (
+            core.policy,
+            core.server,
+            core.transport,
+            core.trace,
+            core.accuracy,
+            core.gaps,
+            core.sync_buffer,
+            core._eval_cache,
+            core._pinned_base,
+        )
+        return cls(unit=copy.deepcopy(unit), timer_seconds=dict(timers.seconds))
+
+    def materialize(self) -> "MaterializedCoordinator":
+        """A fresh, un-aliased copy of the coupling state for one restore."""
+        unit = copy.deepcopy(self.unit)
+        return MaterializedCoordinator(
+            **dict(zip(self._FIELDS, unit)), timer_seconds=dict(self.timer_seconds)
+        )
+
+
+@dataclass
+class MaterializedCoordinator:
+    """One restore's worth of coupling state (see :class:`CoordinatorState`)."""
+
+    policy: object
+    server: object
+    transport: object
+    trace: object
+    accuracy: object
+    gaps: object
+    sync_buffer: dict
+    eval_cache: Optional[tuple]
+    pinned_base: dict
+    timer_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def install(self, core, timers) -> None:
+        """Bind this state into a freshly built coupling core."""
+        core.policy = self.policy
+        core.server = self.server
+        core.transport = self.transport
+        core.trace = self.trace
+        core.accuracy = self.accuracy
+        core.gaps = self.gaps
+        core.sync_buffer = self.sync_buffer
+        core._eval_cache = self.eval_cache
+        core._pinned_base = self.pinned_base
+        timers.seconds = dict(self.timer_seconds)
+
+
+@dataclass
+class EngineCheckpoint:
+    """A complete, picklable snapshot of one run at a slot boundary.
+
+    ``backend`` records which engine family wrote it: ``"loop"`` snapshots
+    carry the per-user object state in ``loop``; ``"fleet"`` snapshots (the
+    single-process fleet engine *and* the sharded engine — their per-user
+    state is identical struct-of-arrays content) carry one state dict per
+    contiguous user slice in ``slices``.  Fleet checkpoints are therefore
+    interchangeable across shard counts via :func:`reslice`.
+    """
+
+    format_version: int
+    backend: str
+    slot: int
+    pending_arrivals: List[int]
+    global_ready: int
+    config: SimulationConfig
+    fast_forward: bool
+    batched_training: bool
+    trace_level: str
+    coordinator: CoordinatorState
+    slices: Optional[List[dict]] = None
+    loop: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("loop", "fleet"):
+            raise ValueError(f"unknown checkpoint backend {self.backend!r}")
+        if self.backend == "fleet" and not self.slices:
+            raise ValueError("fleet checkpoint requires per-slice state")
+        if self.backend == "loop" and self.loop is None:
+            raise ValueError("loop checkpoint requires loop state")
+
+
+class Checkpointer:
+    """Decides *when* to checkpoint and *receives* the snapshots.
+
+    One instance rides one ``run()`` call.  The engines call :meth:`begin`
+    when the slot loop starts (slot 0 fresh, slot ``S`` on resume), ask
+    :meth:`due` at the top of every slot, and hand the snapshot to
+    :meth:`take`, which forwards it to ``sink`` and — if a stop was
+    requested — raises :class:`RunInterrupted` to unwind the run.
+
+    The fast-forward kernel asks :meth:`limit` for the maximum quiet slots
+    it may advance before the next due boundary; quiet regions split
+    exactly at slot boundaries, so capping them is bitwise-free.
+
+    Args:
+        sink: callable receiving each :class:`EngineCheckpoint`.
+        every_slots: periodic checkpoint interval (slots on the absolute
+            grid ``slot % every_slots == 0``), or ``None``.
+        at_slots: explicit extra checkpoint slots (tests use this to place
+            interrupt points precisely).
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[EngineCheckpoint], None],
+        every_slots: Optional[int] = None,
+        at_slots: Optional[Sequence[int]] = None,
+    ) -> None:
+        if every_slots is not None and every_slots <= 0:
+            raise ValueError("every_slots must be positive when set")
+        self.sink = sink
+        self.every_slots = every_slots
+        self.at_slots = set(at_slots or ())
+        self._cancel = threading.Event()
+        self._last_slot = 0
+
+    def begin(self, slot: int) -> None:
+        """Mark the slot the run (re)starts at; no checkpoint is due there."""
+        self._last_slot = slot
+
+    def request_stop(self) -> None:
+        """Ask the run to checkpoint at the next slot boundary and unwind."""
+        self._cancel.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def due(self, slot: int) -> bool:
+        """Whether a checkpoint should be taken at the top of ``slot``."""
+        if slot <= self._last_slot:
+            return False
+        if self.stop_requested:
+            return True
+        if slot in self.at_slots:
+            return True
+        return self.every_slots is not None and slot % self.every_slots == 0
+
+    def next_due(self, slot: int) -> Optional[int]:
+        """The next scheduled checkpoint slot strictly after ``slot``."""
+        candidates = [s for s in self.at_slots if s > slot]
+        if self.every_slots is not None:
+            candidates.append(((slot // self.every_slots) + 1) * self.every_slots)
+        return min(candidates) if candidates else None
+
+    def limit(self, slot: int) -> Optional[int]:
+        """Cap (in slots) on a quiet advance starting at ``slot``."""
+        if self.stop_requested:
+            return 1
+        nxt = self.next_due(slot)
+        return None if nxt is None else nxt - slot
+
+    def take(self, checkpoint: EngineCheckpoint) -> None:
+        """Deliver one snapshot; unwinds the run if a stop was requested."""
+        self.sink(checkpoint)
+        self._last_slot = checkpoint.slot
+        if self.stop_requested:
+            raise RunInterrupted(checkpoint)
+
+
+def reslice(slices: Sequence[dict], bounds: Sequence[Tuple[int, int]]) -> List[dict]:
+    """Re-partition per-slice fleet state dicts onto new contiguous bounds.
+
+    When the new bounds equal the stored ones the slices pass through
+    verbatim (fully bitwise, including each shard's cumulative energy
+    series).  Otherwise the per-user arrays and lists concatenate in
+    ascending user order and re-slice; the cumulative per-slot energy
+    *series* — a cross-user fold that cannot be split back per-user — is
+    merged element-wise and assigned wholly to the new first slice, with
+    equal-length zero series elsewhere, which keeps every headline number
+    (all per-user array folds) exact and only perturbs the plot-only merged
+    series by re-association.
+    """
+    import numpy as np
+
+    slices = sorted(slices, key=lambda s: s["lo"])
+    old_bounds = [(s["lo"], s["hi"]) for s in slices]
+    if list(old_bounds) == [tuple(b) for b in bounds]:
+        return list(slices)
+    if old_bounds[0][0] != bounds[0][0] or old_bounds[-1][1] != bounds[-1][1]:
+        raise ValueError("reslice bounds must cover the same user population")
+
+    lo0 = old_bounds[0][0]
+
+    def concat(path: Tuple[str, ...]):
+        parts = []
+        for piece in slices:
+            value = piece
+            for key in path:
+                value = value[key]
+            parts.append(value)
+        if isinstance(parts[0], list):
+            merged: List = []
+            for part in parts:
+                merged.extend(part)
+            return merged
+        return np.concatenate(parts)
+
+    fleet_keys = [k for k in slices[0]["fleet"] if k != "accountant"]
+    acct_keys = [
+        k
+        for k in slices[0]["fleet"]["accountant"]
+        if k not in ("per_slot_total", "running_total_j")
+    ]
+    full_fleet = {k: concat(("fleet", k)) for k in fleet_keys}
+    full_acct = {k: concat(("fleet", "accountant", k)) for k in acct_keys}
+    full_clients = concat(("clients",))
+    full_pending: Dict[int, tuple] = {}
+    full_trained: Dict[int, object] = {}
+    for piece in slices:
+        full_pending.update(piece["pending"])
+        full_trained.update(piece["trained"])
+
+    series = [np.asarray(s["fleet"]["accountant"]["per_slot_total"]) for s in slices]
+    merged_series: List[float] = []
+    if series and len(series[0]):
+        stacked = series[0].copy()
+        for other in series[1:]:
+            stacked += other
+        merged_series = stacked.tolist()
+
+    out: List[dict] = []
+    for index, (lo, hi) in enumerate(bounds):
+        a, b = lo - lo0, hi - lo0
+        accountant = {k: full_acct[k][a:b] for k in acct_keys}
+        if index == 0:
+            accountant["per_slot_total"] = list(merged_series)
+            accountant["running_total_j"] = (
+                float(merged_series[-1]) if merged_series else 0.0
+            )
+        else:
+            accountant["per_slot_total"] = [0.0] * len(merged_series)
+            accountant["running_total_j"] = 0.0
+        fleet = {k: full_fleet[k][a:b] for k in fleet_keys}
+        fleet["accountant"] = accountant
+        out.append(
+            {
+                "lo": lo,
+                "hi": hi,
+                "fleet": fleet,
+                "clients": full_clients[a:b],
+                "pending": {u: v for u, v in full_pending.items() if lo <= u < hi},
+                "trained": {u: v for u, v in full_trained.items() if lo <= u < hi},
+            }
+        )
+    return out
+
+
+class CheckpointStore:
+    """On-disk layout of one run's checkpoint: a manifest plus pickles.
+
+    Shards checkpoint locally — each contiguous user slice lands in its own
+    ``users_<lo>_<hi>.pkl`` — and the coordinator writes ``coordinator.pkl``
+    (config + coupling state, or the loop-backend state) and finally
+    ``manifest.json``.  The manifest is written last via an atomic rename,
+    so its presence marks a complete, loadable checkpoint; a crash mid-save
+    leaves the previous complete checkpoint intact.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def exists(self) -> bool:
+        return (self.root / self.MANIFEST).is_file()
+
+    def save(self, checkpoint: EngineCheckpoint) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": checkpoint.format_version,
+            "backend": checkpoint.backend,
+            "slot": checkpoint.slot,
+            "pending_arrivals": list(checkpoint.pending_arrivals),
+            "global_ready": checkpoint.global_ready,
+            "fast_forward": checkpoint.fast_forward,
+            "batched_training": checkpoint.batched_training,
+            "trace_level": checkpoint.trace_level,
+            "slices": [],
+        }
+        for piece in checkpoint.slices or []:
+            name = f"users_{piece['lo']}_{piece['hi']}.pkl"
+            with open(self.root / name, "wb") as handle:
+                pickle.dump(piece, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            manifest["slices"].append({"lo": piece["lo"], "hi": piece["hi"], "file": name})
+        with open(self.root / "coordinator.pkl", "wb") as handle:
+            pickle.dump(
+                {
+                    "config": checkpoint.config,
+                    "coordinator": checkpoint.coordinator,
+                    "loop": checkpoint.loop,
+                },
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        tmp = self.root / (self.MANIFEST + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp, self.root / self.MANIFEST)
+
+    def load(self) -> EngineCheckpoint:
+        manifest = json.loads((self.root / self.MANIFEST).read_text())
+        if manifest["format_version"] != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {manifest['format_version']} unsupported "
+                f"(expected {CHECKPOINT_FORMAT_VERSION})"
+            )
+        with open(self.root / "coordinator.pkl", "rb") as handle:
+            head = pickle.load(handle)
+        slices: Optional[List[dict]] = None
+        if manifest["slices"]:
+            slices = []
+            for entry in manifest["slices"]:
+                with open(self.root / entry["file"], "rb") as handle:
+                    slices.append(pickle.load(handle))
+        return EngineCheckpoint(
+            format_version=manifest["format_version"],
+            backend=manifest["backend"],
+            slot=manifest["slot"],
+            pending_arrivals=list(manifest["pending_arrivals"]),
+            global_ready=manifest["global_ready"],
+            config=head["config"],
+            fast_forward=manifest["fast_forward"],
+            batched_training=manifest["batched_training"],
+            trace_level=manifest["trace_level"],
+            coordinator=head["coordinator"],
+            slices=slices,
+            loop=head["loop"],
+        )

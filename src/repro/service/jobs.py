@@ -1,0 +1,371 @@
+"""Experiment orchestrator: a durable job store plus a worker pool.
+
+One job = one :class:`~repro.analysis.runner.RunSpec`, keyed by its content
+hash.  Jobs live as JSON on disk under ``<root>/jobs/<job_id>/`` so the
+service survives restarts: a crash mid-run leaves the job in ``running``
+with its latest auto-checkpoint on disk, and :meth:`ExperimentService.recover`
+re-enqueues it to resume from that checkpoint — the resumed run's headline
+metrics are bitwise-identical to an uninterrupted run (the checkpoint
+subsystem's contract, enforced by ``tests/test_checkpoint.py`` and the
+``service_smoke`` CI gate).
+
+Job lifecycle::
+
+    queued -> running -> done
+                |   \\-> failed
+                \\-> checkpointed -> (resume) -> running -> ...
+
+``checkpointed`` means "paused but resumable": a cancelled run lands there
+after writing its final checkpoint, as does a run interrupted by shutdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.runner import RunSpec, execute_spec, summarize_result
+from repro.service.checkpoint import CheckpointStore, Checkpointer, RunInterrupted
+
+__all__ = ["JOB_STATES", "ExperimentService", "JobRecord"]
+
+JOB_STATES = ("queued", "running", "checkpointed", "done", "failed")
+
+
+@dataclass
+class JobRecord:
+    """One job's durable metadata (everything in ``job.json``)."""
+
+    id: str
+    spec: RunSpec
+    state: str = "queued"
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    slot: int = 0
+    total_slots: int = 0
+    error: Optional[str] = None
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        payload["spec"] = dataclasses.asdict(self.spec)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "JobRecord":
+        payload = dict(payload)
+        payload["spec"] = RunSpec(**payload["spec"])
+        return cls(**payload)
+
+
+class ExperimentService:
+    """Run simulation jobs concurrently with durable state and checkpoints.
+
+    Args:
+        root: service state directory (``<root>/jobs/<id>/`` per job).
+        workers: worker-thread pool size.  The engines release the GIL in
+            their NumPy kernels, and sharded specs fan their own worker
+            processes, so threads are the right concurrency unit here.
+        checkpoint_every: periodic auto-checkpoint interval in slots
+            (``None`` disables the periodic grid; cancel/shutdown still
+            checkpoint at the next slot boundary).
+    """
+
+    def __init__(
+        self,
+        root,
+        workers: int = 2,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.workers = max(1, int(workers))
+        self.checkpoint_every = checkpoint_every
+        self._lock = threading.RLock()
+        self._checkpointers: Dict[str, Checkpointer] = {}
+        self._cancel_requested: set = set()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- job store ---------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def get(self, job_id: str) -> JobRecord:
+        path = self._job_path(job_id)
+        if not path.is_file():
+            raise KeyError(f"unknown job {job_id!r}")
+        with self._lock:
+            return JobRecord.from_dict(json.loads(path.read_text()))
+
+    def _save(self, record: JobRecord) -> None:
+        record.updated_at = time.time()
+        path = self._job_path(record.id)
+        with self._lock:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(record.to_dict(), indent=2, default=str))
+            os.replace(tmp, path)
+
+    def list_jobs(self) -> List[JobRecord]:
+        """All known jobs, oldest first."""
+        records = []
+        for path in sorted(self.jobs_dir.glob("*/job.json")):
+            try:
+                records.append(JobRecord.from_dict(json.loads(path.read_text())))
+            except (ValueError, TypeError, KeyError):
+                continue  # a partially-written record never hides the rest
+        return sorted(records, key=lambda r: r.created_at)
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The finished job's ``RunSummary`` payload, or ``None``."""
+        path = self.job_dir(job_id) / "result.json"
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text())
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def submit(self, spec: RunSpec) -> JobRecord:
+        """Register a job for the spec (idempotent by content hash) and queue it."""
+        job_id = spec.config_hash()
+        try:
+            existing = self.get(job_id)
+        except KeyError:
+            pass
+        else:
+            if existing.state in ("queued", "running"):
+                return existing
+            if existing.state == "done":
+                return existing
+            # failed / checkpointed: fall through and re-queue (resume picks
+            # up the checkpoint if one exists).
+        record = JobRecord(
+            id=job_id,
+            spec=spec,
+            state="queued",
+            created_at=time.time(),
+            total_slots=spec.build_config().total_slots,
+        )
+        self._save(record)
+        self._enqueue(job_id)
+        return record
+
+    def resume(self, job_id: str, sync: bool = False) -> JobRecord:
+        """Queue a checkpointed/failed/interrupted job to continue.
+
+        ``sync=True`` runs the job on the calling thread and returns its
+        final record — the crash-recovery path (``repro-sim jobs resume``):
+        a fresh process owns no runs, so a job found ``running`` there is
+        orphaned and is reclaimed from its last checkpoint.
+        """
+        record = self.get(job_id)
+        if record.state == "done":
+            return record
+        if record.state != "running" or sync:
+            record.state = "queued"
+            self._save(record)
+        if sync:
+            return self.run_job(job_id)
+        self._enqueue(job_id)
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Stop a job at its next slot boundary (leaves it resumable)."""
+        record = self.get(job_id)
+        with self._lock:
+            self._cancel_requested.add(job_id)
+            checkpointer = self._checkpointers.get(job_id)
+        if checkpointer is not None:
+            checkpointer.request_stop()
+        elif record.state == "queued":
+            record.state = "checkpointed"
+            self._save(record)
+        return record
+
+    def recover(self) -> List[str]:
+        """Re-enqueue jobs a previous process left queued or mid-run."""
+        recovered = []
+        for record in self.list_jobs():
+            if record.state in ("queued", "running"):
+                if record.state == "running":
+                    # The process that owned this run is gone; fall back to
+                    # its last auto-checkpoint (or a fresh start).
+                    record.state = "queued"
+                    self._save(record)
+                self._enqueue(record.id)
+                recovered.append(record.id)
+        return recovered
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; running jobs checkpoint and unwind."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            checkpointers = list(self._checkpointers.values())
+        for checkpointer in checkpointers:
+            checkpointer.request_stop()
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def _enqueue(self, job_id: str) -> None:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-job"
+                )
+            self._pool.submit(self.run_job, job_id)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run_job(self, job_id: str) -> JobRecord:
+        """Execute (or resume) one job to completion, checkpoint, or failure.
+
+        Worker threads land here; callers that want a synchronous run (the
+        ``repro-sim jobs resume`` crash-recovery path) may invoke it
+        directly.
+        """
+        try:
+            record = self.get(job_id)
+        except KeyError:
+            raise
+        if record.state in ("done", "running"):
+            return record
+        spec = record.spec
+        store = CheckpointStore(self.job_dir(job_id) / "checkpoint")
+        resume_from = store.load() if store.exists() else None
+
+        def sink(checkpoint) -> None:
+            store.save(checkpoint)
+            record.slot = checkpoint.slot
+            record.telemetry = _checkpoint_telemetry(checkpoint)
+            self._save(record)
+
+        checkpointer = Checkpointer(sink, every_slots=self.checkpoint_every)
+        with self._lock:
+            self._checkpointers[job_id] = checkpointer
+            if job_id in self._cancel_requested:
+                checkpointer.request_stop()
+
+        record.state = "running"
+        record.error = None
+        if resume_from is not None:
+            record.slot = resume_from.slot
+        self._save(record)
+        start = time.perf_counter()
+        try:
+            result = execute_spec(
+                spec, checkpointer=checkpointer, resume_from=resume_from
+            )
+        except RunInterrupted as stop:
+            record.state = "checkpointed"
+            record.slot = stop.checkpoint.slot
+            self._save(record)
+        except Exception:
+            record.state = "failed"
+            record.error = traceback.format_exc(limit=20)
+            self._save(record)
+        else:
+            summary = summarize_result(
+                spec, result, wall_time_s=time.perf_counter() - start
+            )
+            result_path = self.job_dir(job_id) / "result.json"
+            tmp = result_path.with_suffix(".json.tmp")
+            tmp.write_text(summary.to_json())
+            os.replace(tmp, result_path)
+            record.state = "done"
+            record.slot = record.total_slots
+            record.telemetry = _result_telemetry(result)
+            self._save(record)
+        finally:
+            with self._lock:
+                self._checkpointers.pop(job_id, None)
+                self._cancel_requested.discard(job_id)
+        return record
+
+    def telemetry(self, job_id: str) -> Dict[str, object]:
+        """Telemetry-so-far: last checkpoint's (or final) aggregates."""
+        record = self.get(job_id)
+        payload = dict(record.telemetry)
+        payload.update(
+            {
+                "state": record.state,
+                "slot": record.slot,
+                "total_slots": record.total_slots,
+            }
+        )
+        return payload
+
+
+def _queue_backlogs(policy) -> Dict[str, float]:
+    return {
+        "queue_length": float(
+            getattr(getattr(policy, "task_queue", None), "length", 0.0)
+        ),
+        "virtual_queue_length": float(
+            getattr(getattr(policy, "virtual_queue", None), "length", 0.0)
+        ),
+    }
+
+
+def _checkpoint_telemetry(checkpoint) -> Dict[str, object]:
+    """Progress aggregates read straight out of a checkpoint's state."""
+    policy, server = checkpoint.coordinator.unit[0], checkpoint.coordinator.unit[1]
+    accuracy = checkpoint.coordinator.unit[4]
+    if checkpoint.backend == "fleet":
+        energy_j = 0.0
+        for piece in checkpoint.slices:
+            accountant = piece["fleet"]["accountant"]
+            energy_j += float(
+                sum(
+                    (
+                        accountant["idle_j"]
+                        + accountant["app_j"]
+                        + accountant["training_j"]
+                        + accountant["corunning_j"]
+                        + accountant["overhead_j"]
+                    ).tolist()
+                )
+            )
+    else:
+        energy_j = checkpoint.loop["unit"][4].total_j()
+    sample = accuracy.samples[-1] if accuracy.samples else None
+    payload: Dict[str, object] = {
+        "energy_j": energy_j,
+        "num_updates": server.num_updates(),
+        "accuracy": None if sample is None else sample.accuracy,
+        "loss": None if sample is None else sample.loss,
+    }
+    payload.update(_queue_backlogs(policy))
+    return payload
+
+
+def _result_telemetry(result) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "energy_j": result.total_energy_j(),
+        "num_updates": result.num_updates,
+        "accuracy": result.final_accuracy(),
+        "loss": (
+            result.accuracy.samples[-1].loss if result.accuracy.samples else None
+        ),
+        "queue_length": (
+            float(result.queue_history[-1]) if result.queue_history else 0.0
+        ),
+        "virtual_queue_length": (
+            float(result.virtual_queue_history[-1])
+            if result.virtual_queue_history
+            else 0.0
+        ),
+    }
+    return payload

@@ -591,6 +591,137 @@ class SimulationEngine:
         )
         self._sync_buffer = self.core.sync_buffer
         _apply_queue_telemetry(policy, trace_level)
+        #: Checkpoint being resumed from, or ``None`` for a fresh run.
+        self._resume = None
+        # Loop-backend cursor for snapshot(): (next slot, its pending arrivals).
+        self._loop_slot = 0
+        self._loop_pending: List[int] = list(range(config.num_users))
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint,
+        *,
+        dataset: Optional[SyntheticCifar10] = None,
+        measurement_table: Optional[MeasurementTable] = None,
+        profile: bool = False,
+        training_threads: Optional[int] = None,
+    ) -> "SimulationEngine":
+        """Rebuild an engine from an
+        :class:`~repro.service.checkpoint.EngineCheckpoint`.
+
+        The static substrate (devices, dataset, arrivals, calibration) is
+        rebuilt bitwise from the checkpointed configuration; the captured
+        coupling and per-user state is installed over it.  ``run()`` on the
+        restored engine continues from the checkpoint slot and produces
+        results bitwise-identical to the uninterrupted run.
+        """
+        import copy as _copy
+
+        coordinator = checkpoint.coordinator.materialize()
+        engine = cls(
+            config=checkpoint.config,
+            policy=coordinator.policy,
+            dataset=dataset,
+            measurement_table=measurement_table,
+            backend=checkpoint.backend,
+            fast_forward=checkpoint.fast_forward,
+            batched_training=checkpoint.batched_training,
+            profile=profile,
+            training_threads=training_threads,
+            trace_level=checkpoint.trace_level,
+        )
+        coordinator.install(engine.core, engine.timers)
+        engine.server = engine.core.server
+        engine.transport = engine.core.transport
+        engine.trace = engine.core.trace
+        engine.accuracy = engine.core.accuracy
+        engine._sync_buffer = engine.core.sync_buffer
+        if checkpoint.backend == "loop":
+            loop = checkpoint.loop
+            (
+                engine.devices,
+                engine.batteries,
+                engine._user_states,
+                engine.gap_tracker,
+                engine.accountant,
+            ) = _copy.deepcopy(loop["unit"])
+            engine._has_batteries = any(b is not None for b in engine.batteries)
+            for client, state in zip(engine.clients, loop["clients"]):
+                client.optimizer.load_velocity(state["velocity"])
+                client._rng.bit_generator.state = state["rng_state"]
+                client.rounds_completed = int(state["rounds_completed"])
+            engine._train_scheduler.load_state_dict(loop["scheduler"])
+            engine._loop_slot = checkpoint.slot
+            engine._loop_pending = list(checkpoint.pending_arrivals)
+        engine._resume = checkpoint
+        return engine
+
+    def snapshot(self):
+        """A complete checkpoint of the loop backend at its current slot.
+
+        The loop backend mutates only per-user Python objects, so its state
+        is well-defined at any slot boundary — before the first slot, after
+        the last, or from a :class:`~repro.service.checkpoint.Checkpointer`
+        boundary during the run.  The fleet backend's state lives inside
+        its shard (possibly mid-fast-forward); drive it with a
+        ``Checkpointer`` instead, which snapshots at due slot boundaries.
+        """
+        if self.backend != "loop":
+            raise RuntimeError(
+                "snapshot() is only direct on the loop backend; pass a "
+                "Checkpointer to run() to checkpoint the fleet/sharded backends"
+            )
+        return self._loop_checkpoint(self._loop_slot, list(self._loop_pending))
+
+    def _loop_checkpoint(self, slot: int, pending_arrivals: List[int]):
+        """Assemble the loop backend's state into an ``EngineCheckpoint``."""
+        import copy as _copy
+
+        from repro.service.checkpoint import (
+            CHECKPOINT_FORMAT_VERSION,
+            CoordinatorState,
+            EngineCheckpoint,
+        )
+
+        clients_state = []
+        for client in self.clients:
+            velocity = client.optimizer.velocity
+            clients_state.append(
+                {
+                    "velocity": None if velocity is None else velocity.copy(),
+                    "rng_state": client._rng.bit_generator.state,
+                    "rounds_completed": client.rounds_completed,
+                }
+            )
+        loop = {
+            "unit": _copy.deepcopy(
+                (
+                    self.devices,
+                    self.batteries,
+                    self._user_states,
+                    self.gap_tracker,
+                    self.accountant,
+                )
+            ),
+            "clients": clients_state,
+            "scheduler": self._train_scheduler.state_dict(),
+        }
+        return EngineCheckpoint(
+            format_version=CHECKPOINT_FORMAT_VERSION,
+            backend="loop",
+            slot=slot,
+            pending_arrivals=pending_arrivals,
+            global_ready=-1,
+            config=self.config,
+            fast_forward=self.fast_forward,
+            batched_training=self.batched_training,
+            trace_level=self.trace_level,
+            coordinator=CoordinatorState.capture(self.core, self.timers),
+            loop=loop,
+        )
 
     # -- helpers ------------------------------------------------------------------
 
@@ -691,35 +822,45 @@ class SimulationEngine:
 
     # -- main loop --------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
+    def run(self, checkpointer=None) -> SimulationResult:
         """Run the simulation and return its result.
 
         Dispatches to the vectorized fleet backend or the per-user loop
         backend (see the ``backend`` constructor argument); both produce
         bitwise-identical results.  The engine is single-shot: build a new
         engine for another run.
+
+        Args:
+            checkpointer: optional
+                :class:`~repro.service.checkpoint.Checkpointer`; snapshots
+                are taken at the top of due slots, and a requested stop
+                raises :class:`~repro.service.checkpoint.RunInterrupted`
+                carrying the final checkpoint.
         """
         if self._has_run:
             raise RuntimeError("this engine has already run; create a new one")
         self._has_run = True
-        self.policy.reset()
-        # The one and only oracle attachment, right after the reset: the
-        # offline policy receives this run's pre-generated arrival schedule
-        # exactly once.  attach_oracle is idempotent and raises if planning
-        # already started against a different schedule, so oracle state can
-        # never be silently rebuilt mid-experiment — while a policy reused
-        # across engines sequentially still works (each run resets first).
-        if isinstance(self.policy, OfflinePolicy):
-            self.policy.attach_oracle(self.arrivals)
+        if self._resume is None:
+            self.policy.reset()
+            # The one and only oracle attachment, right after the reset: the
+            # offline policy receives this run's pre-generated arrival
+            # schedule exactly once.  attach_oracle is idempotent and raises
+            # if planning already started against a different schedule, so
+            # oracle state can never be silently rebuilt mid-experiment —
+            # while a policy reused across engines sequentially still works
+            # (each run resets first).  A restored run skips both: the
+            # checkpointed policy carries its live queue and planning state.
+            if isinstance(self.policy, OfflinePolicy):
+                self.policy.attach_oracle(self.arrivals)
         tick = self.timers.start()
         try:
             if self.backend == "fleet":
-                return self._run_fleet()
-            return self._run_loop()
+                return self._run_fleet(checkpointer)
+            return self._run_loop(checkpointer)
         finally:
             self.timers.stop_total(tick)
 
-    def _run_loop(self) -> SimulationResult:
+    def _run_loop(self, checkpointer=None) -> SimulationResult:
         """The original per-user reference implementation of the slot loop."""
         config = self.config
         sync_mode = self.policy.aggregation is Aggregation.SYNC
@@ -727,11 +868,22 @@ class SimulationEngine:
             self._loop_stalled_sync_users if self._has_batteries else None
         )
 
-        # All users download the initial model and arrive at slot 0.
-        pending_arrivals = list(range(config.num_users))
-        self._evaluate(0)
+        if self._resume is None:
+            # All users download the initial model and arrive at slot 0.
+            start_slot = 0
+            pending_arrivals = list(range(config.num_users))
+            self._evaluate(0)
+        else:
+            start_slot = self._resume.slot
+            pending_arrivals = list(self._resume.pending_arrivals)
+        if checkpointer is not None:
+            checkpointer.begin(start_slot)
 
-        for slot in range(config.total_slots):
+        for slot in range(start_slot, config.total_slots):
+            self._loop_slot = slot
+            self._loop_pending = list(pending_arrivals)
+            if checkpointer is not None and checkpointer.due(slot):
+                checkpointer.take(self._loop_checkpoint(slot, list(pending_arrivals)))
             time_s = slot * config.slot_seconds
 
             # 1. Applications: expire finished ones, launch new arrivals.
@@ -878,6 +1030,8 @@ class SimulationEngine:
             if slot > 0 and slot % config.eval_interval_slots == 0:
                 self._evaluate(slot)
 
+        self._loop_slot = config.total_slots
+        self._loop_pending = list(pending_arrivals)
         self._evaluate(config.total_slots)
 
         queue_history = list(getattr(getattr(self.policy, "task_queue", None), "history", lambda: [])())
@@ -922,7 +1076,7 @@ class SimulationEngine:
 
     # -- vectorized backend ------------------------------------------------------------
 
-    def _run_fleet(self) -> SimulationResult:
+    def _run_fleet(self, checkpointer=None) -> SimulationResult:
         """Vectorized slot loop over one in-process fleet shard.
 
         The loop itself lives in :func:`repro.sim.shard.drive_fleet_loop`
@@ -953,6 +1107,43 @@ class SimulationEngine:
             training_threads=self.training_threads,
             timers=self.timers,
         )
+        self._shard = shard
+        start_slot = 0
+        pending_arrivals = None
+        global_ready = -1
+        if self._resume is not None:
+            from repro.service.checkpoint import reslice
+
+            shard.restore_state(
+                reslice(self._resume.slices, [(0, config.num_users)])[0]
+            )
+            start_slot = self._resume.slot
+            pending_arrivals = list(self._resume.pending_arrivals)
+            global_ready = self._resume.global_ready
+
+        snapshot_fn = None
+        if checkpointer is not None:
+            from repro.service.checkpoint import (
+                CHECKPOINT_FORMAT_VERSION,
+                CoordinatorState,
+                EngineCheckpoint,
+            )
+
+            def snapshot_fn(slot, pending, ready):
+                return EngineCheckpoint(
+                    format_version=CHECKPOINT_FORMAT_VERSION,
+                    backend="fleet",
+                    slot=slot,
+                    pending_arrivals=pending,
+                    global_ready=ready,
+                    config=config,
+                    fast_forward=self.fast_forward,
+                    batched_training=self.batched_training,
+                    trace_level=self.trace_level,
+                    coordinator=CoordinatorState.capture(self.core, self.timers),
+                    slices=[shard.checkpoint_state()],
+                )
+
         drive_fleet_loop(
             core=self.core,
             handles=[InlineShardHandle(shard)],
@@ -962,6 +1153,12 @@ class SimulationEngine:
             timers=self.timers,
             trace_level=self.trace_level,
             has_batteries=self._has_batteries,
+            start_slot=start_slot,
+            pending_arrivals=pending_arrivals,
+            global_ready=global_ready,
+            initial_eval=self._resume is None,
+            checkpointer=checkpointer,
+            snapshot_fn=snapshot_fn,
         )
         fleet = shard.fleet
 

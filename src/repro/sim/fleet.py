@@ -173,6 +173,38 @@ class FleetEnergyAccountant:
         ) = state
         self._per_slot_total = list(per_slot_total)
 
+    # -- checkpointing -----------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Everything mutable in the accountant, as plain copies.
+
+        The checkpoint subsystem (:mod:`repro.service.checkpoint`) persists
+        this dict; :meth:`load_state_dict` restores it.  Checkpoints are
+        only taken at slot boundaries, where ``_slot_energy_j`` has been
+        folded into the series by :meth:`close_slot`, so it is not part of
+        the state.
+        """
+        return {
+            "idle_j": self.idle_j.copy(),
+            "app_j": self.app_j.copy(),
+            "training_j": self.training_j.copy(),
+            "corunning_j": self.corunning_j.copy(),
+            "overhead_j": self.overhead_j.copy(),
+            "per_slot_total": list(self._per_slot_total),
+            "running_total_j": self._running_total_j,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the state captured by :meth:`state_dict`."""
+        self.idle_j = np.asarray(state["idle_j"], dtype=float).copy()
+        self.app_j = np.asarray(state["app_j"], dtype=float).copy()
+        self.training_j = np.asarray(state["training_j"], dtype=float).copy()
+        self.corunning_j = np.asarray(state["corunning_j"], dtype=float).copy()
+        self.overhead_j = np.asarray(state["overhead_j"], dtype=float).copy()
+        self._per_slot_total = list(state["per_slot_total"])
+        self._running_total_j = float(state["running_total_j"])
+        self._slot_energy_j = 0.0
+
     @classmethod
     def merged(cls, accountants: Sequence["FleetEnergyAccountant"]) -> "FleetEnergyAccountant":
         """Merge per-shard accountants into one population-wide accountant.
@@ -689,6 +721,58 @@ class FleetState:
             accountant_state,
         ) = snapshot
         self.accountant.restore_quiet_state(accountant_state)
+
+    # -- checkpointing -----------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Every dynamic (run-mutated) array of the fleet, as plain copies.
+
+        The static calibration arrays (power levels, thermal constants,
+        training durations, the launch schedule) are rebuilt bitwise from
+        the configuration by the shard builders, so only the state a run
+        mutates is captured.  ``base_params`` entries are parameter-server
+        views that the server never mutates in place, so a shallow list
+        copy suffices.
+        """
+        return {
+            "temperature_c": self.temperature_c.copy(),
+            "momentum_norms": self.momentum_norms.copy(),
+            "ready": self.ready.copy(),
+            "waiting_slots": self.waiting_slots.copy(),
+            "base_version": self.base_version.copy(),
+            "base_params": list(self.base_params),
+            "app_active": self.app_active.copy(),
+            "app_end_slot": self.app_end_slot.copy(),
+            "app_power_w": self.app_power_w.copy(),
+            "corun_power_w": self.corun_power_w.copy(),
+            "app_slowdown": self.app_slowdown.copy(),
+            "app_names": self.app_names.copy(),
+            "training_active": self.training_active.copy(),
+            "remaining_slots": self.remaining_slots.copy(),
+            "battery_charge_j": self.battery_charge_j.copy(),
+            "battery_cycle_j": self.battery_cycle_j.copy(),
+            "accountant": self.accountant.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the state captured by :meth:`state_dict`."""
+        self.temperature_c = np.asarray(state["temperature_c"], dtype=float).copy()
+        self.momentum_norms = np.asarray(state["momentum_norms"], dtype=float).copy()
+        self.ready = np.asarray(state["ready"], dtype=bool).copy()
+        self.waiting_slots = np.asarray(state["waiting_slots"], dtype=np.int64).copy()
+        self.base_version = np.asarray(state["base_version"], dtype=np.int64).copy()
+        self.base_params = list(state["base_params"])
+        self.app_active = np.asarray(state["app_active"], dtype=bool).copy()
+        self.app_end_slot = np.asarray(state["app_end_slot"], dtype=np.int64).copy()
+        self.app_power_w = np.asarray(state["app_power_w"], dtype=float).copy()
+        self.corun_power_w = np.asarray(state["corun_power_w"], dtype=float).copy()
+        self.app_slowdown = np.asarray(state["app_slowdown"], dtype=float).copy()
+        self.app_names = np.asarray(state["app_names"], dtype=object).copy()
+        self.training_active = np.asarray(state["training_active"], dtype=bool).copy()
+        self.remaining_slots = np.asarray(state["remaining_slots"], dtype=float).copy()
+        self.battery_charge_j = np.asarray(state["battery_charge_j"], dtype=float).copy()
+        self.battery_cycle_j = np.asarray(state["battery_cycle_j"], dtype=float).copy()
+        self.accountant.load_state_dict(state["accountant"])
 
     def advance_quiet(
         self,

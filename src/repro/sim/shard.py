@@ -430,6 +430,7 @@ class FleetShard:
         want_ticks: bool,
         capture_users: bool,
         two_phase: bool = True,
+        limit: Optional[int] = None,
     ) -> QuietTryReply:
         """Phase 1: advance the quiet region up to this shard's own bound.
 
@@ -441,6 +442,10 @@ class FleetShard:
         changes earlier slots' arithmetic).  A single-shard loop passes
         ``two_phase=False``: its own bound *is* the global minimum, so the
         snapshot copies are skipped on the fast-forward hot path.
+
+        ``limit`` additionally caps the advance (the checkpointer uses it to
+        stop a region at the next checkpoint boundary); quiet regions are
+        split-exact at any slot boundary, so the cap is bitwise-free.
         """
         fleet = self.fleet
         self._quiet_stash = None
@@ -448,6 +453,8 @@ class FleetShard:
         if len(fleet.ready_users()):
             return QuietTryReply(advanced=0, num_training=num_training)
         horizon = fleet.quiet_horizon(slot, self.config.total_slots)
+        if limit is not None:
+            horizon = min(horizon, limit)
         if horizon <= 0:
             return QuietTryReply(advanced=0, num_training=num_training)
         interval = self.config.trace_interval_slots if want_ticks else None
@@ -498,6 +505,69 @@ class FleetShard:
             tick_totals=totals,
             tick_user_totals=user_totals,
             next_ready=len(fleet.ready_users()),
+        )
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict:
+        """The shard's complete mutable state as one plain picklable dict.
+
+        Everything is keyed by *global* user id at this boundary (train-ahead
+        flight state included), so slices from different shard layouts are
+        interchangeable — :func:`repro.service.checkpoint.reslice` can
+        re-partition them for a restore under a different shard count.
+        Client state captures exactly what training mutates: the momentum
+        velocity (copied — the batched trainer updates rows in place), the
+        bit-generator state of the per-client batch-sampling RNG, and the
+        round counter.
+        """
+        lo = self.lo
+        trainer_state = self.trainer.state_dict()
+        clients_state = []
+        for client in self.clients:
+            velocity = client.optimizer.velocity
+            clients_state.append(
+                {
+                    "velocity": None if velocity is None else velocity.copy(),
+                    "rng_state": client._rng.bit_generator.state,
+                    "rounds_completed": client.rounds_completed,
+                }
+            )
+        return {
+            "lo": lo,
+            "hi": self.hi,
+            "fleet": self.fleet.state_dict(),
+            "clients": clients_state,
+            "pending": {
+                local + lo: value for local, value in trainer_state["pending"].items()
+            },
+            "trained": {
+                local + lo: value for local, value in trainer_state["trained"].items()
+            },
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Install a checkpoint slice (global-keyed) into this shard."""
+        lo = self.lo
+        if state["lo"] != lo or state["hi"] != self.hi:
+            raise ValueError(
+                f"checkpoint slice [{state['lo']}, {state['hi']}) does not match "
+                f"shard [{lo}, {self.hi})"
+            )
+        self.fleet.load_state_dict(state["fleet"])
+        for client, client_state in zip(self.clients, state["clients"]):
+            client.optimizer.load_velocity(client_state["velocity"])
+            client._rng.bit_generator.state = client_state["rng_state"]
+            client.rounds_completed = int(client_state["rounds_completed"])
+        self.trainer.load_state_dict(
+            {
+                "pending": {
+                    user - lo: value for user, value in state["pending"].items()
+                },
+                "trained": {
+                    user - lo: value for user, value in state["trained"].items()
+                },
+            }
         )
 
     # -- queries / teardown -------------------------------------------------------
@@ -621,6 +691,12 @@ def drive_fleet_loop(
     timers: EngineTimers,
     trace_level: str,
     has_batteries: bool,
+    start_slot: int = 0,
+    pending_arrivals: Optional[List[int]] = None,
+    global_ready: int = -1,
+    initial_eval: bool = True,
+    checkpointer=None,
+    snapshot_fn=None,
 ) -> None:
     """Run the fleet slot loop over one or many shards.
 
@@ -629,6 +705,15 @@ def drive_fleet_loop(
     executes coordinator-side.  With a single inline shard it *is* the
     single-process fleet backend; with process shards it is the sharded
     engine — same code, same operation order, bitwise-identical results.
+
+    Resume: a restored run passes the checkpointed ``start_slot`` /
+    ``pending_arrivals`` / ``global_ready`` and ``initial_eval=False`` (the
+    slot-0 evaluation already happened in the original run); the loop then
+    continues exactly where the checkpoint was taken.  Checkpointing: when a
+    :class:`~repro.service.checkpoint.Checkpointer` is supplied together
+    with ``snapshot_fn(slot, pending_arrivals, global_ready)``, snapshots
+    are taken at the top of due slots — before any of the slot's work — and
+    fast-forwarded quiet regions are capped at the next due boundary.
     """
     policy = core.policy
     server = core.server
@@ -649,18 +734,26 @@ def drive_fleet_loop(
                 stalled.extend(handle.wait())
             return stalled
 
-    # All users download the initial model and arrive at slot 0.
-    pending_arrivals: List[int] = list(range(config.num_users))
-    core.evaluate(0)
-    global_ready = -1  # unknown until the first slot executes
+    if pending_arrivals is None:
+        # All users download the initial model and arrive at slot 0.
+        pending_arrivals = list(range(config.num_users))
+    else:
+        pending_arrivals = list(pending_arrivals)
+    if initial_eval:
+        core.evaluate(0)
+    if checkpointer is not None:
+        checkpointer.begin(start_slot)
 
-    slot = 0
+    slot = start_slot
     total_slots = config.total_slots
     while slot < total_slots:
+        if checkpointer is not None and checkpointer.due(slot):
+            checkpointer.take(snapshot_fn(slot, list(pending_arrivals), global_ready))
         if fast_forward and not pending_arrivals and global_ready == 0:
+            limit = None if checkpointer is None else checkpointer.limit(slot)
             advanced, global_ready = _fast_forward_epoch(
                 core, handles, config, timers, want_trace, capture_users, slot,
-                num_shards,
+                num_shards, limit,
             )
             if advanced:
                 slot += advanced
@@ -808,6 +901,7 @@ def _fast_forward_epoch(
     capture_users: bool,
     slot: int,
     num_shards: int,
+    limit: Optional[int] = None,
 ) -> Tuple[int, int]:
     """Advance all shards through the quiet slots starting at ``slot``.
 
@@ -827,7 +921,7 @@ def _fast_forward_epoch(
     """
     two_phase = num_shards > 1
     for handle in handles:
-        handle.post("quiet_try", slot, want_trace, capture_users, two_phase)
+        handle.post("quiet_try", slot, want_trace, capture_users, two_phase, limit)
     tries = [handle.wait() for handle in handles]
     advanced = min(reply.advanced for reply in tries)
     num_training = sum(reply.num_training for reply in tries)
@@ -985,6 +1079,10 @@ class ShardedEngine:
             the shard processes already occupy the cores).
         start_method: ``multiprocessing`` start method; defaults to
             ``"fork"`` where available.
+        inline: run the shards in-process through
+            :class:`InlineShardHandle` instead of worker processes.  Same
+            staged protocol, same results; useful for tests that exercise
+            the sharded data path without process startup cost.
     """
 
     def __init__(
@@ -1000,6 +1098,7 @@ class ShardedEngine:
         trace_level: str = "full",
         training_threads: Optional[int] = 1,
         start_method: Optional[str] = None,
+        inline: bool = False,
     ) -> None:
         if trace_level not in TRACE_LEVELS:
             raise ValueError(
@@ -1016,6 +1115,7 @@ class ShardedEngine:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        self.inline = bool(inline)
         self.timers = EngineTimers(enabled=profile)
 
         rngs = build_rngs(config)
@@ -1057,22 +1157,104 @@ class ShardedEngine:
         )
         _apply_queue_telemetry(policy, trace_level)
         self._has_run = False
+        self._resume = None
 
-    def run(self) -> SimulationResult:
+    @classmethod
+    def restore(
+        cls,
+        checkpoint,
+        *,
+        shards: Optional[int] = None,
+        dataset=None,
+        measurement_table: Optional[MeasurementTable] = None,
+        profile: bool = False,
+        training_threads: Optional[int] = 1,
+        start_method: Optional[str] = None,
+        inline: bool = False,
+    ) -> "ShardedEngine":
+        """Rebuild a sharded engine from an
+        :class:`~repro.service.checkpoint.EngineCheckpoint`.
+
+        ``shards`` defaults to the layout that wrote the checkpoint; any
+        other count works too — per-user slice state is re-partitioned
+        contiguously (:func:`repro.service.checkpoint.reslice`), and every
+        headline metric of the resumed run stays bitwise-identical.
+        """
+        if checkpoint.backend != "fleet":
+            raise ValueError(
+                f"cannot restore a {checkpoint.backend!r} checkpoint into the "
+                "sharded engine; use SimulationEngine.restore"
+            )
+        coordinator = checkpoint.coordinator.materialize()
+        engine = cls(
+            config=checkpoint.config,
+            policy=coordinator.policy,
+            dataset=dataset,
+            measurement_table=measurement_table,
+            shards=len(checkpoint.slices) if shards is None else shards,
+            fast_forward=checkpoint.fast_forward,
+            batched_training=checkpoint.batched_training,
+            profile=profile,
+            trace_level=checkpoint.trace_level,
+            training_threads=training_threads,
+            start_method=start_method,
+            inline=inline,
+        )
+        coordinator.install(engine.core, engine.timers)
+        engine.server = engine.core.server
+        engine.transport = engine.core.transport
+        engine.trace = engine.core.trace
+        engine.accuracy = engine.core.accuracy
+        engine._resume = checkpoint
+        return engine
+
+    def _snapshot_builder(self, handles: Sequence):
+        """Closure assembling a full checkpoint from live shard handles."""
+        from repro.service.checkpoint import (
+            CHECKPOINT_FORMAT_VERSION,
+            CoordinatorState,
+            EngineCheckpoint,
+        )
+
+        def snapshot_fn(
+            slot: int, pending_arrivals: List[int], global_ready: int
+        ) -> EngineCheckpoint:
+            for handle in handles:
+                handle.post("checkpoint_state")
+            slices = [handle.wait() for handle in handles]
+            return EngineCheckpoint(
+                format_version=CHECKPOINT_FORMAT_VERSION,
+                backend="fleet",
+                slot=slot,
+                pending_arrivals=pending_arrivals,
+                global_ready=global_ready,
+                config=self.config,
+                fast_forward=self.fast_forward,
+                batched_training=self.batched_training,
+                trace_level=self.trace_level,
+                coordinator=CoordinatorState.capture(self.core, self.timers),
+                slices=slices,
+            )
+
+        return snapshot_fn
+
+    def run(self, checkpointer=None) -> SimulationResult:
         """Run the sharded simulation and return its (merged) result."""
         if self._has_run:
             raise RuntimeError("this engine has already run; create a new one")
         self._has_run = True
-        self.policy.reset()
-        if isinstance(self.policy, OfflinePolicy):
-            self.policy.attach_oracle(self.arrivals)
+        resume = self._resume
+        if resume is None:
+            self.policy.reset()
+            if isinstance(self.policy, OfflinePolicy):
+                self.policy.attach_oracle(self.arrivals)
         total_tick = self.timers.start()
         context = multiprocessing.get_context(self.start_method)
         # Inside an ExperimentSuite pool worker (daemonic), children are
         # forbidden — run the shards inline instead.  Results are identical
         # either way (the handles drive the same FleetShard methods); only
         # the process isolation is lost, which a pool worker already lacks.
-        nested = multiprocessing.current_process().daemon
+        nested = self.inline or multiprocessing.current_process().daemon
         handles: List = []
         try:
             for lo, hi in self.bounds:
@@ -1089,6 +1271,19 @@ class ShardedEngine:
                     handles.append(InlineShardHandle(FleetShard.build(**init_kwargs)))
                 else:
                     handles.append(ProcessShardHandle(context, init_kwargs))
+            start_slot = 0
+            pending_arrivals: Optional[List[int]] = None
+            global_ready = -1
+            if resume is not None:
+                from repro.service.checkpoint import reslice
+
+                for handle, piece in zip(handles, reslice(resume.slices, self.bounds)):
+                    handle.post("restore_state", piece)
+                for handle in handles:
+                    handle.wait()
+                start_slot = resume.slot
+                pending_arrivals = list(resume.pending_arrivals)
+                global_ready = resume.global_ready
             drive_fleet_loop(
                 core=self.core,
                 handles=handles,
@@ -1098,6 +1293,14 @@ class ShardedEngine:
                 timers=self.timers,
                 trace_level=self.trace_level,
                 has_batteries=self._has_batteries,
+                start_slot=start_slot,
+                pending_arrivals=pending_arrivals,
+                global_ready=global_ready,
+                initial_eval=resume is None,
+                checkpointer=checkpointer,
+                snapshot_fn=(
+                    None if checkpointer is None else self._snapshot_builder(handles)
+                ),
             )
             for handle in handles:
                 handle.post("finalize")

@@ -1,0 +1,250 @@
+"""Checkpoint/resume round-trips: every backend, bitwise, at awkward moments.
+
+The contract under test (see ``src/repro/service/checkpoint.py``): a run
+interrupted at any slot boundary and restored from its checkpoint finishes
+with results bitwise-identical to the uninterrupted run — same energy
+folds, same accuracy samples, same queue histories, same trace — for the
+loop backend, the fleet backend with and without event-horizon
+fast-forward, batched training with train-ahead flights, and the sharded
+engine (including restoring under a different shard count).
+"""
+
+import tempfile
+
+import pytest
+
+from repro.core.online import OnlinePolicy
+from repro.core.policies import SyncPolicy
+from repro.service.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointStore,
+    Checkpointer,
+    RunInterrupted,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.shard import ShardedEngine
+
+
+def make_config(**overrides) -> SimulationConfig:
+    base = dict(
+        num_users=5,
+        total_slots=300,
+        app_arrival_prob=0.01,
+        seed=7,
+        num_train_samples=400,
+        num_test_samples=200,
+        hidden_dims=(8,),
+        eval_interval_slots=100,
+        trace_interval_slots=10,
+        class_separation=2.5,
+        clusters_per_class=1,
+        label_noise=0.0,
+        learning_rate=0.05,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def make_policy(name: str):
+    if name == "sync":
+        return SyncPolicy()
+    return OnlinePolicy(v=4000.0, staleness_bound=500.0, epsilon=0.01, distributed=True)
+
+
+def digest(result) -> dict:
+    """Every observable output that must survive a resume bitwise."""
+    return dict(
+        energy=result.total_energy_j(),
+        updates=result.num_updates,
+        accuracy=[(s.time_s, s.accuracy, s.loss) for s in result.accuracy.samples],
+        queue=list(result.queue_history),
+        virtual_queue=list(result.virtual_queue_history),
+        slots=[
+            (s.slot, s.cumulative_energy_j, s.queue_length,
+             s.virtual_queue_length, s.gap_sum)
+            for s in result.trace.slot_samples
+        ],
+        comm=(result.comm_bytes_mb, result.comm_failures),
+        soc=list(result.final_battery_soc),
+    )
+
+
+def interrupt_at(engine, at_slot: int):
+    """Run until the checkpoint at ``at_slot`` lands, return that checkpoint."""
+    taken = []
+    checkpointer = Checkpointer(
+        lambda cp: (taken.append(cp), checkpointer.request_stop()),
+        at_slots=[at_slot],
+    )
+    with pytest.raises(RunInterrupted):
+        engine.run(checkpointer)
+    assert len(taken) == 1
+    assert taken[0].slot == at_slot
+    return taken[0]
+
+
+def assert_same(reference: dict, resumed: dict, label: str) -> None:
+    for key in reference:
+        assert reference[key] == resumed[key], f"{label}: diverged on {key}"
+
+
+# The interrupt points are chosen to land in qualitatively different run
+# states: slot 37 interrupts the opening training flight (under batched
+# training the train-ahead scheduler has work in flight), slot 137 falls
+# inside a long quiet region (the fast-forward kernel must split it
+# exactly at the boundary), and under the sync policy a mid-run slot sits
+# inside an open synchronous round with partial uploads buffered.
+CASES = [
+    pytest.param("loop", False, False, "online", 137, id="loop-mid-quiet"),
+    pytest.param("loop", False, False, "online", 37, id="loop-mid-flight"),
+    pytest.param("fleet", False, False, "online", 137, id="fleet-mid-quiet"),
+    pytest.param("fleet", True, False, "online", 137, id="fleet-ff-mid-quiet"),
+    pytest.param("fleet", True, False, "online", 37, id="fleet-ff-mid-flight"),
+    pytest.param("fleet", True, False, "sync", 151, id="fleet-ff-mid-sync-round"),
+    pytest.param("loop", False, False, "sync", 151, id="loop-mid-sync-round"),
+    pytest.param(
+        "fleet", True, True, "online", 37, id="fleet-ff-batched-mid-flight"
+    ),
+]
+
+
+class TestSingleEngineRoundTrip:
+    @pytest.mark.parametrize("backend,ff,batched,policy,at_slot", CASES)
+    def test_resume_is_bitwise_identical(self, backend, ff, batched, policy, at_slot):
+        config = make_config()
+        reference = digest(
+            SimulationEngine(
+                config, make_policy(policy), backend=backend,
+                fast_forward=ff, batched_training=batched,
+            ).run()
+        )
+        checkpoint = interrupt_at(
+            SimulationEngine(
+                config, make_policy(policy), backend=backend,
+                fast_forward=ff, batched_training=batched,
+            ),
+            at_slot,
+        )
+        resumed = digest(SimulationEngine.restore(checkpoint).run())
+        assert_same(reference, resumed, f"{backend}/ff={ff}/batched={batched}")
+
+    def test_checkpoint_is_restorable_twice(self):
+        """One in-memory checkpoint feeds two restores without aliasing."""
+        config = make_config()
+        reference = digest(
+            SimulationEngine(config, make_policy("online"), backend="fleet").run()
+        )
+        checkpoint = interrupt_at(
+            SimulationEngine(config, make_policy("online"), backend="fleet"), 137
+        )
+        first = digest(SimulationEngine.restore(checkpoint).run())
+        second = digest(SimulationEngine.restore(checkpoint).run())
+        assert_same(reference, first, "first restore")
+        assert_same(reference, second, "second restore")
+
+    def test_periodic_checkpoints_do_not_perturb_the_run(self):
+        """A run that checkpoints every N slots (no interrupt) is unchanged."""
+        config = make_config()
+        reference = digest(
+            SimulationEngine(config, make_policy("online"), backend="fleet").run()
+        )
+        taken = []
+        checkpointer = Checkpointer(taken.append, every_slots=50)
+        observed = digest(
+            SimulationEngine(config, make_policy("online"), backend="fleet").run(
+                checkpointer
+            )
+        )
+        assert_same(reference, observed, "checkpointing run")
+        assert [cp.slot for cp in taken] == list(range(50, config.total_slots, 50))
+
+    def test_loop_snapshot_after_interrupt_matches_the_checkpoint(self):
+        """`snapshot()` on an interrupted engine re-captures the same state."""
+        config = make_config()
+        reference = digest(
+            SimulationEngine(config, make_policy("online"), backend="loop").run()
+        )
+        engine = SimulationEngine(config, make_policy("online"), backend="loop")
+        taken = interrupt_at(engine, 137)
+        snapshot = engine.snapshot()
+        assert snapshot.slot == taken.slot == 137
+        assert snapshot.pending_arrivals == taken.pending_arrivals
+        resumed = digest(SimulationEngine.restore(snapshot).run())
+        assert_same(reference, resumed, "post-interrupt snapshot")
+
+    def test_fleet_snapshot_directs_to_checkpointer(self):
+        engine = SimulationEngine(
+            make_config(), make_policy("online"), backend="fleet"
+        )
+        with pytest.raises(RuntimeError, match="Checkpointer"):
+            engine.snapshot()
+
+
+class TestShardedRoundTrip:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        config = make_config()
+        return digest(
+            SimulationEngine(
+                config, make_policy("online"), backend="fleet", fast_forward=True
+            ).run()
+        )
+
+    @pytest.fixture(scope="class")
+    def checkpoint(self):
+        return interrupt_at(
+            ShardedEngine(make_config(), make_policy("online"), shards=2, inline=True),
+            137,
+        )
+
+    @pytest.mark.parametrize("shards", [2, 3, 1])
+    def test_restore_under_any_shard_count(self, reference, checkpoint, shards):
+        resumed = digest(
+            ShardedEngine.restore(checkpoint, shards=shards, inline=True).run()
+        )
+        assert_same(reference, resumed, f"2-shard checkpoint -> {shards} shards")
+
+    def test_real_process_shards_roundtrip(self, reference):
+        """The same contract with actual worker processes, not inline handles."""
+        checkpoint = interrupt_at(
+            ShardedEngine(make_config(), make_policy("online"), shards=2), 137
+        )
+        resumed = digest(ShardedEngine.restore(checkpoint, shards=2).run())
+        assert_same(reference, resumed, "process shards")
+
+
+class TestCheckpointStore:
+    def test_disk_round_trip_preserves_the_contract(self):
+        config = make_config()
+        reference = digest(
+            SimulationEngine(config, make_policy("online"), backend="fleet").run()
+        )
+        checkpoint = interrupt_at(
+            ShardedEngine(config, make_policy("online"), shards=2, inline=True), 137
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CheckpointStore(tmp)
+            assert not store.exists()
+            store.save(checkpoint)
+            assert store.exists()
+            loaded = store.load()
+            assert loaded.slot == checkpoint.slot
+            assert loaded.backend == "fleet"
+            assert [s["lo"] for s in loaded.slices] == [0, 3]  # 5 users, 2 shards
+            resumed = digest(
+                ShardedEngine.restore(loaded, shards=3, inline=True).run()
+            )
+        assert_same(reference, resumed, "disk round trip")
+
+    def test_unknown_format_version_is_rejected(self):
+        config = make_config()
+        checkpoint = interrupt_at(
+            SimulationEngine(config, make_policy("online"), backend="loop"), 37
+        )
+        checkpoint.format_version = CHECKPOINT_FORMAT_VERSION + 1
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CheckpointStore(tmp)
+            store.save(checkpoint)
+            with pytest.raises(ValueError, match="unsupported"):
+                store.load()

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.offline import KnapsackItem, KnapsackSolver, lag_upper_bound
 from repro.core.online import OnlineController
@@ -179,6 +179,113 @@ class TestEnergyProperties:
         """If co-running costs no more than the app alone, saving is positive."""
         saving = energy_saving_fraction(p_train, t_train, p_app, p_app, t_app)
         assert saving > 0.0
+
+
+class TestBackendDifferentialFuzz:
+    """Differential fuzzing of the execution-mode equivalence contract.
+
+    Hypothesis draws small random fleets and the same simulation runs on
+    every execution mode — the per-user reference loop, the vectorized
+    fleet backend with and without event-horizon fast-forward, and the
+    sharded engine at two and three shards (inline handles: same protocol
+    and arithmetic as worker processes, without fork overhead).  Every
+    observable output must be bitwise identical across all five.
+
+    Runs are seconds-scale, so examples are few; ``derandomize`` keeps CI
+    stable while local runs can widen the net with
+    ``--hypothesis-seed=random``.
+    """
+
+    FUZZ_SETTINGS = settings(
+        max_examples=8,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+
+    @staticmethod
+    def _digest(result) -> dict:
+        return dict(
+            energy=result.total_energy_j(),
+            updates=result.num_updates,
+            accuracy=[
+                (s.time_s, s.accuracy, s.loss) for s in result.accuracy.samples
+            ],
+            queue=list(result.queue_history),
+            virtual_queue=list(result.virtual_queue_history),
+            slots=[
+                (s.slot, s.cumulative_energy_j, s.queue_length,
+                 s.virtual_queue_length, s.gap_sum)
+                for s in result.trace.slot_samples
+            ],
+            comm=(result.comm_bytes_mb, result.comm_failures),
+            soc=list(result.final_battery_soc),
+        )
+
+    @FUZZ_SETTINGS
+    @given(
+        num_users=st.integers(2, 5),
+        total_slots=st.integers(60, 160),
+        arrival_prob=st.sampled_from([0.0, 0.005, 0.02, 0.05]),
+        seed=st.integers(0, 2**16),
+        train_samples=st.integers(120, 240),
+        policy_name=st.sampled_from(["online", "sync", "immediate"]),
+    )
+    def test_all_execution_modes_agree_bitwise(
+        self, num_users, total_slots, arrival_prob, seed, train_samples, policy_name
+    ):
+        from repro.core.online import OnlinePolicy
+        from repro.core.policies import ImmediatePolicy, SyncPolicy
+        from repro.sim.config import SimulationConfig
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.shard import ShardedEngine
+
+        config = SimulationConfig(
+            num_users=num_users,
+            total_slots=total_slots,
+            app_arrival_prob=arrival_prob,
+            seed=seed,
+            num_train_samples=train_samples,
+            num_test_samples=80,
+            hidden_dims=(8,),
+            eval_interval_slots=50,
+            trace_interval_slots=20,
+            class_separation=2.5,
+            clusters_per_class=1,
+            label_noise=0.0,
+            learning_rate=0.05,
+        )
+
+        def policy():
+            if policy_name == "sync":
+                return SyncPolicy()
+            if policy_name == "immediate":
+                return ImmediatePolicy()
+            return OnlinePolicy(
+                v=4000.0, staleness_bound=500.0, epsilon=0.01, distributed=True
+            )
+
+        reference = self._digest(
+            SimulationEngine(config, policy(), backend="loop").run()
+        )
+        others = {
+            "fleet": SimulationEngine(
+                config, policy(), backend="fleet", fast_forward=False
+            ),
+            "fleet+ff": SimulationEngine(
+                config, policy(), backend="fleet", fast_forward=True
+            ),
+            "2-shard": ShardedEngine(config, policy(), shards=2, inline=True),
+            "3-shard": ShardedEngine(config, policy(), shards=3, inline=True),
+        }
+        for name, engine in others.items():
+            observed = self._digest(engine.run())
+            for key, want in reference.items():
+                assert observed[key] == want, (
+                    f"{name} diverged from the loop reference on {key} "
+                    f"(users={num_users} slots={total_slots} "
+                    f"arrivals={arrival_prob} seed={seed} policy={policy_name})"
+                )
 
 
 class TestOptimizerProperties:
