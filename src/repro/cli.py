@@ -631,8 +631,7 @@ def _cmd_jobs_submit(args: argparse.Namespace) -> int:
     else:
         # Register without starting a worker: the serving process (or a
         # later `jobs resume`) picks it up.
-        record = service.submit(spec)
-        service.shutdown(wait=False)
+        record = service.submit(spec, enqueue=False)
     print(format_table(_JOB_HEADERS, _job_rows([record]), float_format=".3f"))
     if record.state == "failed" and record.error:
         print(f"\nerror:\n{record.error}")

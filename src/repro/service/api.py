@@ -30,7 +30,9 @@ Scenario submissions pass the remaining keys straight to
 from __future__ import annotations
 
 import json
+import sys
 import threading
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -118,6 +120,12 @@ class ServiceAPI:
             return 404, {"error": str(exc)}
         except (ValueError, TypeError) as exc:
             return 400, {"error": str(exc)}
+        except Exception as exc:
+            # Anything else (scenario construction, config building, the
+            # job store) still owes the client a JSON error instead of a
+            # dropped connection; the traceback goes to the server log.
+            traceback.print_exc(file=sys.stderr)
+            return 500, {"error": f"internal error: {exc}"}
 
     # -- server lifecycle ---------------------------------------------------------
 

@@ -30,6 +30,7 @@ import copy
 import json
 import os
 import pickle
+import shutil
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,7 +49,7 @@ __all__ = [
 ]
 
 #: Bumped whenever the on-disk layout or the state dicts change shape.
-CHECKPOINT_FORMAT_VERSION = 1
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 class RunInterrupted(Exception):
@@ -348,15 +349,20 @@ def reslice(slices: Sequence[dict], bounds: Sequence[Tuple[int, int]]) -> List[d
 class CheckpointStore:
     """On-disk layout of one run's checkpoint: a manifest plus pickles.
 
-    Shards checkpoint locally — each contiguous user slice lands in its own
+    Every snapshot lands in its own fresh ``snapshot-<seq>/`` directory:
+    shards checkpoint locally — each contiguous user slice gets its own
     ``users_<lo>_<hi>.pkl`` — and the coordinator writes ``coordinator.pkl``
-    (config + coupling state, or the loop-backend state) and finally
-    ``manifest.json``.  The manifest is written last via an atomic rename,
-    so its presence marks a complete, loadable checkpoint; a crash mid-save
-    leaves the previous complete checkpoint intact.
+    (config + coupling state, or the loop-backend state).  Only once the
+    directory is complete is ``manifest.json`` flipped to point at it via
+    an atomic rename; pickles of earlier snapshots are never reopened or
+    truncated, so a crash or SIGKILL at *any* point mid-save leaves the
+    manifest referencing the previous complete, loadable snapshot.
+    Superseded and partially-written snapshot directories are pruned after
+    each successful flip.
     """
 
     MANIFEST = "manifest.json"
+    SNAPSHOT_PREFIX = "snapshot-"
 
     def __init__(self, root) -> None:
         self.root = Path(root)
@@ -364,8 +370,32 @@ class CheckpointStore:
     def exists(self) -> bool:
         return (self.root / self.MANIFEST).is_file()
 
+    def _snapshot_dirs(self) -> List[Path]:
+        return [
+            path
+            for path in self.root.glob(self.SNAPSHOT_PREFIX + "*")
+            if path.is_dir()
+        ]
+
+    def _next_snapshot_dir(self) -> Path:
+        """A fresh directory name, strictly after every existing one.
+
+        Sequence numbers derive from the directories on disk — not the
+        manifest — so a partial directory left by a crashed save is never
+        reused for new writes.
+        """
+        seqs = []
+        for path in self._snapshot_dirs():
+            suffix = path.name[len(self.SNAPSHOT_PREFIX):]
+            if suffix.isdigit():
+                seqs.append(int(suffix))
+        seq = max(seqs, default=-1) + 1
+        return self.root / f"{self.SNAPSHOT_PREFIX}{seq:08d}"
+
     def save(self, checkpoint: EngineCheckpoint) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
+        snapshot = self._next_snapshot_dir()
+        snapshot.mkdir()
         manifest = {
             "format_version": checkpoint.format_version,
             "backend": checkpoint.backend,
@@ -375,14 +405,15 @@ class CheckpointStore:
             "fast_forward": checkpoint.fast_forward,
             "batched_training": checkpoint.batched_training,
             "trace_level": checkpoint.trace_level,
+            "dir": snapshot.name,
             "slices": [],
         }
         for piece in checkpoint.slices or []:
             name = f"users_{piece['lo']}_{piece['hi']}.pkl"
-            with open(self.root / name, "wb") as handle:
+            with open(snapshot / name, "wb") as handle:
                 pickle.dump(piece, handle, protocol=pickle.HIGHEST_PROTOCOL)
             manifest["slices"].append({"lo": piece["lo"], "hi": piece["hi"], "file": name})
-        with open(self.root / "coordinator.pkl", "wb") as handle:
+        with open(snapshot / "coordinator.pkl", "wb") as handle:
             pickle.dump(
                 {
                     "config": checkpoint.config,
@@ -395,6 +426,9 @@ class CheckpointStore:
         tmp = self.root / (self.MANIFEST + ".tmp")
         tmp.write_text(json.dumps(manifest, indent=2))
         os.replace(tmp, self.root / self.MANIFEST)
+        for stale in self._snapshot_dirs():
+            if stale.name != snapshot.name:
+                shutil.rmtree(stale, ignore_errors=True)
 
     def load(self) -> EngineCheckpoint:
         manifest = json.loads((self.root / self.MANIFEST).read_text())
@@ -403,13 +437,14 @@ class CheckpointStore:
                 f"checkpoint format {manifest['format_version']} unsupported "
                 f"(expected {CHECKPOINT_FORMAT_VERSION})"
             )
-        with open(self.root / "coordinator.pkl", "rb") as handle:
+        snapshot = self.root / manifest["dir"]
+        with open(snapshot / "coordinator.pkl", "rb") as handle:
             head = pickle.load(handle)
         slices: Optional[List[dict]] = None
         if manifest["slices"]:
             slices = []
             for entry in manifest["slices"]:
-                with open(self.root / entry["file"], "rb") as handle:
+                with open(snapshot / entry["file"], "rb") as handle:
                     slices.append(pickle.load(handle))
         return EngineCheckpoint(
             format_version=manifest["format_version"],

@@ -93,6 +93,7 @@ class ExperimentService:
         self._lock = threading.RLock()
         self._checkpointers: Dict[str, Checkpointer] = {}
         self._cancel_requested: set = set()
+        self._running: set = set()
         self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- job store ---------------------------------------------------------------
@@ -138,8 +139,14 @@ class ExperimentService:
 
     # -- lifecycle -----------------------------------------------------------------
 
-    def submit(self, spec: RunSpec) -> JobRecord:
-        """Register a job for the spec (idempotent by content hash) and queue it."""
+    def submit(self, spec: RunSpec, enqueue: bool = True) -> JobRecord:
+        """Register a job for the spec (idempotent by content hash) and queue it.
+
+        ``enqueue=False`` only writes the ``queued`` record, without waking a
+        worker — the register-only path (``repro-sim jobs submit`` without
+        ``--run``), where a serving process or a later ``jobs resume`` picks
+        the job up instead of this process.
+        """
         job_id = spec.config_hash()
         try:
             existing = self.get(job_id)
@@ -160,7 +167,8 @@ class ExperimentService:
             total_slots=spec.build_config().total_slots,
         )
         self._save(record)
-        self._enqueue(job_id)
+        if enqueue:
+            self._enqueue(job_id)
         return record
 
     def resume(self, job_id: str, sync: bool = False) -> JobRecord:
@@ -236,35 +244,41 @@ class ExperimentService:
         ``repro-sim jobs resume`` crash-recovery path) may invoke it
         directly.
         """
-        try:
-            record = self.get(job_id)
-        except KeyError:
-            raise
-        if record.state in ("done", "running"):
-            return record
-        spec = record.spec
         store = CheckpointStore(self.job_dir(job_id) / "checkpoint")
-        resume_from = store.load() if store.exists() else None
-
-        def sink(checkpoint) -> None:
-            store.save(checkpoint)
-            record.slot = checkpoint.slot
-            record.telemetry = _checkpoint_telemetry(checkpoint)
-            self._save(record)
-
-        checkpointer = Checkpointer(sink, every_slots=self.checkpoint_every)
+        # Claim the job atomically: the state check, the in-process running
+        # guard, and the queued->running transition all happen under one
+        # lock hold, so two enqueues of the same id (double resume, recover
+        # racing a resume) can never both execute it.
         with self._lock:
+            record = self.get(job_id)
+            if record.state in ("done", "running") or job_id in self._running:
+                return record
+
+            def sink(checkpoint) -> None:
+                store.save(checkpoint)
+                record.slot = checkpoint.slot
+                record.telemetry = _checkpoint_telemetry(checkpoint)
+                self._save(record)
+
+            checkpointer = Checkpointer(sink, every_slots=self.checkpoint_every)
+            self._running.add(job_id)
             self._checkpointers[job_id] = checkpointer
             if job_id in self._cancel_requested:
                 checkpointer.request_stop()
+            record.state = "running"
+            record.error = None
+            self._save(record)
 
-        record.state = "running"
-        record.error = None
-        if resume_from is not None:
-            record.slot = resume_from.slot
-        self._save(record)
+        spec = record.spec
         start = time.perf_counter()
         try:
+            # Inside the try: a corrupt or format-incompatible checkpoint
+            # marks the job failed (with the traceback) instead of raising
+            # into a pool future nobody inspects.
+            resume_from = store.load() if store.exists() else None
+            if resume_from is not None:
+                record.slot = resume_from.slot
+                self._save(record)
             result = execute_spec(
                 spec, checkpointer=checkpointer, resume_from=resume_from
             )
@@ -290,6 +304,7 @@ class ExperimentService:
             self._save(record)
         finally:
             with self._lock:
+                self._running.discard(job_id)
                 self._checkpointers.pop(job_id, None)
                 self._cancel_requested.discard(job_id)
         return record

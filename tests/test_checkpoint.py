@@ -237,6 +237,65 @@ class TestCheckpointStore:
             )
         assert_same(reference, resumed, "disk round trip")
 
+    def test_crash_mid_save_keeps_previous_snapshot(self, monkeypatch):
+        """A save that dies partway never corrupts the last complete one."""
+        import pickle as _pickle
+
+        config = make_config()
+        first = interrupt_at(
+            SimulationEngine(config, make_policy("online"), backend="loop"), 37
+        )
+        second = interrupt_at(
+            SimulationEngine(config, make_policy("online"), backend="loop"), 137
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CheckpointStore(tmp)
+            store.save(first)
+
+            real_dump = _pickle.dump
+
+            def dying_dump(obj, handle, **kwargs):
+                handle.write(b"partial")  # truncated garbage, then the "kill"
+                raise OSError("simulated crash mid-save")
+
+            monkeypatch.setattr(_pickle, "dump", dying_dump)
+            with pytest.raises(OSError):
+                store.save(second)
+            monkeypatch.setattr(_pickle, "dump", real_dump)
+
+            # The manifest still points at the first, fully-written snapshot.
+            assert store.exists()
+            loaded = store.load()
+            assert loaded.slot == 37
+
+            # The next save succeeds and prunes the partial leftovers.
+            store.save(second)
+            assert store.load().slot == 137
+            snapshots = [
+                p for p in store.root.iterdir()
+                if p.is_dir() and p.name.startswith(store.SNAPSHOT_PREFIX)
+            ]
+            assert len(snapshots) == 1
+
+    def test_resave_prunes_superseded_snapshots(self):
+        config = make_config()
+        first = interrupt_at(
+            SimulationEngine(config, make_policy("online"), backend="loop"), 37
+        )
+        second = interrupt_at(
+            SimulationEngine(config, make_policy("online"), backend="loop"), 137
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CheckpointStore(tmp)
+            store.save(first)
+            store.save(second)
+            assert store.load().slot == 137
+            snapshots = [
+                p for p in store.root.iterdir()
+                if p.is_dir() and p.name.startswith(store.SNAPSHOT_PREFIX)
+            ]
+            assert len(snapshots) == 1
+
     def test_unknown_format_version_is_rejected(self):
         config = make_config()
         checkpoint = interrupt_at(
