@@ -1,23 +1,11 @@
-"""Setuptools entry point.
+"""Setuptools shim.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works with the
-legacy (non-PEP 517) editable-install path on environments without the
-``wheel`` package — such as fully offline machines.
+All project metadata lives in ``pyproject.toml`` (PEP 621); this file
+exists only so the legacy (non-PEP 517) ``pip install -e .`` path keeps
+working on environments without the ``wheel`` package — such as fully
+offline machines.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Energy minimization for federated asynchronous learning via "
-        "application co-running (ICDCS 2022 reproduction)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.9",
-    install_requires=["numpy>=1.21"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
-    entry_points={"console_scripts": ["repro-sim = repro.cli:main"]},
-)
+setup()

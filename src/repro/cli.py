@@ -10,6 +10,7 @@ Installed as the ``repro-sim`` console script::
     repro-sim compare --slots 3600        # all four schemes on one workload
     repro-sim sweep --v-values 0 10000 40000 100000
     repro-sim sweep --jobs 4 --cache-dir .repro-cache   # parallel + cached
+    repro-sim lint src                    # determinism/concurrency lint pass
 
 Every subcommand prints plain-text tables (and optional ASCII charts) so the
 tool works in the offline environments the library targets.  Simulation
@@ -668,6 +669,31 @@ def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint (the determinism/concurrency lint pass) over ``paths``.
+
+    Delegates to :mod:`repro.tools.reprolint.cli` so ``repro-sim lint`` and
+    ``python -m repro.tools.reprolint`` share one implementation, one exit
+    convention (0 clean, 1 findings, 2 usage error) and one config loader.
+    """
+    from repro.tools.reprolint.cli import run as reprolint_run
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    for rule in args.rule or []:
+        argv += ["--rule", rule]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.no_config:
+        argv.append("--no-config")
+    return reprolint_run(argv)
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -904,6 +930,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_root(j_cancel)
     j_cancel.add_argument("job_id")
     j_cancel.set_defaults(func=_cmd_jobs_cancel)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the determinism/concurrency static-analysis "
+             "pass (see docs/determinism.md)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="finding output format")
+    lint.add_argument("--rule", action="append", default=None,
+                      help="run only this rule id (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--no-config", action="store_true",
+                      help="ignore [tool.reprolint] in pyproject.toml")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -45,7 +45,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
@@ -455,9 +455,12 @@ class BatchTrainer:
         # offset) in Sequential.parameter_items order.
         self._param_layout: List[Tuple[int, str, Tuple[int, ...], int]] = []
         offset = 0
-        positions = {id(layer): i for i, layer in enumerate(template.layers)}
+        # id() keys are safe here: the map lives only for this loop, and
+        # template.layers holds every keyed layer alive throughout, so no
+        # id can be recycled while the map is in use.
+        positions = {id(layer): i for i, layer in enumerate(template.layers)}  # reprolint: allow(id-key): layers held alive by template for the map's lifetime
         for layer, name, value in template.parameter_items():
-            self._param_layout.append((positions[id(layer)], name, value.shape, offset))
+            self._param_layout.append((positions[id(layer)], name, value.shape, offset))  # reprolint: allow(id-key): same transient map as above
             offset += value.size
         self._num_params = offset
         #: geometry key -> (user_id -> row, padded xs, padded ys).
@@ -725,10 +728,10 @@ class TrainAheadScheduler:
         threads: Optional[int] = None,
         include_params: bool = True,
     ) -> None:
-        self.clients = clients
-        self.batched = bool(batched)
-        self.threads = threads
-        self.include_params = include_params
+        self.clients = clients  # reprolint: static
+        self.batched = bool(batched)  # reprolint: static
+        self.threads = threads  # reprolint: static
+        self.include_params = include_params  # reprolint: static
         self._trainer: Optional[BatchTrainer] = None
         self._pending: Dict[int, TrainRequest] = {}
         self._trained: Dict[int, LocalUpdate] = {}
@@ -764,7 +767,7 @@ class TrainAheadScheduler:
 
     # -- checkpointing ---------------------------------------------------------
 
-    def state_dict(self) -> Dict[str, object]:
+    def state_dict(self) -> Dict[str, Any]:
         """The in-flight train-ahead state, as plain picklable values.
 
         Pending requests that have not been materialized keep their exact
@@ -782,7 +785,7 @@ class TrainAheadScheduler:
             "trained": dict(self._trained),
         }
 
-    def load_state_dict(self, state: Dict[str, object]) -> None:
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Restore the state captured by :meth:`state_dict`."""
         self._pending = {
             int(index): TrainRequest(

@@ -34,7 +34,8 @@ import sys
 import threading
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Type, Union
 
 from repro.analysis.runner import RunSpec
 from repro.service.jobs import ExperimentService, JobRecord
@@ -45,13 +46,17 @@ __all__ = ["ServiceAPI", "build_run_spec", "serve"]
 def build_run_spec(payload: Dict[str, object]) -> RunSpec:
     """Turn a submit payload (raw spec or scenario reference) into a RunSpec."""
     if "spec" in payload:
-        spec_payload = dict(payload["spec"])
+        spec_payload = payload["spec"]
+        if not isinstance(spec_payload, dict):
+            raise ValueError("'spec' must be a JSON object")
         return RunSpec(**spec_payload)
     if "scenario" in payload:
         from repro.scenarios.runner import scenario_run_spec
 
-        kwargs = {k: v for k, v in payload.items() if k != "scenario"}
-        return scenario_run_spec(payload["scenario"], **kwargs)
+        kwargs: Dict[str, Any] = {
+            k: v for k, v in payload.items() if k != "scenario"
+        }
+        return scenario_run_spec(str(payload["scenario"]), **kwargs)
     raise ValueError("payload must contain either 'spec' or 'scenario'")
 
 
@@ -129,7 +134,7 @@ class ServiceAPI:
 
     # -- server lifecycle ---------------------------------------------------------
 
-    def _make_handler(self):
+    def _make_handler(self) -> Type[BaseHTTPRequestHandler]:
         api = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -170,23 +175,21 @@ class ServiceAPI:
         """Start serving on a daemon thread (returns immediately)."""
         if self._httpd is not None:
             return
-        self._httpd = ThreadingHTTPServer(
-            (self.host, self.port), self._make_handler()
-        )
-        self.port = self._httpd.server_address[1]
+        httpd = ThreadingHTTPServer((self.host, self.port), self._make_handler())
+        self._httpd = httpd
+        self.port = int(httpd.server_address[1])
         self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="repro-api", daemon=True
+            target=httpd.serve_forever, name="repro-api", daemon=True
         )
         self._thread.start()
 
     def serve_forever(self) -> None:
         """Start serving on the calling thread (blocks until shutdown)."""
-        self._httpd = ThreadingHTTPServer(
-            (self.host, self.port), self._make_handler()
-        )
-        self.port = self._httpd.server_address[1]
+        httpd = ThreadingHTTPServer((self.host, self.port), self._make_handler())
+        self._httpd = httpd
+        self.port = int(httpd.server_address[1])
         try:
-            self._httpd.serve_forever()
+            httpd.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
@@ -204,7 +207,7 @@ class ServiceAPI:
 
 
 def serve(
-    root,
+    root: Union[str, Path],
     host: str = "127.0.0.1",
     port: int = 8765,
     workers: int = 2,

@@ -34,9 +34,23 @@ import shutil
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.sim.config import SimulationConfig
+
+if TYPE_CHECKING:
+    from repro.sim.coupling import CouplingCore
+    from repro.sim.timers import EngineTimers
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
@@ -93,7 +107,7 @@ class CoordinatorState:
     )
 
     @classmethod
-    def capture(cls, core, timers) -> "CoordinatorState":
+    def capture(cls, core: "CouplingCore", timers: "EngineTimers") -> "CoordinatorState":
         """Snapshot a :class:`~repro.sim.coupling.CouplingCore` (+ timers)."""
         unit = (
             core.policy,
@@ -120,18 +134,18 @@ class CoordinatorState:
 class MaterializedCoordinator:
     """One restore's worth of coupling state (see :class:`CoordinatorState`)."""
 
-    policy: object
-    server: object
-    transport: object
-    trace: object
-    accuracy: object
-    gaps: object
-    sync_buffer: dict
-    eval_cache: Optional[tuple]
-    pinned_base: dict
+    policy: Any
+    server: Any
+    transport: Any
+    trace: Any
+    accuracy: Any
+    gaps: Any
+    sync_buffer: Dict[int, Any]
+    eval_cache: Optional[Any]
+    pinned_base: Dict[int, Any]
     timer_seconds: Dict[str, float] = field(default_factory=dict)
 
-    def install(self, core, timers) -> None:
+    def install(self, core: "CouplingCore", timers: "EngineTimers") -> None:
         """Bind this state into a freshly built coupling core."""
         core.policy = self.policy
         core.server = self.server
@@ -282,7 +296,7 @@ def reslice(slices: Sequence[dict], bounds: Sequence[Tuple[int, int]]) -> List[d
 
     lo0 = old_bounds[0][0]
 
-    def concat(path: Tuple[str, ...]):
+    def concat(path: Tuple[str, ...]) -> Any:
         parts = []
         for piece in slices:
             value = piece
@@ -364,7 +378,7 @@ class CheckpointStore:
     MANIFEST = "manifest.json"
     SNAPSHOT_PREFIX = "snapshot-"
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
 
     def exists(self) -> bool:
@@ -396,7 +410,7 @@ class CheckpointStore:
         self.root.mkdir(parents=True, exist_ok=True)
         snapshot = self._next_snapshot_dir()
         snapshot.mkdir()
-        manifest = {
+        manifest: Dict[str, Any] = {
             "format_version": checkpoint.format_version,
             "backend": checkpoint.backend,
             "slot": checkpoint.slot,

@@ -30,10 +30,15 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.analysis.runner import RunSpec, execute_spec, summarize_result
-from repro.service.checkpoint import CheckpointStore, Checkpointer, RunInterrupted
+from repro.service.checkpoint import (
+    CheckpointStore,
+    Checkpointer,
+    EngineCheckpoint,
+    RunInterrupted,
+)
 
 __all__ = ["JOB_STATES", "ExperimentService", "JobRecord"]
 
@@ -61,9 +66,9 @@ class JobRecord:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "JobRecord":
-        payload = dict(payload)
-        payload["spec"] = RunSpec(**payload["spec"])
-        return cls(**payload)
+        data: Dict[str, Any] = dict(payload)
+        data["spec"] = RunSpec(**data["spec"])
+        return cls(**data)
 
 
 class ExperimentService:
@@ -81,7 +86,7 @@ class ExperimentService:
 
     def __init__(
         self,
-        root,
+        root: Union[str, Path],
         workers: int = 2,
         checkpoint_every: Optional[int] = None,
     ) -> None:
@@ -91,10 +96,10 @@ class ExperimentService:
         self.workers = max(1, int(workers))
         self.checkpoint_every = checkpoint_every
         self._lock = threading.RLock()
-        self._checkpointers: Dict[str, Checkpointer] = {}
-        self._cancel_requested: set = set()
-        self._running: set = set()
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._checkpointers: Dict[str, Checkpointer] = {}  # guarded-by: _lock
+        self._cancel_requested: Set[str] = set()  # guarded-by: _lock
+        self._running: Set[str] = set()  # guarded-by: _lock
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
 
     # -- job store ---------------------------------------------------------------
 
@@ -112,7 +117,7 @@ class ExperimentService:
             return JobRecord.from_dict(json.loads(path.read_text()))
 
     def _save(self, record: JobRecord) -> None:
-        record.updated_at = time.time()
+        record.updated_at = time.time()  # reprolint: allow(wall-clock): job metadata, never feeds sim state
         path = self._job_path(record.id)
         with self._lock:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -163,7 +168,7 @@ class ExperimentService:
             id=job_id,
             spec=spec,
             state="queued",
-            created_at=time.time(),
+            created_at=time.time(),  # reprolint: allow(wall-clock): job metadata, never feeds sim state
             total_slots=spec.build_config().total_slots,
         )
         self._save(record)
@@ -254,7 +259,7 @@ class ExperimentService:
             if record.state in ("done", "running") or job_id in self._running:
                 return record
 
-            def sink(checkpoint) -> None:
+            def sink(checkpoint: EngineCheckpoint) -> None:
                 store.save(checkpoint)
                 record.slot = checkpoint.slot
                 record.telemetry = _checkpoint_telemetry(checkpoint)
@@ -270,7 +275,7 @@ class ExperimentService:
             self._save(record)
 
         spec = record.spec
-        start = time.perf_counter()
+        start = time.perf_counter()  # reprolint: allow(wall-clock): wall_time_s reporting, not sim state
         try:
             # Inside the try: a corrupt or format-incompatible checkpoint
             # marks the job failed (with the traceback) instead of raising
@@ -291,9 +296,8 @@ class ExperimentService:
             record.error = traceback.format_exc(limit=20)
             self._save(record)
         else:
-            summary = summarize_result(
-                spec, result, wall_time_s=time.perf_counter() - start
-            )
+            wall_s = time.perf_counter() - start  # reprolint: allow(wall-clock): wall_time_s reporting, not sim state
+            summary = summarize_result(spec, result, wall_time_s=wall_s)
             result_path = self.job_dir(job_id) / "result.json"
             tmp = result_path.with_suffix(".json.tmp")
             tmp.write_text(summary.to_json())
@@ -323,7 +327,7 @@ class ExperimentService:
         return payload
 
 
-def _queue_backlogs(policy) -> Dict[str, float]:
+def _queue_backlogs(policy: Any) -> Dict[str, float]:
     return {
         "queue_length": float(
             getattr(getattr(policy, "task_queue", None), "length", 0.0)
@@ -334,13 +338,13 @@ def _queue_backlogs(policy) -> Dict[str, float]:
     }
 
 
-def _checkpoint_telemetry(checkpoint) -> Dict[str, object]:
+def _checkpoint_telemetry(checkpoint: EngineCheckpoint) -> Dict[str, object]:
     """Progress aggregates read straight out of a checkpoint's state."""
     policy, server = checkpoint.coordinator.unit[0], checkpoint.coordinator.unit[1]
     accuracy = checkpoint.coordinator.unit[4]
     if checkpoint.backend == "fleet":
         energy_j = 0.0
-        for piece in checkpoint.slices:
+        for piece in checkpoint.slices or []:
             accountant = piece["fleet"]["accountant"]
             energy_j += float(
                 sum(
@@ -354,7 +358,8 @@ def _checkpoint_telemetry(checkpoint) -> Dict[str, object]:
                 )
             )
     else:
-        energy_j = checkpoint.loop["unit"][4].total_j()
+        loop = checkpoint.loop or {}
+        energy_j = loop["unit"][4].total_j()
     sample = accuracy.samples[-1] if accuracy.samples else None
     payload: Dict[str, object] = {
         "energy_j": energy_j,
@@ -366,7 +371,7 @@ def _checkpoint_telemetry(checkpoint) -> Dict[str, object]:
     return payload
 
 
-def _result_telemetry(result) -> Dict[str, object]:
+def _result_telemetry(result: Any) -> Dict[str, object]:
     payload: Dict[str, object] = {
         "energy_j": result.total_energy_j(),
         "num_updates": result.num_updates,

@@ -186,8 +186,10 @@ def _process_probability_key(process) -> object:
     The scenario compiler materialises one process object per user even when
     a whole cohort shares identical parameters, so keying the per-slot
     probability vectors on the *parameters* (not the object) lets a 100k-user
-    cohort share a single vector.  Unknown process types fall back to object
-    identity — correct, just uncached across equal instances.
+    cohort share a single vector.  Unknown process types fall back to the
+    object itself as key — identity semantics, but unlike ``id()`` the dict
+    entry keeps the process alive, so the key can never be reused by a new
+    object after garbage collection.
     """
     if isinstance(process, BernoulliArrivalProcess):
         return ("bernoulli", process.probability)
@@ -201,7 +203,7 @@ def _process_probability_key(process) -> object:
         )
     if isinstance(process, TraceArrivalProcess):
         return ("trace", tuple(process.slots), process.period_slots)
-    return id(process)
+    return process
 
 
 class ArrivalSchedule:

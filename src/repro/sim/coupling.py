@@ -21,7 +21,7 @@ slot loop; only the residence of the per-user fleet state differs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +57,24 @@ class CouplingCore:
         sync_buffer: uploads of the current synchronous round, by user id.
     """
 
+    #: The mutable coupling state a checkpoint must carry.  Kept in lockstep
+    #: with :data:`repro.service.checkpoint.CoordinatorState._FIELDS` (the
+    #: snapshot is taken externally by ``CoordinatorState.capture``);
+    #: ``tests/test_reprolint.py`` asserts the two stay aligned, and the
+    #: checkpoint-coverage lint rule makes any new ``__init__`` attribute
+    #: either join this tuple or declare itself ``# reprolint: static``.
+    _CHECKPOINT_ATTRS = (
+        "policy",
+        "server",
+        "transport",
+        "trace",
+        "accuracy",
+        "gaps",
+        "sync_buffer",
+        "_eval_cache",
+        "_pinned_base",
+    )
+
     def __init__(
         self,
         config: SimulationConfig,
@@ -65,19 +83,19 @@ class CouplingCore:
         transport: ModelTransport,
         trace: SimulationTrace,
         accuracy: AccuracyTracker,
-        eval_model,
-        dataset,
+        eval_model: Any,
+        dataset: Any,
         timers: EngineTimers,
     ) -> None:
-        self.config = config
+        self.config = config  # reprolint: static
         self.policy = policy
         self.server = server
         self.transport = transport
         self.trace = trace
         self.accuracy = accuracy
-        self.eval_model = eval_model
-        self.dataset = dataset
-        self.timers = timers
+        self.eval_model = eval_model  # reprolint: static
+        self.dataset = dataset  # reprolint: static
+        self.timers = timers  # reprolint: static
         self.gaps = np.zeros(config.num_users)
         self.sync_buffer: Dict[int, LocalUpdate] = {}
         self._eval_cache: Optional[Tuple[int, float, float]] = None

@@ -92,7 +92,7 @@ class FleetEnergyAccountant:
     def __init__(self, num_users: int) -> None:
         if num_users <= 0:
             raise ValueError("num_users must be positive")
-        self.num_users = num_users
+        self.num_users = num_users  # reprolint: static
         self.idle_j = np.zeros(num_users)
         self.app_j = np.zeros(num_users)
         self.training_j = np.zeros(num_users)
@@ -362,44 +362,44 @@ class FleetState:
         n = len(device_specs)
         if not (len(batteries) == len(clients) == n):
             raise ValueError("device_specs, batteries and clients must be equal-length")
-        self.config = config
-        self.num_users = n
-        self.slot_seconds = config.slot_seconds
-        self.power_model = power_model
+        self.config = config  # reprolint: static
+        self.num_users = n  # reprolint: static
+        self.slot_seconds = config.slot_seconds  # reprolint: static
+        self.power_model = power_model  # reprolint: static
 
         # -- static per-device calibration ------------------------------------
         names = [spec.name for spec in device_specs]
-        self.device_names = np.asarray(names, dtype=object)
-        self.idle_w = np.array([power_model.idle_power(d) for d in names])
-        self.training_w = np.array([power_model.training_power(d) for d in names])
-        self.overhead_w = np.array([power_model.overhead_power(d) for d in names])
-        self.mean_app_w = np.array([power_model.app_power(d) for d in names])
-        self.mean_corun_w = np.array([power_model.corun_power(d) for d in names])
+        self.device_names = np.asarray(names, dtype=object)  # reprolint: static
+        self.idle_w = np.array([power_model.idle_power(d) for d in names])  # reprolint: static
+        self.training_w = np.array([power_model.training_power(d) for d in names])  # reprolint: static
+        self.overhead_w = np.array([power_model.overhead_power(d) for d in names])  # reprolint: static
+        self.mean_app_w = np.array([power_model.app_power(d) for d in names])  # reprolint: static
+        self.mean_corun_w = np.array([power_model.corun_power(d) for d in names])  # reprolint: static
         self.duration_slots = np.array(
             [
                 max(1, int(round(spec.training_time_s / config.slot_seconds)))
                 for spec in device_specs
             ],
             dtype=np.int64,
-        )
+        )  # reprolint: static (duration_slots: per-device calibration)
         self.heterogeneous = np.array(
             [spec.heterogeneous for spec in device_specs], dtype=bool
-        )
+        )  # reprolint: static
 
         # -- thermal model (first-order RC, one instance read per device) -----
         thermals = [ThermalModel(spec) for spec in device_specs]
-        self.ambient_c = np.array([t.ambient_c for t in thermals])
+        self.ambient_c = np.array([t.ambient_c for t in thermals])  # reprolint: static
         self.thermal_alpha = np.array(
             [1.0 - math.exp(-config.slot_seconds / t.tau_s) for t in thermals]
-        )
-        self.degrees_per_watt = np.array([t.degrees_per_watt for t in thermals])
-        self.throttle_temp_c = np.array([t.throttle_temp_c for t in thermals])
-        self.throttle_slowdown = np.array([t.throttle_slowdown for t in thermals])
+        )  # reprolint: static
+        self.degrees_per_watt = np.array([t.degrees_per_watt for t in thermals])  # reprolint: static
+        self.throttle_temp_c = np.array([t.throttle_temp_c for t in thermals])  # reprolint: static
+        self.throttle_slowdown = np.array([t.throttle_slowdown for t in thermals])  # reprolint: static
         self.temperature_c = self.ambient_c.copy()
 
         # -- FL-side observation inputs ---------------------------------------
-        self.learning_rates = np.array([c.learning_rate for c in clients])
-        self.momentum_coeffs = np.array([c.momentum for c in clients])
+        self.learning_rates = np.array([c.learning_rate for c in clients])  # reprolint: static
+        self.momentum_coeffs = np.array([c.momentum for c in clients])  # reprolint: static
         #: ``||v_t||_2`` cache — a client's momentum vector only changes when
         #: it trains, so the engine refreshes the entry after `local_train`.
         self.momentum_norms = np.array([c.momentum_norm() for c in clients])
@@ -421,23 +421,23 @@ class FleetState:
         self.remaining_slots = np.zeros(n)
 
         # -- batteries ----------------------------------------------------------
-        self.has_battery = np.array([b is not None for b in batteries], dtype=bool)
+        self.has_battery = np.array([b is not None for b in batteries], dtype=bool)  # reprolint: static
         self.battery_capacity_j = np.array(
             [b.capacity_j if b is not None else 1.0 for b in batteries]
-        )
+        )  # reprolint: static
         self.battery_charge_j = np.array(
             [b.charge_j if b is not None else 1.0 for b in batteries]
         )
         self.battery_rate_w = np.array(
             [b.charge_rate_w if b is not None else 0.0 for b in batteries]
-        )
+        )  # reprolint: static
         self.battery_min_soc = np.array(
             [b.min_participation_soc if b is not None else 0.0 for b in batteries]
-        )
+        )  # reprolint: static
         self.battery_cycle_j = np.zeros(n)
 
         # -- launch schedule and accounting ------------------------------------
-        self._launches: Dict[int, List[Tuple[int, ForegroundApp]]] = {}
+        self._launches: Dict[int, List[Tuple[int, ForegroundApp]]] = {}  # reprolint: static (derived from the arrival schedule)
         for user in range(n):
             for app in arrivals.arrivals_for(user):
                 self._launches.setdefault(app.arrival_slot, []).append((user, app))
@@ -445,7 +445,7 @@ class FleetState:
             slot_apps.sort(key=lambda pair: pair[0])
         #: Event-iterator view of the schedule (sorted distinct launch slots),
         #: used by the fast-forward kernel to place segment boundaries.
-        self._launch_slot_list: List[int] = arrivals.launch_slots()
+        self._launch_slot_list: List[int] = arrivals.launch_slots()  # reprolint: static (derived from the arrival schedule)
         self.accountant = FleetEnergyAccountant(n)
 
     # -- step 1: foreground applications -----------------------------------------

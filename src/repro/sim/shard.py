@@ -43,7 +43,16 @@ import bisect
 import multiprocessing
 import traceback
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -86,6 +95,11 @@ from repro.sim.fleet import FleetEnergyAccountant, FleetState, ReadyPayload
 from repro.sim.rng import spawn_generators
 from repro.sim.timers import EngineTimers
 from repro.sim.trace import TRACE_LEVELS, SimulationTrace, SlotSample
+
+if TYPE_CHECKING:
+    from repro.device.models import DeviceSpec
+    from repro.energy.battery import Battery
+    from repro.service.checkpoint import Checkpointer, EngineCheckpoint
 
 __all__ = [
     "FleetShard",
@@ -264,9 +278,9 @@ class FleetShard:
         config: SimulationConfig,
         lo: int,
         hi: int,
-        device_specs,
+        device_specs: Sequence["DeviceSpec"],
         power_model: PowerModel,
-        batteries,
+        batteries: Sequence[Optional["Battery"]],
         clients: Sequence[FLClient],
         arrivals: ArrivalSchedule,
         include_params: bool,
@@ -276,7 +290,7 @@ class FleetShard:
     ) -> None:
         if hi - lo != len(device_specs):
             raise ValueError("device_specs must cover exactly [lo, hi)")
-        self.config = config
+        self.config = config  # reprolint: static
         self.lo = lo
         self.hi = hi
         self.clients = list(clients)
@@ -294,8 +308,11 @@ class FleetShard:
             threads=training_threads,
             include_params=include_params,
         )
-        self.timers = timers if timers is not None else EngineTimers(enabled=True)
-        self._quiet_stash: Optional[tuple] = None
+        # Profiling only; training seconds are reported, never checkpointed.
+        self.timers = timers if timers is not None else EngineTimers(enabled=True)  # reprolint: static
+        # Uncommitted quiet-region try state; checkpoints happen only at slot
+        # boundaries, where every try has been committed or rolled back.
+        self._quiet_stash: Optional[tuple] = None  # reprolint: static
 
     @classmethod
     def build(
@@ -362,6 +379,9 @@ class FleetShard:
         fleet = self.fleet
         fleet.begin_slot_apps(slot)
         for user in arriving:
+            # arriving is non-empty only when the coordinator performed the
+            # downloads, so the version/params pair is always present here.
+            assert version is not None and params is not None
             fleet.make_ready(user - self.lo, version, params)
         users_local = fleet.ready_users()
         payload = fleet.ready_payload(users_local)
@@ -384,9 +404,9 @@ class FleetShard:
         for user in scheduled:
             local = int(user) - lo
             fleet.start_training(local)
-            self.trainer.record(
-                local, fleet.base_params[local], int(fleet.base_version[local])
-            )
+            base = fleet.base_params[local]
+            assert base is not None  # pinned at download
+            self.trainer.record(local, base, int(fleet.base_version[local]))
         decided_idle = np.zeros(fleet.num_users, dtype=bool)
         if len(idle):
             idle_local = np.asarray(idle, dtype=np.int64) - lo
@@ -397,9 +417,9 @@ class FleetShard:
         for local in outcome.finished_users:
             local = int(local)
             tick = self.timers.start()
-            update = self.trainer.obtain(
-                local, fleet.base_params[local], int(fleet.base_version[local])
-            )
+            base = fleet.base_params[local]
+            assert base is not None  # pinned at download
+            update = self.trainer.obtain(local, base, int(fleet.base_version[local]))
             self.timers.stop("training", tick)
             fleet.momentum_norms[local] = update.momentum_norm
             finished.append((local + lo, update, self.clients[local].rounds_completed))
@@ -595,12 +615,12 @@ class InlineShardHandle:
 
     def __init__(self, shard: FleetShard) -> None:
         self.shard = shard
-        self._result = None
+        self._result: Any = None
 
-    def post(self, method: str, *args) -> None:
+    def post(self, method: str, *args: Any) -> None:
         self._result = getattr(self.shard, method)(*args)
 
-    def wait(self):
+    def wait(self) -> Any:
         result, self._result = self._result, None
         return result
 
@@ -608,7 +628,7 @@ class InlineShardHandle:
         pass
 
 
-def _shard_worker_main(conn, init_kwargs: Dict) -> None:
+def _shard_worker_main(conn: Any, init_kwargs: Dict) -> None:
     """Worker-process entry point: build the shard lazily, serve commands."""
     shard: Optional[FleetShard] = None
     while True:
@@ -636,7 +656,7 @@ class ProcessShardHandle:
     overlaps across workers.
     """
 
-    def __init__(self, context, init_kwargs: Dict) -> None:
+    def __init__(self, context: Any, init_kwargs: Dict) -> None:
         parent_conn, child_conn = context.Pipe()
         self._conn = parent_conn
         self._process = context.Process(
@@ -645,10 +665,10 @@ class ProcessShardHandle:
         self._process.start()
         child_conn.close()
 
-    def post(self, method: str, *args) -> None:
+    def post(self, method: str, *args: Any) -> None:
         self._conn.send((method, args))
 
-    def wait(self):
+    def wait(self) -> Any:
         status, value = self._conn.recv()
         if status == "error":
             raise RuntimeError(f"shard worker failed:\n{value}")
@@ -684,7 +704,7 @@ def _split_users(users: Sequence[int], bounds: Sequence[Tuple[int, int]]) -> Lis
 
 def drive_fleet_loop(
     core: CouplingCore,
-    handles: Sequence,
+    handles: Sequence[Any],
     bounds: Sequence[Tuple[int, int]],
     config: SimulationConfig,
     fast_forward: bool,
@@ -695,8 +715,8 @@ def drive_fleet_loop(
     pending_arrivals: Optional[List[int]] = None,
     global_ready: int = -1,
     initial_eval: bool = True,
-    checkpointer=None,
-    snapshot_fn=None,
+    checkpointer: Optional["Checkpointer"] = None,
+    snapshot_fn: Optional[Callable[[int, List[int], int], "EngineCheckpoint"]] = None,
 ) -> None:
     """Run the fleet slot loop over one or many shards.
 
@@ -723,16 +743,18 @@ def drive_fleet_loop(
     want_trace = trace_level == "full"
     capture_users = want_trace and num_shards > 1
 
-    stalled_fn = None
+    stalled_fn: Optional[Callable[[], List[int]]] = None
     if has_batteries:
 
-        def stalled_fn() -> List[int]:
+        def _stalled_users() -> List[int]:
             for handle in handles:
                 handle.post("stalled_users")
             stalled: List[int] = []
             for handle in handles:
                 stalled.extend(handle.wait())
             return stalled
+
+        stalled_fn = _stalled_users
 
     if pending_arrivals is None:
         # All users download the initial model and arrive at slot 0.
@@ -747,7 +769,11 @@ def drive_fleet_loop(
     slot = start_slot
     total_slots = config.total_slots
     while slot < total_slots:
-        if checkpointer is not None and checkpointer.due(slot):
+        if (
+            checkpointer is not None
+            and snapshot_fn is not None
+            and checkpointer.due(slot)
+        ):
             checkpointer.take(snapshot_fn(slot, list(pending_arrivals), global_ready))
         if fast_forward and not pending_arrivals and global_ready == 0:
             limit = None if checkpointer is None else checkpointer.limit(slot)
@@ -894,7 +920,7 @@ def drive_fleet_loop(
 
 def _fast_forward_epoch(
     core: CouplingCore,
-    handles: Sequence,
+    handles: Sequence[Any],
     config: SimulationConfig,
     timers: EngineTimers,
     want_trace: bool,
@@ -1089,7 +1115,7 @@ class ShardedEngine:
         self,
         config: SimulationConfig,
         policy: SchedulingPolicy,
-        dataset=None,
+        dataset: Any = None,
         measurement_table: Optional[MeasurementTable] = None,
         shards: int = 2,
         fast_forward: bool = True,
@@ -1157,15 +1183,15 @@ class ShardedEngine:
         )
         _apply_queue_telemetry(policy, trace_level)
         self._has_run = False
-        self._resume = None
+        self._resume: Optional["EngineCheckpoint"] = None
 
     @classmethod
     def restore(
         cls,
-        checkpoint,
+        checkpoint: "EngineCheckpoint",
         *,
         shards: Optional[int] = None,
-        dataset=None,
+        dataset: Any = None,
         measurement_table: Optional[MeasurementTable] = None,
         profile: bool = False,
         training_threads: Optional[int] = 1,
@@ -1191,7 +1217,7 @@ class ShardedEngine:
             policy=coordinator.policy,
             dataset=dataset,
             measurement_table=measurement_table,
-            shards=len(checkpoint.slices) if shards is None else shards,
+            shards=len(checkpoint.slices or ()) if shards is None else shards,
             fast_forward=checkpoint.fast_forward,
             batched_training=checkpoint.batched_training,
             profile=profile,
@@ -1208,7 +1234,9 @@ class ShardedEngine:
         engine._resume = checkpoint
         return engine
 
-    def _snapshot_builder(self, handles: Sequence):
+    def _snapshot_builder(
+        self, handles: Sequence[Any]
+    ) -> Callable[[int, List[int], int], "EngineCheckpoint"]:
         """Closure assembling a full checkpoint from live shard handles."""
         from repro.service.checkpoint import (
             CHECKPOINT_FORMAT_VERSION,
@@ -1238,7 +1266,7 @@ class ShardedEngine:
 
         return snapshot_fn
 
-    def run(self, checkpointer=None) -> SimulationResult:
+    def run(self, checkpointer: Optional["Checkpointer"] = None) -> SimulationResult:
         """Run the sharded simulation and return its (merged) result."""
         if self._has_run:
             raise RuntimeError("this engine has already run; create a new one")
@@ -1255,7 +1283,7 @@ class ShardedEngine:
         # either way (the handles drive the same FleetShard methods); only
         # the process isolation is lost, which a pool worker already lacks.
         nested = self.inline or multiprocessing.current_process().daemon
-        handles: List = []
+        handles: List[Any] = []
         try:
             for lo, hi in self.bounds:
                 init_kwargs = dict(
@@ -1277,7 +1305,9 @@ class ShardedEngine:
             if resume is not None:
                 from repro.service.checkpoint import reslice
 
-                for handle, piece in zip(handles, reslice(resume.slices, self.bounds)):
+                for handle, piece in zip(
+                    handles, reslice(resume.slices or [], self.bounds)
+                ):
                     handle.post("restore_state", piece)
                 for handle in handles:
                     handle.wait()

@@ -46,19 +46,19 @@ class EngineTimers:
         """Begin one timed section; returns the tick to pass to :meth:`stop`."""
         if not self.enabled:
             return 0.0
-        return time.perf_counter()
+        return time.perf_counter()  # reprolint: allow(wall-clock): profiling measures real time by design
 
     def stop(self, category: str, tick: float) -> None:
         """Close a timed section opened by :meth:`start`."""
         if not self.enabled:
             return
-        self.seconds[category] += time.perf_counter() - tick
+        self.seconds[category] += time.perf_counter() - tick  # reprolint: allow(wall-clock): profiling only, never feeds sim state
 
     def stop_total(self, tick: float) -> None:
         """Close the whole-run section (bounds the derived remainder)."""
         if not self.enabled:
             return
-        self.total_s += time.perf_counter() - tick
+        self.total_s += time.perf_counter() - tick  # reprolint: allow(wall-clock): profiling only, never feeds sim state
 
     # -- reporting ---------------------------------------------------------------
 

@@ -1,0 +1,9 @@
+"""Developer tooling that ships with the repro tree.
+
+``repro.tools.reprolint`` is the project's static-analysis pass: an
+AST-level linter that enforces the determinism, lock-discipline, and
+checkpoint-coverage contracts documented in ``docs/determinism.md``.
+It is wired into ``repro-sim lint`` and the ``static-analysis`` CI job.
+"""
+
+__all__ = ["reprolint"]

@@ -1,0 +1,41 @@
+"""reprolint: the project's determinism & concurrency static-analysis pass.
+
+Rule catalog (see docs/determinism.md for rationale):
+
+==================  ==============================================================
+rule id             checks
+==================  ==============================================================
+wall-clock          no ``time.time``/``datetime.now``-style host-clock reads
+global-rng          no ``random.*`` / legacy ``numpy.random.*`` global RNG
+set-iteration       no set iteration feeding order-sensitive accumulation
+id-key              no ``id()``-derived container keys
+lock-guard          ``# guarded-by: <lock>`` attrs only touched under the lock
+checkpoint-coverage ``__init__`` attrs must be checkpointed or ``# reprolint: static``
+==================  ==============================================================
+"""
+
+from repro.tools.reprolint.cli import default_rules, main, run
+from repro.tools.reprolint.framework import (
+    Finding,
+    LintConfig,
+    Rule,
+    SourceFile,
+    format_json,
+    format_text,
+    lint_paths,
+    load_config,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "SourceFile",
+    "default_rules",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "load_config",
+    "main",
+    "run",
+]

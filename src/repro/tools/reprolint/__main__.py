@@ -1,0 +1,6 @@
+"""``python -m repro.tools.reprolint`` entry point."""
+
+from repro.tools.reprolint.cli import main
+
+if __name__ == "__main__":
+    main()

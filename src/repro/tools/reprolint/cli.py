@@ -1,0 +1,114 @@
+"""Command-line entry point for reprolint.
+
+Runnable three equivalent ways::
+
+    repro-sim lint src
+    python -m repro.tools.reprolint src
+    python -c "from repro.tools.reprolint.cli import main; main(['src'])"
+
+Exit status: 0 when clean, 1 when any finding survives suppression,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.tools.reprolint.framework import (
+    LintConfig,
+    Rule,
+    format_json,
+    format_text,
+    lint_paths,
+    load_config,
+)
+from repro.tools.reprolint.rules_checkpoint import CheckpointCoverageRule
+from repro.tools.reprolint.rules_determinism import (
+    GlobalRngRule,
+    IdKeyRule,
+    SetIterationRule,
+    WallClockRule,
+)
+from repro.tools.reprolint.rules_locking import LockGuardRule
+
+__all__ = ["default_rules", "build_parser", "run", "main"]
+
+
+def default_rules() -> List[Rule]:
+    """The shipped rule set, in catalog order (docs/determinism.md)."""
+    return [
+        WallClockRule(),
+        GlobalRngRule(),
+        SetIterationRule(),
+        IdKeyRule(),
+        LockGuardRule(),
+        CheckpointCoverageRule(),
+    ]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST lint pass enforcing the repro determinism contract",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files/dirs to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.reprolint] in pyproject.toml",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None, stdout=None) -> int:
+    out = stdout if stdout is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}: {rule.summary}", file=out)
+        return 0
+    if args.rule:
+        known = {rule.id for rule in rules}
+        unknown = [r for r in args.rule if r not in known]
+        if unknown:
+            print(f"reprolint: unknown rule(s): {', '.join(unknown)}", file=out)
+            return 2
+        rules = [rule for rule in rules if rule.id in set(args.rule)]
+    if args.no_config:
+        config = LintConfig()
+    else:
+        anchor = Path(args.paths[0]) if args.paths else Path.cwd()
+        config = load_config(anchor)
+    findings = lint_paths(args.paths, rules, config)
+    if args.format == "json":
+        print(format_json(findings), file=out)
+    else:
+        print(format_text(findings), file=out)
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    sys.exit(run(argv))

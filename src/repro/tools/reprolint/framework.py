@@ -1,0 +1,245 @@
+"""Core machinery for ``reprolint``: findings, suppressions, rules, runner.
+
+The linter is a thin harness around ``ast``.  Each rule inspects one
+parsed source file at a time and yields :class:`Finding` objects; the
+runner handles file discovery, suppression comments, configuration from
+``pyproject.toml``, and output formatting.
+
+Suppression syntax (checked on every physical line a node spans)::
+
+    x = time.time()  # reprolint: allow(wall-clock): job metadata, never sim state
+    self.config = config  # reprolint: static
+
+``allow(<rule>[, <rule>...])`` silences the named rules; ``static`` is
+shorthand understood by the checkpoint-coverage rule for attributes that
+are rebuilt from configuration rather than checkpointed.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "LintConfig",
+    "load_config",
+    "iter_python_files",
+    "lint_paths",
+    "format_text",
+    "format_json",
+]
+
+_ALLOW_RE = re.compile(r"#\s*reprolint:\s*allow\(([^)]*)\)")
+_STATIC_RE = re.compile(r"#\s*reprolint:\s*static\b")
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """A parsed module plus the per-line annotations rules consult."""
+
+    def __init__(self, path: Path, text: str, display_path: Optional[str] = None):
+        self.path = path
+        self.display_path = display_path or str(path)
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        # line number (1-based) -> set of rule ids allowed on that line
+        self.allowed: Dict[int, Set[str]] = {}
+        # lines carrying "# reprolint: static"
+        self.static_lines: Set[int] = set()
+        # line number -> lock name from "# guarded-by: <lock>"
+        self.guarded_by: Dict[int, str] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            if "#" not in line:
+                continue
+            allow = _ALLOW_RE.search(line)
+            if allow:
+                names = {n.strip() for n in allow.group(1).split(",") if n.strip()}
+                self.allowed.setdefault(lineno, set()).update(names)
+            if _STATIC_RE.search(line):
+                self.static_lines.add(lineno)
+            guarded = _GUARDED_RE.search(line)
+            if guarded:
+                self.guarded_by[lineno] = guarded.group(1)
+
+    # -- suppression helpers -------------------------------------------------------
+
+    def node_lines(self, node: ast.AST) -> range:
+        start = getattr(node, "lineno", None)
+        if start is None:
+            return range(0)
+        end = getattr(node, "end_lineno", None) or start
+        return range(start, end + 1)
+
+    def is_allowed(self, rule: str, node: ast.AST) -> bool:
+        for lineno in self.node_lines(node):
+            names = self.allowed.get(lineno)
+            if names and (rule in names or "*" in names):
+                return True
+        return False
+
+    def is_static(self, node: ast.AST) -> bool:
+        return any(lineno in self.static_lines for lineno in self.node_lines(node))
+
+    def guard_for(self, node: ast.AST) -> Optional[str]:
+        for lineno in self.node_lines(node):
+            lock = self.guarded_by.get(lineno)
+            if lock:
+                return lock
+        return None
+
+
+class Rule:
+    """Base class for lint rules.  Subclasses set ``id`` and ``summary``."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=src.display_path,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+# -- configuration ------------------------------------------------------------------
+
+
+@dataclass
+class LintConfig:
+    """Settings from ``[tool.reprolint]`` in pyproject.toml."""
+
+    exclude: List[str] = field(default_factory=list)
+    disable: List[str] = field(default_factory=list)
+
+
+def load_config(start: Optional[Path] = None) -> LintConfig:
+    """Read ``[tool.reprolint]`` from the nearest pyproject.toml, if any.
+
+    Falls back to an empty config when tomllib is unavailable (< 3.11) or
+    no pyproject.toml is found; the linter stays fully functional either
+    way, configuration only adds excludes/disables.
+    """
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11 - config file is optional
+        return LintConfig()
+    here = (start or Path.cwd()).resolve()
+    candidates = [here] if here.is_dir() else [here.parent]
+    candidates += list(candidates[0].parents)
+    for directory in candidates:
+        pyproject = directory / "pyproject.toml"
+        if pyproject.is_file():
+            with open(pyproject, "rb") as fh:
+                data = tomllib.load(fh)
+            section = data.get("tool", {}).get("reprolint", {})
+            return LintConfig(
+                exclude=list(section.get("exclude", [])),
+                disable=list(section.get("disable", [])),
+            )
+    return LintConfig()
+
+
+# -- runner -------------------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[str], config: LintConfig) -> Iterator[Path]:
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            posix = candidate.as_posix()
+            if any(fnmatch.fnmatch(posix, pattern) for pattern in config.exclude):
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint every python file under ``paths`` and return sorted findings."""
+    config = config or LintConfig()
+    active = [rule for rule in rules if rule.id not in config.disable]
+    findings: List[Finding] = []
+    for path in iter_python_files(paths, config):
+        try:
+            text = path.read_text(encoding="utf-8")
+            src = SourceFile(path, text)
+        except (OSError, SyntaxError, ValueError) as exc:
+            findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=str(path),
+                    line=getattr(exc, "lineno", 0) or 0,
+                    message=f"could not parse: {exc}",
+                )
+            )
+            continue
+        for rule in active:
+            for finding in rule.check(src):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# -- output -------------------------------------------------------------------------
+
+
+def format_text(findings: Iterable[Finding]) -> str:
+    lines = [f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in findings]
+    count = len(lines)
+    if count:
+        noun = "finding" if count == 1 else "findings"
+        lines.append(f"reprolint: {count} {noun}")
+    else:
+        lines.append("reprolint: clean")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,135 @@
+"""Checkpoint-coverage rule: no instance attribute may evade the snapshot.
+
+A class participates in the checkpoint contract when it defines a
+``state_dict``/``checkpoint_state`` method or declares a
+``_CHECKPOINT_ATTRS`` tuple (for classes like ``CouplingCore`` whose
+snapshot is taken externally by ``CoordinatorState.capture``).  For
+such classes, every attribute assigned in ``__init__`` must be either
+
+* referenced in the class's own snapshot/restore methods
+  (``state_dict``, ``load_state_dict``, ``checkpoint_state``,
+  ``restore_state``), or
+* listed in ``_CHECKPOINT_ATTRS``, or
+* explicitly exempted with a trailing ``# reprolint: static`` comment,
+  meaning it is rebuilt from configuration and deliberately not part of
+  the mutable state.
+
+This makes "I added a field and forgot to checkpoint it" a CI failure
+instead of a silently-wrong resume.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.tools.reprolint.framework import Finding, Rule, SourceFile
+
+__all__ = ["CheckpointCoverageRule"]
+
+# Methods whose presence marks a class as checkpoint-bearing ...
+_CONTRACT_METHODS = ("state_dict", "checkpoint_state")
+# ... and methods whose bodies count as coverage for an attribute.
+_COVERING_METHODS = (
+    "state_dict",
+    "load_state_dict",
+    "checkpoint_state",
+    "restore_state",
+)
+
+
+def _self_attr(node: ast.AST) -> str:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _declared_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Names listed in a class-level ``_CHECKPOINT_ATTRS`` tuple/list."""
+    declared: Set[str] = set()
+    for stmt in cls.body:
+        value = None
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "_CHECKPOINT_ATTRS"
+                for t in stmt.targets
+            ):
+                value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "_CHECKPOINT_ATTRS"
+            ):
+                value = stmt.value
+        if isinstance(value, (ast.Tuple, ast.List)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    declared.add(elt.value)
+    return declared
+
+
+class CheckpointCoverageRule(Rule):
+    id = "checkpoint-coverage"
+    summary = "__init__ attributes must be checkpointed or marked static"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, node)
+
+    def _check_class(self, src: SourceFile, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods: Dict[str, ast.FunctionDef] = {}
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods[stmt.name] = stmt
+        declared = _declared_attrs(cls)
+        has_contract = declared or any(n in methods for n in _CONTRACT_METHODS)
+        init = methods.get("__init__")
+        if not has_contract or init is None:
+            return
+
+        covered: Set[str] = set(declared)
+        for name in _COVERING_METHODS:
+            method = methods.get(name)
+            if method is None:
+                continue
+            for node in ast.walk(method):
+                attr = _self_attr(node)
+                if attr:
+                    covered.add(attr)
+
+        seen: Set[str] = set()
+        for stmt in ast.walk(init):
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            else:
+                continue
+            flat = []
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    flat.extend(target.elts)
+                else:
+                    flat.append(target)
+            for target in flat:
+                attr = _self_attr(target)
+                if not attr or attr in seen:
+                    continue
+                seen.add(attr)
+                if attr in covered:
+                    continue
+                if src.is_static(stmt) or src.is_allowed(self.id, stmt):
+                    continue
+                yield self.finding(
+                    src,
+                    stmt,
+                    f"{cls.name}.{attr} is assigned in __init__ but never "
+                    "appears in state_dict/load_state_dict/_CHECKPOINT_ATTRS; "
+                    "checkpoint it, or mark the assignment '# reprolint: "
+                    "static' if it is rebuilt from config.",
+                )

@@ -1,0 +1,220 @@
+"""Determinism rules: the AST patterns that can break bitwise equality.
+
+The engine's contract (docs/determinism.md) is that loop, fleet,
+fast-forward, sharded, and checkpoint/resume executions produce
+bit-identical telemetry.  Four source-level patterns are the classic
+ways such a contract rots:
+
+* wall-clock reads leaking into simulation state,
+* unseeded process-global RNG,
+* iteration over ``set``/``frozenset`` feeding accumulation (hash order
+  varies across processes with different ``PYTHONHASHSEED``),
+* ``id()``-keyed containers (memory addresses differ run to run and can
+  alias after garbage collection).
+
+Each rule can be silenced per line with ``# reprolint: allow(<rule>)``
+plus an audit reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.tools.reprolint.framework import Finding, Rule, SourceFile
+
+__all__ = [
+    "WallClockRule",
+    "GlobalRngRule",
+    "SetIterationRule",
+    "IdKeyRule",
+]
+
+# Fully-qualified callables that read the wall clock / host timers.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+# numpy.random attributes that are *not* the legacy global-state API.
+_NP_RANDOM_OK = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _import_map(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the fully-qualified names they were imported as."""
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never hit stdlib time/random/numpy
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def _resolve(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain to a dotted name via the import map."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = imports.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+class WallClockRule(Rule):
+    id = "wall-clock"
+    summary = "forbid wall-clock/host-timer reads (time.time, datetime.now, ...)"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        imports = _import_map(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolve(node.func, imports)
+            if name in _WALL_CLOCK and not src.is_allowed(self.id, node):
+                yield self.finding(
+                    src,
+                    node,
+                    f"{name}() reads the host clock; simulation state must "
+                    "derive time from slot indices. Suppress with "
+                    "'# reprolint: allow(wall-clock): <reason>' if this is "
+                    "metadata/profiling that never feeds simulation state.",
+                )
+
+
+class GlobalRngRule(Rule):
+    id = "global-rng"
+    summary = "forbid unseeded global RNG (random.*, legacy numpy.random.*)"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        imports = _import_map(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolve(node.func, imports)
+            if name is None:
+                continue
+            flagged = None
+            if name.startswith("random."):
+                flagged = name
+            elif name.startswith("numpy.random."):
+                head = name[len("numpy.random.") :].split(".")[0]
+                if head not in _NP_RANDOM_OK:
+                    flagged = name
+            if flagged and not src.is_allowed(self.id, node):
+                yield self.finding(
+                    src,
+                    node,
+                    f"{flagged}() uses process-global RNG state; use a "
+                    "numpy.random.Generator seeded from the experiment "
+                    "config instead.",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+# Builtins whose output depends on input *order*, so feeding them a set
+# is hash-order-dependent.  sorted/min/max/len/any/all are order-safe.
+_ORDER_SENSITIVE_CALLS = ("sum", "list", "tuple", "enumerate")
+
+
+class SetIterationRule(Rule):
+    id = "set-iteration"
+    summary = "forbid iterating sets into order-sensitive accumulation"
+
+    def _flag(self, src: SourceFile, node: ast.AST, what: str) -> Iterator[Finding]:
+        if not src.is_allowed(self.id, node):
+            yield self.finding(
+                src,
+                node,
+                f"{what} iterates a set; hash order varies across processes, "
+                "so order-sensitive accumulation (float sums, list builds) is "
+                "non-deterministic. Iterate 'sorted(<set>)' instead.",
+            )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield from self._flag(src, node, "for-loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield from self._flag(src, node, "comprehension")
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield from self._flag(src, node, f"{node.func.id}()")
+
+
+class IdKeyRule(Rule):
+    id = "id-key"
+    summary = "forbid id()-derived keys (addresses vary per run, alias after GC)"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and not src.is_allowed(self.id, node)
+            ):
+                yield self.finding(
+                    src,
+                    node,
+                    "id() returns a memory address: it differs between runs "
+                    "and can be reused after garbage collection, aliasing "
+                    "cache keys. Key on the object itself (identity hash "
+                    "keeps a reference) or on stable content.",
+                )

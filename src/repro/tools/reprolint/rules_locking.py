@@ -1,0 +1,135 @@
+"""Lock-discipline rule: guarded attributes only touched under their lock.
+
+An attribute is declared guarded by a trailing comment on its assignment
+in ``__init__``::
+
+    self._running = set()  # guarded-by: _lock
+
+Every read or write of ``self._running`` in any other method must then
+be lexically inside a ``with self._lock:`` block.  This is the static
+version of the invariant the PR-6 review had to repair by hand in
+``ExperimentService.run_job``: a check-then-act across two separate
+lock holds.
+
+The analysis is lexical and deliberately conservative: a nested
+function defined inside a method starts with *no* locks held, because
+closures can escape the ``with`` block and run later on another thread.
+Use ``# reprolint: allow(lock-guard): <reason>`` for audited
+exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.tools.reprolint.framework import Finding, Rule, SourceFile
+
+__all__ = ["LockGuardRule"]
+
+
+def _self_attr(node: ast.AST) -> str:
+    """Return the attribute name if node is ``self.<attr>``, else ''."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _guarded_attrs(src: SourceFile, init: ast.FunctionDef) -> Dict[str, str]:
+    """Collect {attr: lock} from ``# guarded-by:`` comments in __init__."""
+    guarded: Dict[str, str] = {}
+    for stmt in ast.walk(init):
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            continue
+        lock = src.guard_for(stmt)
+        if not lock:
+            continue
+        flat = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flat.extend(target.elts)
+            else:
+                flat.append(target)
+        for target in flat:
+            attr = _self_attr(target)
+            if attr:
+                guarded[attr] = lock
+    return guarded
+
+
+class LockGuardRule(Rule):
+    id = "lock-guard"
+    summary = "guarded-by attributes must be accessed under their lock"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, node)
+
+    def _check_class(self, src: SourceFile, cls: ast.ClassDef) -> Iterator[Finding]:
+        init = None
+        methods: List[ast.FunctionDef] = []
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name == "__init__":
+                    init = stmt
+                else:
+                    methods.append(stmt)
+        if init is None:
+            return
+        guarded = _guarded_attrs(src, init)
+        if not guarded:
+            return
+        for method in methods:
+            violations: List[Tuple[ast.AST, str, str]] = []
+            for body_stmt in method.body:
+                self._visit(body_stmt, guarded, frozenset(), violations)
+            for access, attr, lock in violations:
+                if src.is_allowed(self.id, access):
+                    continue
+                yield self.finding(
+                    src,
+                    access,
+                    f"self.{attr} is declared '# guarded-by: {lock}' but is "
+                    f"accessed in {cls.name}.{method.name} outside a "
+                    f"'with self.{lock}:' block.",
+                )
+
+    def _visit(
+        self,
+        node: ast.AST,
+        guarded: Dict[str, str],
+        held: "frozenset[str]",
+        out: List[Tuple[ast.AST, str, str]],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Closures may escape the lock scope and run later: restart
+            # with no locks held.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                self._visit(child, guarded, frozenset(), out)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                lock_attr = _self_attr(item.context_expr)
+                if lock_attr:
+                    acquired.add(lock_attr)
+                self._visit(item.context_expr, guarded, held, out)
+            inner = held | acquired
+            for child in node.body:
+                self._visit(child, guarded, frozenset(inner), out)
+            return
+        attr = _self_attr(node)
+        if attr and attr in guarded and guarded[attr] not in held:
+            out.append((node, attr, guarded[attr]))
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, guarded, held, out)

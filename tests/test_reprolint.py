@@ -1,0 +1,559 @@
+"""reprolint: fixture-verified rule behaviour plus the repo-wide self-check.
+
+Each rule gets three fixtures: a positive snippet it must flag, a clean
+snippet it must pass, and a suppressed snippet where ``# reprolint:
+allow(<rule>)`` (or ``# reprolint: static`` for checkpoint coverage)
+silences the finding.  The self-check test then runs the full rule set
+over the shipped ``src/`` tree — the same invocation CI performs — and
+asserts it exits clean, so any new violation fails the suite with the
+finding text in the assertion message.
+
+Also pinned here: the ``arrivals`` cache-key regression (the id()-keyed
+cache the id-key rule was written to catch) and the alignment between
+``CoordinatorState._FIELDS`` and ``CouplingCore._CHECKPOINT_ATTRS`` that
+the checkpoint-coverage rule relies on.
+"""
+
+import json
+import io
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tools.reprolint import (
+    Finding,
+    LintConfig,
+    default_rules,
+    format_json,
+    format_text,
+    lint_paths,
+)
+from repro.tools.reprolint.cli import run as reprolint_run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def lint_snippet(tmp_path, code, rules=None, name="snippet.py"):
+    """Write ``code`` to a temp module and lint it with the given rules."""
+    module = tmp_path / name
+    module.write_text(textwrap.dedent(code), encoding="utf-8")
+    return lint_paths([str(module)], rules or default_rules(), LintConfig())
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# wall-clock
+# ---------------------------------------------------------------------------
+
+
+class TestWallClock:
+    def test_flags_time_time(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        assert rule_ids(findings) == ["wall-clock"]
+        assert "time.time" in findings[0].message
+
+    def test_flags_datetime_now_and_aliased_import(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import datetime as dt
+            from time import perf_counter
+
+            def stamp():
+                return dt.datetime.now(), perf_counter()
+            """)
+        assert rule_ids(findings) == ["wall-clock", "wall-clock"]
+
+    def test_clean_sim_clock_passes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def sim_time(slot, slot_seconds):
+                return slot * slot_seconds
+            """)
+        assert findings == []
+
+    def test_suppression_honored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+
+            def stamp():
+                return time.time()  # reprolint: allow(wall-clock): job metadata only
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# global-rng
+# ---------------------------------------------------------------------------
+
+
+class TestGlobalRng:
+    def test_flags_random_module(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import random
+
+            def draw():
+                return random.random()
+            """)
+        assert rule_ids(findings) == ["global-rng"]
+
+    def test_flags_legacy_numpy_random(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            def draw():
+                return np.random.rand(3)
+            """)
+        assert rule_ids(findings) == ["global-rng"]
+
+    def test_clean_generator_api_passes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(3)
+            """)
+        assert findings == []
+
+    def test_suppression_honored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import random
+
+            def jitter():
+                return random.random()  # reprolint: allow(global-rng): test-only jitter
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# set-iteration
+# ---------------------------------------------------------------------------
+
+
+class TestSetIteration:
+    def test_flags_for_over_set_literal(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def fold(values):
+                total = 0.0
+                for v in {1.0, 2.0, 3.0}:
+                    total += v
+                return total
+            """)
+        assert rule_ids(findings) == ["set-iteration"]
+
+    def test_flags_sum_over_set_call(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def fold(values):
+                return sum(set(values))
+            """)
+        assert rule_ids(findings) == ["set-iteration"]
+
+    def test_flags_comprehension_over_set_union(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def fold(a, b):
+                return [x * 2.0 for x in set(a) | set(b)]
+            """)
+        assert rule_ids(findings) == ["set-iteration"]
+
+    def test_clean_sorted_iteration_passes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def fold(values):
+                total = 0.0
+                for v in sorted(set(values)):
+                    total += v
+                return total
+            """)
+        assert findings == []
+
+    def test_suppression_honored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def fold(values):
+                return sum(set(values))  # reprolint: allow(set-iteration): ints, exact
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# id-key
+# ---------------------------------------------------------------------------
+
+
+class TestIdKey:
+    def test_flags_id_keyed_cache(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def cache_key(obj):
+                return id(obj)
+            """)
+        assert rule_ids(findings) == ["id-key"]
+
+    def test_clean_object_key_passes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def cache_key(obj):
+                return obj
+            """)
+        assert findings == []
+
+    def test_suppression_honored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def cache_key(obj, live):
+                return id(obj)  # reprolint: allow(id-key): live list pins obj
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# lock-guard
+# ---------------------------------------------------------------------------
+
+# The positive fixture reproduces the PR-6 race class: a guarded set is
+# mutated outside the lock that the declaration names.
+LOCK_VIOLATION = """
+    import threading
+
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._running = set()  # guarded-by: _lock
+
+        def start(self, job_id):
+            self._running.add(job_id)
+    """
+
+LOCK_CLEAN = """
+    import threading
+
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._running = set()  # guarded-by: _lock
+
+        def start(self, job_id):
+            with self._lock:
+                self._running.add(job_id)
+    """
+
+
+class TestLockGuard:
+    def test_flags_unlocked_access(self, tmp_path):
+        findings = lint_snippet(tmp_path, LOCK_VIOLATION)
+        assert rule_ids(findings) == ["lock-guard"]
+        assert "_running" in findings[0].message
+        assert "_lock" in findings[0].message
+
+    def test_clean_locked_access_passes(self, tmp_path):
+        findings = lint_snippet(tmp_path, LOCK_CLEAN)
+        assert findings == []
+
+    def test_nested_function_does_not_inherit_lock(self, tmp_path):
+        # A closure may outlive the with-block, so the held-lock set resets
+        # inside nested defs: this access must still be flagged.
+        findings = lint_snippet(tmp_path, """
+            import threading
+
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._running = set()  # guarded-by: _lock
+
+                def start(self, job_id):
+                    with self._lock:
+                        def worker():
+                            self._running.add(job_id)
+                        return worker
+            """)
+        assert rule_ids(findings) == ["lock-guard"]
+
+    def test_init_declaration_itself_is_not_flagged(self, tmp_path):
+        # The declaring assignment in __init__ runs before the object is
+        # shared, so only post-construction access needs the lock.
+        findings = lint_snippet(tmp_path, """
+            import threading
+
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._running = set()  # guarded-by: _lock
+            """)
+        assert findings == []
+
+    def test_suppression_honored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import threading
+
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._running = set()  # guarded-by: _lock
+
+                def debug_size(self):
+                    return len(self._running)  # reprolint: allow(lock-guard): racy read ok
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# checkpoint-coverage
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointCoverage:
+    def test_flags_uncovered_mutable_attr(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            class Engine:
+                def __init__(self):
+                    self.slot = 0
+                    self.history = []
+
+                def state_dict(self):
+                    return {"slot": self.slot}
+            """)
+        assert rule_ids(findings) == ["checkpoint-coverage"]
+        assert "history" in findings[0].message
+
+    def test_clean_fully_covered_class_passes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            class Engine:
+                def __init__(self):
+                    self.slot = 0
+                    self.history = []
+
+                def state_dict(self):
+                    return {"slot": self.slot, "history": list(self.history)}
+            """)
+        assert findings == []
+
+    def test_declared_attrs_tuple_counts_as_coverage(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            class Engine:
+                _CHECKPOINT_ATTRS = ("slot", "history")
+
+                def __init__(self):
+                    self.slot = 0
+                    self.history = []
+
+                def state_dict(self):
+                    return {}
+            """)
+        assert findings == []
+
+    def test_static_exemption_honored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            class Engine:
+                def __init__(self, config):
+                    self.config = config  # reprolint: static
+                    self.slot = 0
+
+                def state_dict(self):
+                    return {"slot": self.slot}
+            """)
+        assert findings == []
+
+    def test_class_without_contract_is_ignored(self, tmp_path):
+        # Only classes opting into the checkpoint contract are audited.
+        findings = lint_snippet(tmp_path, """
+            class Plain:
+                def __init__(self):
+                    self.anything = []
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# framework behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_parse_error_becomes_finding(self, tmp_path):
+        findings = lint_snippet(tmp_path, "def broken(:\n")
+        assert rule_ids(findings) == ["parse-error"]
+
+    def test_config_disable_drops_rule(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        config = LintConfig(disable=["wall-clock"])
+        assert lint_paths([str(module)], default_rules(), config) == []
+
+    def test_config_exclude_skips_file(self, tmp_path):
+        module = tmp_path / "generated.py"
+        module.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        config = LintConfig(exclude=["*generated.py"])
+        assert lint_paths([str(tmp_path)], default_rules(), config) == []
+
+    def test_findings_sorted_and_formatted(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "import time\nb = time.time()\na = time.time()\n", encoding="utf-8"
+        )
+        findings = lint_paths([str(module)], default_rules(), LintConfig())
+        assert [f.line for f in findings] == [2, 3]
+        text = format_text(findings)
+        assert "reprolint: 2 findings" in text
+        assert f"{module}:2:" in text
+
+    def test_json_format_round_trips(self):
+        findings = [Finding(rule="wall-clock", path="x.py", line=3, message="no")]
+        payload = json.loads(format_json(findings))
+        assert payload["count"] == 1
+        assert payload["findings"][0] == {
+            "rule": "wall-clock", "path": "x.py", "line": 3, "message": "no",
+        }
+
+    def test_wildcard_allow_suppresses_everything(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+
+            def stamp():
+                return time.time()  # reprolint: allow(*): fixture
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        module = tmp_path / "clean.py"
+        module.write_text("x = 1\n", encoding="utf-8")
+        out = io.StringIO()
+        assert reprolint_run([str(module), "--no-config"], stdout=out) == 0
+        assert "reprolint: clean" in out.getvalue()
+
+    def test_exit_one_on_findings(self, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        out = io.StringIO()
+        assert reprolint_run([str(module), "--no-config"], stdout=out) == 1
+        assert "[wall-clock]" in out.getvalue()
+
+    def test_exit_two_on_unknown_rule(self, tmp_path):
+        out = io.StringIO()
+        code = reprolint_run([str(tmp_path), "--rule", "no-such-rule"], stdout=out)
+        assert code == 2
+
+    def test_rule_filter_limits_scope(self, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text(
+            "import time\nx = time.time()\ny = id(x)\n", encoding="utf-8"
+        )
+        out = io.StringIO()
+        code = reprolint_run(
+            [str(module), "--no-config", "--rule", "id-key"], stdout=out
+        )
+        assert code == 1
+        assert "[id-key]" in out.getvalue()
+        assert "[wall-clock]" not in out.getvalue()
+
+    def test_json_output(self, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        out = io.StringIO()
+        reprolint_run([str(module), "--no-config", "--format", "json"], stdout=out)
+        payload = json.loads(out.getvalue())
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "wall-clock"
+
+    def test_list_rules_names_full_catalog(self):
+        out = io.StringIO()
+        assert reprolint_run(["--list-rules"], stdout=out) == 0
+        listing = out.getvalue()
+        for rule in default_rules():
+            assert rule.id in listing
+
+    def test_repro_sim_lint_subcommand(self, tmp_path):
+        from repro.cli import main as repro_main
+
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        assert repro_main(["lint", str(module), "--no-config"]) == 1
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert repro_main(["lint", str(clean), "--rule", "wall-clock"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# The shipped tree honours its own contract
+# ---------------------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean(self):
+        findings = lint_paths([str(SRC)], default_rules(), LintConfig())
+        assert findings == [], format_text(findings)
+
+    def test_cli_self_check_exit_code(self):
+        out = io.StringIO()
+        assert reprolint_run([str(SRC), "--no-config"], stdout=out) == 0
+
+
+# ---------------------------------------------------------------------------
+# Regressions the rules were written to catch
+# ---------------------------------------------------------------------------
+
+
+class TestArrivalsCacheKeyRegression:
+    """The id()-keyed probability cache the id-key rule flagged.
+
+    ``id()`` values can be reused once an object is garbage collected, so
+    two distinct custom processes could silently share cached probability
+    vectors.  The fix keys unknown process types on the object itself —
+    the cache entry then pins the object, making key reuse impossible.
+    """
+
+    def test_unknown_process_keyed_on_object_identity(self):
+        from repro.sim.arrivals import _process_probability_key
+
+        class CustomProcess:
+            def probability_at(self, slot, slot_seconds):
+                return 0.5
+
+        a, b = CustomProcess(), CustomProcess()
+        assert _process_probability_key(a) is a
+        assert _process_probability_key(a) != _process_probability_key(b)
+
+    def test_equal_parameter_processes_share_key(self):
+        from repro.sim.arrivals import (
+            BernoulliArrivalProcess,
+            _process_probability_key,
+        )
+
+        a = BernoulliArrivalProcess(0.25)
+        b = BernoulliArrivalProcess(0.25)
+        assert _process_probability_key(a) == _process_probability_key(b)
+
+
+class TestCheckpointDeclarationAlignment:
+    """_CHECKPOINT_ATTRS (lint contract) must track _FIELDS (runtime contract).
+
+    ``CoordinatorState._FIELDS`` names the snapshot fields without the
+    attribute's leading underscore (``eval_cache`` for ``_eval_cache``);
+    the lint declaration uses the attribute spelling.  Keep them in sync
+    or a checkpointed attribute could silently drop out of the snapshot.
+    """
+
+    def test_fields_and_checkpoint_attrs_align(self):
+        from repro.service.checkpoint import CoordinatorState
+        from repro.sim.coupling import CouplingCore
+
+        declared = {attr.lstrip("_") for attr in CouplingCore._CHECKPOINT_ATTRS}
+        assert declared == set(CoordinatorState._FIELDS)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))
