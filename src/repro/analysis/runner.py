@@ -223,7 +223,7 @@ class RunSummary:
 
 
 def execute_spec(
-    spec: RunSpec, checkpointer=None, resume_from=None
+    spec: RunSpec, checkpointer=None, resume_from=None, fault_injector=None
 ) -> SimulationResult:
     """Execute one spec, optionally checkpointing and/or resuming.
 
@@ -233,7 +233,10 @@ def execute_spec(
     :class:`~repro.service.checkpoint.EngineCheckpoint`) restores the
     matching engine — honouring the spec's ``shards`` layout, which may
     differ from the layout that wrote the checkpoint — and continues the
-    run bitwise-identically to an uninterrupted one.
+    run bitwise-identically to an uninterrupted one.  ``fault_injector``
+    (chaos testing, :mod:`repro.faults`) reaches the sharded engine's
+    workers; the supervised engine recovers from the injected faults with
+    results unchanged.
     """
     if spec.shards > 1:
         if spec.backend != "fleet":
@@ -249,6 +252,7 @@ def execute_spec(
                 shards=spec.shards,
                 profile=True,
                 training_threads=1,
+                fault_injector=fault_injector,
             )
         else:
             engine = ShardedEngine(
@@ -260,6 +264,7 @@ def execute_spec(
                 profile=True,
                 trace_level=spec.trace_level,
                 training_threads=1,
+                fault_injector=fault_injector,
             )
         return engine.run(checkpointer)
     if resume_from is not None:

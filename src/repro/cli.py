@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.experiments import (
@@ -538,11 +539,38 @@ def _build_service(args: argparse.Namespace):
     every = getattr(args, "checkpoint_every", None)
     if every is not None and every <= 0:
         every = None
+    retry = None
+    max_retries = getattr(args, "max_retries", 0)
+    if max_retries and max_retries > 0:
+        from repro.faults import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=max_retries, base_delay_s=0.5, cap_s=30.0)
+    fault_plan = None
+    plan_path = getattr(args, "fault_plan", None)
+    if plan_path:
+        import json as _json
+
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_dict(_json.loads(Path(plan_path).read_text()))
+    keep_every = getattr(args, "keep_every", None)
+    if keep_every is not None and keep_every <= 0:
+        keep_every = None
     return ExperimentService(
         args.root,
         workers=getattr(args, "workers", 1),
         checkpoint_every=every,
+        retry=retry,
+        fault_plan=fault_plan,
+        keep_last=getattr(args, "keep_last", 1),
+        keep_every_slots=keep_every,
     )
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -553,6 +581,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if recovered:
         print(f"recovered {len(recovered)} interrupted job(s): "
               f"{' '.join(recovered)}", file=sys.stderr)
+    if service.fault_plan is not None:
+        print(f"fault injection armed: {len(service.fault_plan.events)} "
+              f"event(s) (seed {service.fault_plan.seed})", file=sys.stderr)
     api = ServiceAPI(service, host=args.host, port=args.port)
     print(f"serving on http://{args.host}:{args.port} "
           f"(state: {service.root})", file=sys.stderr)
@@ -578,7 +609,31 @@ def _job_rows(records) -> List[List]:
 _JOB_HEADERS = ["job", "spec", "state", "slot", "energy (J)", "accuracy"]
 
 
+def _payload_rows(payloads) -> List[List]:
+    """`_job_rows` for the HTTP API's JSON job payloads."""
+    rows = []
+    for payload in payloads:
+        telemetry = payload.get("telemetry") or {}
+        rows.append([
+            payload.get("id"),
+            payload.get("display_name"),
+            payload.get("state"),
+            f"{payload.get('slot')}/{payload.get('total_slots')}",
+            telemetry.get("energy_j"),
+            telemetry.get("accuracy"),
+        ])
+    return rows
+
+
 def _cmd_jobs_list(args: argparse.Namespace) -> int:
+    if args.url:
+        payloads = _service_client(args).list_jobs()
+        if not payloads:
+            print(f"no jobs at {args.url}")
+            return 0
+        print(format_table(_JOB_HEADERS, _payload_rows(payloads),
+                           float_format=".3f", title=f"Jobs ({args.url})"))
+        return 0
     service = _build_service(args)
     records = service.list_jobs()
     if not records:
@@ -592,6 +647,21 @@ def _cmd_jobs_list(args: argparse.Namespace) -> int:
 def _cmd_jobs_status(args: argparse.Namespace) -> int:
     import json as _json
 
+    if args.url:
+        from repro.service import ServiceError
+
+        try:
+            payload = _service_client(args).get_job(args.job_id)
+        except ServiceError as error:
+            raise SystemExit(str(error))
+        print(format_table(_JOB_HEADERS, _payload_rows([payload]),
+                           float_format=".3f"))
+        if payload.get("error"):
+            print(f"\nerror:\n{payload['error']}")
+        if payload.get("result") is not None:
+            print("\nresult:")
+            print(_json.dumps(payload["result"], indent=2))
+        return 0
     service = _build_service(args)
     try:
         record = service.get(args.job_id)
@@ -605,6 +675,26 @@ def _cmd_jobs_status(args: argparse.Namespace) -> int:
         if result is not None:
             print("\nresult:")
             print(_json.dumps(result, indent=2))
+    return 0
+
+
+def _cmd_jobs_telemetry(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.url:
+        from repro.service import ServiceError
+
+        try:
+            payload = _service_client(args).telemetry(args.job_id)
+        except ServiceError as error:
+            raise SystemExit(str(error))
+    else:
+        service = _build_service(args)
+        try:
+            payload = service.telemetry(args.job_id)
+        except KeyError as error:
+            raise SystemExit(str(error))
+    print(_json.dumps(payload, indent=2, default=str))
     return 0
 
 
@@ -876,6 +966,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-every", type=int, default=200,
                        help="auto-checkpoint interval in slots (0 disables "
                             "the periodic grid; cancel still checkpoints)")
+    serve.add_argument("--max-retries", type=int, default=3,
+                       help="failed-job retry attempts before quarantine "
+                            "(0 disables self-healing retries)")
+    serve.add_argument("--keep-last", type=int, default=1,
+                       help="checkpoint snapshots retained per job")
+    serve.add_argument("--keep-every", type=int, default=0,
+                       help="additionally retain snapshots at slots that are "
+                            "multiples of this (0 disables milestones)")
+    serve.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="JSON FaultPlan to inject (chaos testing; see "
+                            "docs/faults.md)")
     serve.set_defaults(func=_cmd_serve)
 
     jobs = subparsers.add_parser(
@@ -883,14 +984,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
 
+    def _add_service_url(sub: argparse.ArgumentParser):
+        sub.add_argument("--url", default=None, metavar="URL",
+                         help="query a running service over HTTP (with "
+                              "timeouts + bounded retry) instead of reading "
+                              "the job store directly")
+
     j_list = jobs_sub.add_parser("list", help="list all jobs")
     _add_service_root(j_list)
+    _add_service_url(j_list)
     j_list.set_defaults(func=_cmd_jobs_list)
 
     j_status = jobs_sub.add_parser("status", help="one job's record and result")
     _add_service_root(j_status)
+    _add_service_url(j_status)
     j_status.add_argument("job_id")
     j_status.set_defaults(func=_cmd_jobs_status)
+
+    j_telemetry = jobs_sub.add_parser(
+        "telemetry", help="telemetry-so-far from the job's latest checkpoint"
+    )
+    _add_service_root(j_telemetry)
+    _add_service_url(j_telemetry)
+    j_telemetry.add_argument("job_id")
+    j_telemetry.set_defaults(func=_cmd_jobs_telemetry)
 
     j_submit = jobs_sub.add_parser(
         "submit", help="register a registry scenario as a job"

@@ -1,0 +1,39 @@
+"""Deterministic fault injection and retry/backoff policies.
+
+Chaos testing for the reproduction stack: a :class:`FaultPlan` is a seeded,
+JSON-serialisable schedule of fault events (shard kills, IPC delays, dropped
+messages, checkpoint corruption, full disks, slow shards) that the sharded
+engine, the checkpoint store and the experiment service consult through a
+:class:`FaultInjector`.  Because the plan is derived from a seed and every
+hook is keyed on deterministic simulation coordinates (slot indices, shard
+indices) — never on the wall clock — a chaos run is exactly reproducible,
+and recovery can be held to the repo's bitwise contract: a run that suffers
+injected faults must finish indistinguishable from the fault-free run.
+
+:class:`~repro.faults.retry.RetryPolicy` is the companion knob set for the
+*reaction* side: capped exponential backoff for shard respawns, service job
+retries, and the HTTP client's idempotent request retries.
+
+See ``docs/faults.md`` for the fault model and the supervisor protocol.
+"""
+
+from repro.faults.plan import (
+    ENGINE_FAULT_KINDS,
+    FAULT_KINDS,
+    STORE_FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.faults.retry import RetryPolicy, poll_intervals
+
+__all__ = [
+    "ENGINE_FAULT_KINDS",
+    "FAULT_KINDS",
+    "STORE_FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "poll_intervals",
+]

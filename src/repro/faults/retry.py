@@ -1,0 +1,74 @@
+"""Capped-exponential retry/backoff policies shared across the stack.
+
+One policy object parameterises every "try again, but not forever" decision:
+the sharded engine's worker respawns, the experiment service's job retries,
+and the HTTP client's idempotent request retries.  Delays derive purely from
+the attempt number — no wall-clock reads, no jitter — so a chaos run's retry
+schedule is as reproducible as the fault plan that provoked it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["RetryPolicy", "poll_intervals"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to back off between attempts.
+
+    Attributes:
+        max_attempts: total attempts including the first (``1`` means no
+            retries).
+        base_delay_s: backoff before the first retry.
+        factor: multiplier applied per further retry.
+        cap_s: upper bound on any single backoff delay.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.1
+    factor: float = 2.0
+    cap_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.cap_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1.0")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.cap_s, self.base_delay_s * self.factor ** (attempt - 1))
+
+    def should_retry(self, attempts_made: int) -> bool:
+        """Whether another attempt is allowed after ``attempts_made`` tries."""
+        return attempts_made < self.max_attempts
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "factor": self.factor,
+            "cap_s": self.cap_s,
+        }
+
+
+def poll_intervals(
+    first_s: float = 0.001, factor: float = 2.0, cap_s: float = 0.25
+) -> Iterator[float]:
+    """Capped exponentially-growing poll intervals for bounded waits.
+
+    Starts fine-grained (sub-millisecond reply latency stays cheap) and
+    backs off to ``cap_s`` so a coordinator blocked on a dead worker spends
+    its waiting time sleeping, not spinning.
+    """
+    interval = first_s
+    while True:
+        yield min(interval, cap_s)
+        interval = min(interval * factor, cap_s)

@@ -11,10 +11,18 @@ surface over a deterministic engine:
   job store keyed by :class:`~repro.analysis.runner.RunSpec` content hash,
   a worker pool, periodic auto-checkpointing and crash-resume;
 * :mod:`repro.service.api` — the stdlib ``ThreadingHTTPServer`` API
-  (submit / status / telemetry-so-far / cancel / resume).
+  (submit / status / telemetry-so-far / cancel / resume / health);
+* :mod:`repro.service.client` — the HTTP client with connect/read
+  timeouts and bounded retry on idempotent requests.
+
+Self-healing (see ``docs/faults.md``): the served service retries failed
+jobs from their latest checkpoint with capped backoff and quarantines
+poison jobs; checkpoint stores verify snapshots with sha256 checksums and
+rotate them under a keep-last / keep-every retention policy.
 """
 
 from repro.service.checkpoint import (
+    CheckpointError,
     CheckpointStore,
     Checkpointer,
     CoordinatorState,
@@ -24,8 +32,10 @@ from repro.service.checkpoint import (
 )
 from repro.service.jobs import ExperimentService, JobRecord
 from repro.service.api import ServiceAPI, build_run_spec, serve
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
 
 __all__ = [
+    "CheckpointError",
     "CheckpointStore",
     "Checkpointer",
     "CoordinatorState",
@@ -34,6 +44,9 @@ __all__ = [
     "JobRecord",
     "RunInterrupted",
     "ServiceAPI",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
     "build_run_spec",
     "reslice",
     "serve",

@@ -38,9 +38,14 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Type, Union
 
 from repro.analysis.runner import RunSpec
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.service.jobs import ExperimentService, JobRecord
 
 __all__ = ["ServiceAPI", "build_run_spec", "serve"]
+
+#: The served (HTTP) service self-heals by default; see :func:`serve`.
+_DEFAULT_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.5, cap_s=30.0)
 
 
 def build_run_spec(payload: Dict[str, object]) -> RunSpec:
@@ -94,7 +99,9 @@ class ServiceAPI:
         try:
             if method == "GET":
                 if parts == ["healthz"]:
-                    return 200, {"ok": True}
+                    # Liveness plus worker-pool health accounting: running
+                    # job ids, pending retries, job-state counts.
+                    return 200, self.service.health()
                 if parts == ["jobs"]:
                     return 200, {
                         "jobs": [_record_payload(r) for r in self.service.list_jobs()]
@@ -213,10 +220,26 @@ def serve(
     workers: int = 2,
     checkpoint_every: Optional[int] = None,
     recover: bool = True,
+    retry: Optional["RetryPolicy"] = _DEFAULT_RETRY,
+    fault_plan: Optional["FaultPlan"] = None,
+    keep_last: int = 1,
+    keep_every_slots: Optional[int] = None,
 ) -> ServiceAPI:
-    """Convenience constructor: service + API bound together (not started)."""
+    """Convenience constructor: service + API bound together (not started).
+
+    Unlike the bare :class:`ExperimentService`, the served service is
+    self-healing by default: failed jobs retry with capped backoff
+    (resuming from their latest checkpoint) and are quarantined once the
+    attempt budget is spent.  Pass ``retry=None`` to opt out.
+    """
     service = ExperimentService(
-        root, workers=workers, checkpoint_every=checkpoint_every
+        root,
+        workers=workers,
+        checkpoint_every=checkpoint_every,
+        retry=retry,
+        fault_plan=fault_plan,
+        keep_last=keep_last,
+        keep_every_slots=keep_every_slots,
     )
     if recover:
         service.recover()

@@ -27,6 +27,8 @@ cap changes nothing but the checkpoint opportunity.
 from __future__ import annotations
 
 import copy
+import errno
+import hashlib
 import json
 import os
 import pickle
@@ -54,6 +56,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
     "CheckpointStore",
     "Checkpointer",
     "CoordinatorState",
@@ -63,7 +66,21 @@ __all__ = [
 ]
 
 #: Bumped whenever the on-disk layout or the state dicts change shape.
-CHECKPOINT_FORMAT_VERSION = 2
+#: v3: per-snapshot ``meta.json`` + sha256 checksums, manifest holds a
+#: ``latest`` pointer plus the retention set instead of inlining one
+#: snapshot's metadata.
+CHECKPOINT_FORMAT_VERSION = 3
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint failed its integrity verification.
+
+    Raised at save time when the just-written snapshot does not read back
+    bit-for-bit (torn write, bad disk, injected ``corrupt_checkpoint``
+    fault), *before* the manifest flips — the previous snapshot stays the
+    loadable one.  Raised at load time when a published snapshot's content
+    no longer matches its recorded checksums (at-rest corruption).
+    """
 
 
 class RunInterrupted(Exception):
@@ -109,17 +126,7 @@ class CoordinatorState:
     @classmethod
     def capture(cls, core: "CouplingCore", timers: "EngineTimers") -> "CoordinatorState":
         """Snapshot a :class:`~repro.sim.coupling.CouplingCore` (+ timers)."""
-        unit = (
-            core.policy,
-            core.server,
-            core.transport,
-            core.trace,
-            core.accuracy,
-            core.gaps,
-            core.sync_buffer,
-            core._eval_cache,
-            core._pinned_base,
-        )
+        unit = core.checkpoint_unit()
         return cls(unit=copy.deepcopy(unit), timer_seconds=dict(timers.seconds))
 
     def materialize(self) -> "MaterializedCoordinator":
@@ -147,15 +154,19 @@ class MaterializedCoordinator:
 
     def install(self, core: "CouplingCore", timers: "EngineTimers") -> None:
         """Bind this state into a freshly built coupling core."""
-        core.policy = self.policy
-        core.server = self.server
-        core.transport = self.transport
-        core.trace = self.trace
-        core.accuracy = self.accuracy
-        core.gaps = self.gaps
-        core.sync_buffer = self.sync_buffer
-        core._eval_cache = self.eval_cache
-        core._pinned_base = self.pinned_base
+        core.load_checkpoint_unit(
+            (
+                self.policy,
+                self.server,
+                self.transport,
+                self.trace,
+                self.accuracy,
+                self.gaps,
+                self.sync_buffer,
+                self.eval_cache,
+                self.pinned_base,
+            )
+        )
         timers.seconds = dict(self.timer_seconds)
 
 
@@ -361,25 +372,59 @@ def reslice(slices: Sequence[dict], bounds: Sequence[Tuple[int, int]]) -> List[d
 
 
 class CheckpointStore:
-    """On-disk layout of one run's checkpoint: a manifest plus pickles.
+    """On-disk layout of one run's checkpoints: a manifest plus snapshots.
 
     Every snapshot lands in its own fresh ``snapshot-<seq>/`` directory:
-    shards checkpoint locally — each contiguous user slice gets its own
-    ``users_<lo>_<hi>.pkl`` — and the coordinator writes ``coordinator.pkl``
-    (config + coupling state, or the loop-backend state).  Only once the
-    directory is complete is ``manifest.json`` flipped to point at it via
-    an atomic rename; pickles of earlier snapshots are never reopened or
-    truncated, so a crash or SIGKILL at *any* point mid-save leaves the
-    manifest referencing the previous complete, loadable snapshot.
-    Superseded and partially-written snapshot directories are pruned after
-    each successful flip.
+    each contiguous user slice gets its own ``users_<lo>_<hi>.pkl``, the
+    coordinator writes ``coordinator.pkl`` (config + coupling state, or the
+    loop-backend state), and ``meta.json`` records the slot coordinates
+    plus a sha256 checksum of every file.  Each file is read back and
+    verified against its checksum before publication; only then is
+    ``manifest.json`` flipped via an atomic rename to name the directory as
+    ``latest``.  Pickles of published snapshots are never reopened or
+    truncated, so a crash, SIGKILL or detected corruption at *any* point
+    mid-save leaves the manifest referencing the previous complete,
+    loadable snapshot.
+
+    Retention: the manifest carries the set of retained snapshots — the
+    newest ``keep_last`` plus every slot-milestone snapshot
+    (``slot % keep_every_slots == 0``) — so week-long horizons can keep
+    periodic restore points without unbounded disk growth.  Pruning runs
+    after the manifest flip and deletes only directories outside the new
+    retention set; a crash mid-prune merely leaves extra directories for
+    the next successful save to collect.
+
+    Args:
+        root: store directory.
+        keep_last: how many most-recent snapshots to retain (≥ 1).
+        keep_every_slots: additionally retain every snapshot whose slot is
+            a multiple of this, or ``None`` for recency-only retention.
+        fault_injector: optional :class:`~repro.faults.plan.FaultInjector`
+            consulted once per save; an armed ``corrupt_checkpoint`` event
+            flips bytes in the just-written snapshot (caught by
+            verification), ``disk_full`` raises ``OSError(ENOSPC)`` before
+            the manifest flip.
     """
 
     MANIFEST = "manifest.json"
     SNAPSHOT_PREFIX = "snapshot-"
+    META = "meta.json"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        keep_last: int = 1,
+        keep_every_slots: Optional[int] = None,
+        fault_injector: Optional[Any] = None,
+    ) -> None:
+        if keep_last < 1:
+            raise ValueError("keep_last must be at least 1")
+        if keep_every_slots is not None and keep_every_slots <= 0:
+            raise ValueError("keep_every_slots must be positive when set")
         self.root = Path(root)
+        self.keep_last = keep_last
+        self.keep_every_slots = keep_every_slots
+        self.fault_injector = fault_injector
 
     def exists(self) -> bool:
         return (self.root / self.MANIFEST).is_file()
@@ -406,11 +451,37 @@ class CheckpointStore:
         seq = max(seqs, default=-1) + 1
         return self.root / f"{self.SNAPSHOT_PREFIX}{seq:08d}"
 
+    def _read_manifest(self) -> Dict[str, Any]:
+        manifest = json.loads((self.root / self.MANIFEST).read_text())
+        if manifest.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {manifest.get('format_version')} unsupported "
+                f"(expected {CHECKPOINT_FORMAT_VERSION})"
+            )
+        return manifest
+
+    def _retained(self, entries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Apply the retention policy to ``[{"dir", "slot"}, ...]`` entries."""
+        entries = sorted(entries, key=lambda e: e["dir"])
+        keep = {e["dir"] for e in entries[-self.keep_last:]}
+        if self.keep_every_slots is not None:
+            keep.update(
+                e["dir"]
+                for e in entries
+                if e["slot"] % self.keep_every_slots == 0
+            )
+        return [e for e in entries if e["dir"] in keep]
+
     def save(self, checkpoint: EngineCheckpoint) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         snapshot = self._next_snapshot_dir()
         snapshot.mkdir()
-        manifest: Dict[str, Any] = {
+        injected = (
+            None
+            if self.fault_injector is None
+            else self.fault_injector.on_checkpoint_save(checkpoint.slot)
+        )
+        meta: Dict[str, Any] = {
             "format_version": checkpoint.format_version,
             "backend": checkpoint.backend,
             "slot": checkpoint.slot,
@@ -419,14 +490,19 @@ class CheckpointStore:
             "fast_forward": checkpoint.fast_forward,
             "batched_training": checkpoint.batched_training,
             "trace_level": checkpoint.trace_level,
-            "dir": snapshot.name,
             "slices": [],
+            "checksums": {},
         }
         for piece in checkpoint.slices or []:
             name = f"users_{piece['lo']}_{piece['hi']}.pkl"
             with open(snapshot / name, "wb") as handle:
                 pickle.dump(piece, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            manifest["slices"].append({"lo": piece["lo"], "hi": piece["hi"], "file": name})
+            meta["checksums"][name] = _sha256(snapshot / name)
+            meta["slices"].append({"lo": piece["lo"], "hi": piece["hi"], "file": name})
+        if injected == "disk_full":
+            raise OSError(
+                errno.ENOSPC, f"injected disk_full while saving {snapshot.name}"
+            )
         with open(snapshot / "coordinator.pkl", "wb") as handle:
             pickle.dump(
                 {
@@ -437,40 +513,87 @@ class CheckpointStore:
                 handle,
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
+        meta["checksums"]["coordinator.pkl"] = _sha256(snapshot / "coordinator.pkl")
+        (snapshot / self.META).write_text(json.dumps(meta, indent=2))
+        if injected == "corrupt_checkpoint":
+            _flip_bytes(snapshot / "coordinator.pkl")
+        self._verify(snapshot, meta)
+
+        entries: List[Dict[str, Any]] = []
+        if self.exists():
+            entries = list(self._read_manifest().get("retained", []))
+        entries.append({"dir": snapshot.name, "slot": checkpoint.slot})
+        retained = self._retained(entries)
+        manifest = {
+            "format_version": checkpoint.format_version,
+            "latest": snapshot.name,
+            "retained": retained,
+        }
         tmp = self.root / (self.MANIFEST + ".tmp")
         tmp.write_text(json.dumps(manifest, indent=2))
         os.replace(tmp, self.root / self.MANIFEST)
+        keep = {entry["dir"] for entry in retained}
         for stale in self._snapshot_dirs():
-            if stale.name != snapshot.name:
+            if stale.name not in keep:
                 shutil.rmtree(stale, ignore_errors=True)
 
+    def _verify(self, snapshot: Path, meta: Dict[str, Any]) -> None:
+        """Read every just-written file back and compare checksums."""
+        for name, expected in meta["checksums"].items():
+            if _sha256(snapshot / name) != expected:
+                raise CheckpointError(
+                    f"checkpoint snapshot {snapshot.name} failed write "
+                    f"verification: {name} does not read back bit-for-bit; "
+                    "the previous snapshot remains the loadable one"
+                )
+
+    def retained_slots(self) -> List[int]:
+        """Slots of the snapshots the manifest currently retains."""
+        if not self.exists():
+            return []
+        return [entry["slot"] for entry in self._read_manifest().get("retained", [])]
+
     def load(self) -> EngineCheckpoint:
-        manifest = json.loads((self.root / self.MANIFEST).read_text())
-        if manifest["format_version"] != CHECKPOINT_FORMAT_VERSION:
-            raise ValueError(
-                f"checkpoint format {manifest['format_version']} unsupported "
-                f"(expected {CHECKPOINT_FORMAT_VERSION})"
-            )
-        snapshot = self.root / manifest["dir"]
+        manifest = self._read_manifest()
+        snapshot = self.root / manifest["latest"]
+        meta = json.loads((snapshot / self.META).read_text())
+        for name, expected in meta["checksums"].items():
+            if _sha256(snapshot / name) != expected:
+                raise CheckpointError(
+                    f"checkpoint snapshot {snapshot.name} is corrupt on disk: "
+                    f"{name} does not match its recorded checksum"
+                )
         with open(snapshot / "coordinator.pkl", "rb") as handle:
             head = pickle.load(handle)
         slices: Optional[List[dict]] = None
-        if manifest["slices"]:
+        if meta["slices"]:
             slices = []
-            for entry in manifest["slices"]:
+            for entry in meta["slices"]:
                 with open(snapshot / entry["file"], "rb") as handle:
                     slices.append(pickle.load(handle))
         return EngineCheckpoint(
-            format_version=manifest["format_version"],
-            backend=manifest["backend"],
-            slot=manifest["slot"],
-            pending_arrivals=list(manifest["pending_arrivals"]),
-            global_ready=manifest["global_ready"],
+            format_version=meta["format_version"],
+            backend=meta["backend"],
+            slot=meta["slot"],
+            pending_arrivals=list(meta["pending_arrivals"]),
+            global_ready=meta["global_ready"],
             config=head["config"],
-            fast_forward=manifest["fast_forward"],
-            batched_training=manifest["batched_training"],
-            trace_level=manifest["trace_level"],
+            fast_forward=meta["fast_forward"],
+            batched_training=meta["batched_training"],
+            trace_level=meta["trace_level"],
             coordinator=head["coordinator"],
             slices=slices,
             loop=head["loop"],
         )
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _flip_bytes(path: Path, span: int = 64) -> None:
+    """Invert the first ``span`` bytes of a file (injected corruption)."""
+    data = bytearray(path.read_bytes())
+    for index in range(min(span, len(data))):
+        data[index] ^= 0xFF
+    path.write_bytes(bytes(data))

@@ -1,0 +1,164 @@
+"""HTTP client for the experiment service with timeouts and bounded retry.
+
+The CLI's remote mode (``repro-sim jobs --url ...``) talks to a served
+:class:`~repro.service.api.ServiceAPI` through this client.  Two robustness
+properties the raw stdlib plumbing lacks:
+
+* **Bounded I/O** — a separate connect timeout (server down, wrong host)
+  and read timeout (server wedged mid-response), so a restarting or hung
+  server can never hang the CLI.
+* **Bounded retry** — idempotent GETs (health, list, status, telemetry)
+  retry on connection errors and timeouts with the shared capped
+  exponential backoff (:class:`~repro.faults.retry.RetryPolicy`), riding
+  out a server restart.  Mutating POSTs (submit/resume/cancel) are *never*
+  retried by the client: the server may have applied the action before the
+  connection died, and re-sending would duplicate it.
+
+HTTP-level errors (4xx/5xx with a JSON envelope) raise
+:class:`ServiceError` immediately — the server answered; retrying would
+just repeat the answer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlsplit
+
+from repro.faults.retry import RetryPolicy
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error status (4xx/5xx)."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceUnavailable(RuntimeError):
+    """The server could not be reached (after retries, where allowed)."""
+
+
+class ServiceClient:
+    """Talk to a running experiment service over HTTP.
+
+    Args:
+        base_url: ``http://host:port`` (or bare ``host:port``).
+        connect_timeout_s: TCP connect deadline.
+        read_timeout_s: per-read deadline once connected.
+        retry: backoff policy for idempotent requests; ``None`` disables
+            client-side retries entirely.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        connect_timeout_s: float = 3.0,
+        read_timeout_s: float = 60.0,
+        retry: Optional[RetryPolicy] = RetryPolicy(
+            max_attempts=3, base_delay_s=0.2, cap_s=2.0
+        ),
+    ) -> None:
+        if "//" not in base_url:
+            base_url = "http://" + base_url
+        split = urlsplit(base_url)
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {split.scheme!r} (http only)")
+        if not split.hostname:
+            raise ValueError(f"no host in service url {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 8765
+        self.connect_timeout_s = connect_timeout_s
+        self.read_timeout_s = read_timeout_s
+        self.retry = retry
+
+    # -- transport ---------------------------------------------------------------
+
+    def _once(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.connect_timeout_s)
+        try:
+            conn.connect()
+            if conn.sock is not None:
+                # Connected: switch the socket to the (longer) read deadline.
+                conn.sock.settimeout(self.read_timeout_s)
+            body = None if payload is None else json.dumps(payload).encode()
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            status = response.status
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(data) if data else {}
+        except ValueError as exc:
+            raise ServiceUnavailable(
+                f"{method} {path}: non-JSON response ({data[:80]!r})"
+            ) from exc
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        idempotent: bool = False,
+    ) -> Dict[str, Any]:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._once(method, path, payload)
+            except (OSError, HTTPException) as exc:
+                # Connection refused/reset, DNS failure, socket timeout,
+                # server closing mid-response — retriable iff idempotent.
+                may_retry = (
+                    idempotent
+                    and self.retry is not None
+                    and self.retry.should_retry(attempts)
+                )
+                if not may_retry:
+                    raise ServiceUnavailable(
+                        f"{method} {path} to {self.host}:{self.port} failed "
+                        f"after {attempts} attempt(s): {exc}"
+                    ) from exc
+            assert self.retry is not None
+            time.sleep(self.retry.delay_s(attempts))
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz", idempotent=True)
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return list(self._request("GET", "/jobs", idempotent=True)["jobs"])
+
+    def get_job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}", idempotent=True)
+
+    def telemetry(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/telemetry", idempotent=True)
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", "/jobs", payload=payload)
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/resume")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")

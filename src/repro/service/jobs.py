@@ -12,11 +12,19 @@ subsystem's contract, enforced by ``tests/test_checkpoint.py`` and the
 Job lifecycle::
 
     queued -> running -> done
-                |   \\-> failed
+                |   \\-> failed -> (retry backoff) -> running -> ...
+                |              \\-> quarantined (attempts exhausted)
                 \\-> checkpointed -> (resume) -> running -> ...
 
 ``checkpointed`` means "paused but resumable": a cancelled run lands there
 after writing its final checkpoint, as does a run interrupted by shutdown.
+
+Self-healing: with a :class:`~repro.faults.retry.RetryPolicy` the service
+retries failed jobs on its own — each retry resumes from the job's latest
+good checkpoint (never a from-scratch restart) after a capped exponential
+backoff, and a job that keeps failing is *quarantined* so a poison spec
+cannot occupy the worker pool forever.  ``resume`` on a quarantined job
+clears the quarantine and resets its attempt budget.
 """
 
 from __future__ import annotations
@@ -27,12 +35,15 @@ import os
 import threading
 import time
 import traceback
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.analysis.runner import RunSpec, execute_spec, summarize_result
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.service.checkpoint import (
     CheckpointStore,
     Checkpointer,
@@ -42,7 +53,7 @@ from repro.service.checkpoint import (
 
 __all__ = ["JOB_STATES", "ExperimentService", "JobRecord"]
 
-JOB_STATES = ("queued", "running", "checkpointed", "done", "failed")
+JOB_STATES = ("queued", "running", "checkpointed", "done", "failed", "quarantined")
 
 
 @dataclass
@@ -57,6 +68,7 @@ class JobRecord:
     slot: int = 0
     total_slots: int = 0
     error: Optional[str] = None
+    attempts: int = 0
     telemetry: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -82,6 +94,16 @@ class ExperimentService:
         checkpoint_every: periodic auto-checkpoint interval in slots
             (``None`` disables the periodic grid; cancel/shutdown still
             checkpoint at the next slot boundary).
+        retry: automatic retry policy for failed jobs, or ``None`` (the
+            library default) to leave failures terminal as before.  The
+            HTTP service (:func:`repro.service.api.serve`) enables retries
+            by default.
+        fault_plan: optional chaos-testing fault schedule; each job gets
+            its own :class:`~repro.faults.plan.FaultInjector` over this
+            plan, persistent across that job's retries.
+        keep_last: checkpoint snapshots retained per job (see
+            :class:`~repro.service.checkpoint.CheckpointStore`).
+        keep_every_slots: additionally retain slot-milestone snapshots.
     """
 
     def __init__(
@@ -89,17 +111,28 @@ class ExperimentService:
         root: Union[str, Path],
         workers: int = 2,
         checkpoint_every: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        keep_last: int = 1,
+        keep_every_slots: Optional[int] = None,
     ) -> None:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.workers = max(1, int(workers))
         self.checkpoint_every = checkpoint_every
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.keep_last = keep_last
+        self.keep_every_slots = keep_every_slots
         self._lock = threading.RLock()
         self._checkpointers: Dict[str, Checkpointer] = {}  # guarded-by: _lock
         self._cancel_requested: Set[str] = set()  # guarded-by: _lock
         self._running: Set[str] = set()  # guarded-by: _lock
         self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
+        self._retry_timers: Dict[str, threading.Timer] = {}  # guarded-by: _lock
+        self._injectors: Dict[str, FaultInjector] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     # -- job store ---------------------------------------------------------------
 
@@ -189,6 +222,9 @@ class ExperimentService:
             return record
         if record.state != "running" or sync:
             record.state = "queued"
+            # A human resume is a fresh grant of the attempt budget — it
+            # clears a quarantine instead of bouncing off it.
+            record.attempts = 0
             self._save(record)
         if sync:
             return self.run_job(job_id)
@@ -201,6 +237,12 @@ class ExperimentService:
         with self._lock:
             self._cancel_requested.add(job_id)
             checkpointer = self._checkpointers.get(job_id)
+            timer = self._retry_timers.pop(job_id, None)
+        if timer is not None:
+            timer.cancel()
+            if record.state == "failed":  # retry was pending; park resumable
+                record.state = "checkpointed"
+                self._save(record)
         if checkpointer is not None:
             checkpointer.request_stop()
         elif record.state == "queued":
@@ -225,20 +267,71 @@ class ExperimentService:
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; running jobs checkpoint and unwind."""
         with self._lock:
+            self._closed = True
             pool, self._pool = self._pool, None
             checkpointers = list(self._checkpointers.values())
+            timers = list(self._retry_timers.values())
+            self._retry_timers.clear()
+        for timer in timers:
+            timer.cancel()
         for checkpointer in checkpointers:
             checkpointer.request_stop()
         if pool is not None:
             pool.shutdown(wait=wait)
 
+    def health(self) -> Dict[str, object]:
+        """Worker-pool and job-population health (the ``/healthz`` payload)."""
+        with self._lock:
+            running = sorted(self._running)
+            retries_pending = sorted(self._retry_timers)
+            pool_started = self._pool is not None
+            closed = self._closed
+        states = Counter(record.state for record in self.list_jobs())
+        return {
+            "ok": not closed,
+            "workers": self.workers,
+            "pool_started": pool_started,
+            "running": running,
+            "retries_pending": retries_pending,
+            "jobs": dict(states),
+            "retry": None if self.retry is None else self.retry.to_dict(),
+        }
+
     def _enqueue(self, job_id: str) -> None:
         with self._lock:
+            if self._closed:
+                return
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.workers, thread_name_prefix="repro-job"
                 )
             self._pool.submit(self.run_job, job_id)
+
+    def _schedule_retry(self, job_id: str, attempts: int) -> bool:
+        """Arm a backoff timer re-enqueueing a failed job; False if closed."""
+        assert self.retry is not None
+        delay_s = self.retry.delay_s(attempts)
+
+        def fire() -> None:
+            with self._lock:
+                self._retry_timers.pop(job_id, None)
+            self._enqueue(job_id)
+
+        with self._lock:
+            if self._closed or job_id in self._retry_timers:
+                return False
+            timer = threading.Timer(delay_s, fire)
+            timer.daemon = True
+            self._retry_timers[job_id] = timer
+        timer.start()
+        return True
+
+    def _injector_for(self, job_id: str) -> Optional[FaultInjector]:
+        """The job's fault injector (one per job, persistent across retries)."""
+        if self.fault_plan is None:
+            return None
+        with self._lock:
+            return self._injectors.setdefault(job_id, FaultInjector(self.fault_plan))
 
     # -- execution -----------------------------------------------------------------
 
@@ -249,14 +342,23 @@ class ExperimentService:
         ``repro-sim jobs resume`` crash-recovery path) may invoke it
         directly.
         """
-        store = CheckpointStore(self.job_dir(job_id) / "checkpoint")
+        injector = self._injector_for(job_id)
+        store = CheckpointStore(
+            self.job_dir(job_id) / "checkpoint",
+            keep_last=self.keep_last,
+            keep_every_slots=self.keep_every_slots,
+            fault_injector=injector,
+        )
         # Claim the job atomically: the state check, the in-process running
         # guard, and the queued->running transition all happen under one
         # lock hold, so two enqueues of the same id (double resume, recover
         # racing a resume) can never both execute it.
         with self._lock:
             record = self.get(job_id)
-            if record.state in ("done", "running") or job_id in self._running:
+            if (
+                record.state in ("done", "running", "quarantined")
+                or job_id in self._running
+            ):
                 return record
 
             def sink(checkpoint: EngineCheckpoint) -> None:
@@ -275,6 +377,7 @@ class ExperimentService:
             self._save(record)
 
         spec = record.spec
+        retry_after = False
         start = time.perf_counter()  # reprolint: allow(wall-clock): wall_time_s reporting, not sim state
         try:
             # Inside the try: a corrupt or format-incompatible checkpoint
@@ -285,16 +388,33 @@ class ExperimentService:
                 record.slot = resume_from.slot
                 self._save(record)
             result = execute_spec(
-                spec, checkpointer=checkpointer, resume_from=resume_from
+                spec,
+                checkpointer=checkpointer,
+                resume_from=resume_from,
+                fault_injector=injector,
             )
         except RunInterrupted as stop:
             record.state = "checkpointed"
             record.slot = stop.checkpoint.slot
             self._save(record)
         except Exception:
-            record.state = "failed"
+            record.attempts += 1
             record.error = traceback.format_exc(limit=20)
+            cancelled = False
+            with self._lock:
+                cancelled = job_id in self._cancel_requested
+            if (
+                self.retry is not None
+                and not cancelled
+                and not self.retry.should_retry(record.attempts)
+            ):
+                record.state = "quarantined"
+            else:
+                record.state = "failed"
             self._save(record)
+            retry_after = (
+                record.state == "failed" and self.retry is not None and not cancelled
+            )
         else:
             wall_s = time.perf_counter() - start  # reprolint: allow(wall-clock): wall_time_s reporting, not sim state
             summary = summarize_result(spec, result, wall_time_s=wall_s)
@@ -311,6 +431,12 @@ class ExperimentService:
                 self._running.discard(job_id)
                 self._checkpointers.pop(job_id, None)
                 self._cancel_requested.discard(job_id)
+        if retry_after:
+            # Scheduled only after the running guard is released, so even a
+            # zero-delay retry cannot race the claim and get dropped.
+            # The retry resumes from the latest good checkpoint, not from
+            # scratch.
+            self._schedule_retry(job_id, record.attempts)
         return record
 
     def telemetry(self, job_id: str) -> Dict[str, object]:

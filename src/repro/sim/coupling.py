@@ -106,6 +106,28 @@ class CouplingCore:
         #: rebinds, never mutates), exactly what the fleet state holds.
         self._pinned_base: Dict[int, np.ndarray] = {}
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint_unit(self) -> tuple:
+        """The mutable coupling state, ordered as :data:`_CHECKPOINT_ATTRS`.
+
+        The single authoritative gather point for checkpoint capture:
+        :class:`repro.service.checkpoint.CoordinatorState` deep-copies this
+        tuple as one memo unit so cross-object aliases (the parameter-server
+        vectors the pinned-base map shares) stay shared inside the copy.
+        """
+        return tuple(getattr(self, attr) for attr in self._CHECKPOINT_ATTRS)
+
+    def load_checkpoint_unit(self, unit: tuple) -> None:
+        """Bind a captured (and re-copied) checkpoint unit back in."""
+        if len(unit) != len(self._CHECKPOINT_ATTRS):
+            raise ValueError(
+                f"checkpoint unit has {len(unit)} entries; expected "
+                f"{len(self._CHECKPOINT_ATTRS)}"
+            )
+        for attr, value in zip(self._CHECKPOINT_ATTRS, unit):
+            setattr(self, attr, value)
+
     # -- downloads ---------------------------------------------------------------
 
     def record_download(self, user: int, time_s: float) -> Tuple[int, np.ndarray]:

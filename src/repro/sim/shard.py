@@ -41,6 +41,9 @@ from __future__ import annotations
 
 import bisect
 import multiprocessing
+import os
+import signal
+import time
 import traceback
 from dataclasses import dataclass
 from typing import (
@@ -69,6 +72,7 @@ from repro.comm.network import NetworkModel
 from repro.comm.transport import ModelTransport
 from repro.energy.measurements import MeasurementTable
 from repro.energy.power_model import PowerModel
+from repro.faults.retry import RetryPolicy, poll_intervals
 from repro.fl.batch import TrainAheadScheduler
 from repro.fl.client import FLClient, LocalUpdate
 from repro.fl.metrics import AccuracyTracker
@@ -99,17 +103,44 @@ from repro.sim.trace import TRACE_LEVELS, SimulationTrace, SlotSample
 if TYPE_CHECKING:
     from repro.device.models import DeviceSpec
     from repro.energy.battery import Battery
+    from repro.faults.plan import FaultInjector
     from repro.service.checkpoint import Checkpointer, EngineCheckpoint
 
 __all__ = [
     "FleetShard",
     "InlineShardHandle",
     "ProcessShardHandle",
+    "ShardDied",
+    "ShardFailure",
+    "ShardTimeout",
     "ShardedEngine",
     "build_observation_batch",
     "drive_fleet_loop",
     "shard_bounds",
 ]
+
+
+class ShardFailure(RuntimeError):
+    """A shard worker failed in a way supervision can repair.
+
+    Raised by :class:`ProcessShardHandle` when the worker *process* is
+    gone or unresponsive — as opposed to a worker that replied with a
+    Python traceback, which is a deterministic bug and is deliberately
+    *not* retried (re-running deterministic code re-raises the same
+    error; see :meth:`ProcessShardHandle.wait`).
+    """
+
+    def __init__(self, shard_index: int, message: str) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+
+
+class ShardDied(ShardFailure):
+    """The worker process exited (crash, SIGKILL, OOM-kill) mid-protocol."""
+
+
+class ShardTimeout(ShardFailure):
+    """The worker process is alive but did not reply within the IPC timeout."""
 
 
 def shard_bounds(num_users: int, shards: int) -> List[Tuple[int, int]]:
@@ -628,12 +659,53 @@ class InlineShardHandle:
         pass
 
 
+#: Protocol methods whose first argument is the current slot — the hook
+#: points where worker-side fault events check their arming condition.
+_SLOT_METHODS = ("open_slot", "run_slot", "quiet_try")
+
+
+def _maybe_inject_worker_fault(
+    events: List[Dict], method: str, args: Tuple
+) -> bool:
+    """Execute any armed fault events for this request (worker-side).
+
+    Returns ``True`` when the request must be swallowed without a reply
+    (``drop_message``).  Events are plain dicts shipped in ``init_kwargs``;
+    one-shot kinds mark themselves ``fired`` in place.  ``kill_shard`` fires
+    on the first slot at or past ``at`` (event-horizon fast-forward can jump
+    over the exact slot), exactly how the coordinator-side bookkeeping in
+    :meth:`repro.faults.plan.FaultInjector.consume_engine_through` assumes.
+    """
+    if method not in _SLOT_METHODS or not args:
+        return False
+    slot = int(args[0])
+    for event in events:
+        if event.get("fired"):
+            continue
+        kind = event["kind"]
+        at = int(event["at"])
+        if kind == "kill_shard" and slot >= at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "delay_ipc" and slot >= at:
+            event["fired"] = True
+            time.sleep(float(event.get("delay_s", 0.0)))
+        elif kind == "slow_shard" and at <= slot < at + int(event.get("span", 1)):
+            time.sleep(float(event.get("delay_s", 0.0)))
+        elif kind == "drop_message" and slot >= at:
+            event["fired"] = True
+            return True
+    return False
+
+
 def _shard_worker_main(conn: Any, init_kwargs: Dict) -> None:
     """Worker-process entry point: build the shard lazily, serve commands."""
+    fault_events: List[Dict] = list(init_kwargs.pop("fault_events", ()))
     shard: Optional[FleetShard] = None
     while True:
         try:
-            message = conn.recv()
+            # The worker has nothing to do until the coordinator speaks; the
+            # coordinator side is the one that must never block unboundedly.
+            message = conn.recv()  # reprolint: allow(unbounded-blocking): worker idle loop, exits on EOF
         except EOFError:
             break
         method, args = message
@@ -642,6 +714,10 @@ def _shard_worker_main(conn: Any, init_kwargs: Dict) -> None:
         try:
             if shard is None:
                 shard = FleetShard.build(**init_kwargs)
+            if fault_events and _maybe_inject_worker_fault(
+                fault_events, method, args
+            ):
+                continue  # drop_message: consume the request, never reply
             conn.send(("ok", getattr(shard, method)(*args)))
         except BaseException:
             conn.send(("error", traceback.format_exc()))
@@ -654,9 +730,38 @@ class ProcessShardHandle:
     ``post`` is asynchronous — the coordinator posts to every shard before
     waiting on any, so shard compute (fleet kernels, local training)
     overlaps across workers.
+
+    All coordinator-side IPC is *bounded*: :meth:`wait` polls the pipe with
+    capped exponentially-growing intervals against a deadline, watching the
+    worker's liveness the whole time, and raises :class:`ShardDied` /
+    :class:`ShardTimeout` instead of blocking forever on a dead or hung
+    worker.  A worker that replied with a Python traceback still raises a
+    plain ``RuntimeError`` — that is a deterministic bug, not a fault the
+    supervisor should respawn through.
+
+    Args:
+        context: a ``multiprocessing`` context.
+        init_kwargs: :meth:`FleetShard.build` arguments (plus an optional
+            ``fault_events`` list the worker executes against itself).
+        shard_index: position in the coordinator's handle list (carried on
+            failures so the supervisor can report which shard was lost).
+        ipc_timeout_s: deadline for any single :meth:`wait`.
     """
 
-    def __init__(self, context: Any, init_kwargs: Dict) -> None:
+    def __init__(
+        self,
+        context: Any,
+        init_kwargs: Dict,
+        shard_index: int = 0,
+        ipc_timeout_s: float = 600.0,
+    ) -> None:
+        if ipc_timeout_s <= 0:
+            raise ValueError("ipc_timeout_s must be positive")
+        self.shard_index = shard_index
+        self.ipc_timeout_s = ipc_timeout_s
+        #: Highest slot this shard was asked to execute; the supervisor
+        #: consumes fault events up to here before a recovery replay.
+        self.last_slot = -1
         parent_conn, child_conn = context.Pipe()
         self._conn = parent_conn
         self._process = context.Process(
@@ -666,13 +771,62 @@ class ProcessShardHandle:
         child_conn.close()
 
     def post(self, method: str, *args: Any) -> None:
-        self._conn.send((method, args))
+        if method in _SLOT_METHODS and args:
+            self.last_slot = max(self.last_slot, int(args[0]))
+        try:
+            self._conn.send((method, args))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardDied(
+                self.shard_index,
+                f"shard {self.shard_index} worker pipe is closed "
+                f"(exitcode={self._process.exitcode}): {exc}",
+            ) from exc
 
     def wait(self) -> Any:
-        status, value = self._conn.recv()
+        deadline = time.monotonic() + self.ipc_timeout_s  # reprolint: allow(wall-clock): IPC liveness deadline, never feeds sim state
+        for interval in poll_intervals():
+            if self._conn.poll(interval):
+                break
+            if not self._process.is_alive():
+                # Drain a reply the worker may have flushed before dying.
+                if self._conn.poll(0):
+                    break
+                raise ShardDied(
+                    self.shard_index,
+                    f"shard {self.shard_index} worker died "
+                    f"(exitcode={self._process.exitcode})",
+                )
+            if time.monotonic() >= deadline:  # reprolint: allow(wall-clock): IPC liveness deadline, never feeds sim state
+                raise ShardTimeout(
+                    self.shard_index,
+                    f"shard {self.shard_index} worker sent no reply within "
+                    f"{self.ipc_timeout_s:.1f}s",
+                )
+        try:
+            # poll() above guaranteed data (or EOF) is ready; this cannot block.
+            status, value = self._conn.recv()  # reprolint: allow(unbounded-blocking): poll-guarded, data already buffered
+        except (EOFError, OSError) as exc:
+            raise ShardDied(
+                self.shard_index,
+                f"shard {self.shard_index} worker hung up mid-reply "
+                f"(exitcode={self._process.exitcode}): {exc}",
+            ) from exc
         if status == "error":
             raise RuntimeError(f"shard worker failed:\n{value}")
         return value
+
+    def kill(self) -> None:
+        """Hard-stop the worker (supervisor recovery path; no handshake)."""
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - close on a broken pipe
+            pass
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - defensive teardown
+            self._process.kill()
+            self._process.join(timeout=5)
 
     def close(self) -> None:
         try:
@@ -683,7 +837,10 @@ class ProcessShardHandle:
         if self._process.is_alive():  # pragma: no cover - defensive teardown
             self._process.terminate()
             self._process.join(timeout=5)
-        self._conn.close()
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - close on a broken pipe
+            pass
 
 
 # ---------------------------------------------------------------------------
@@ -1061,6 +1218,76 @@ def _fast_forward_epoch(
 
 
 # ---------------------------------------------------------------------------
+# Supervision: in-memory recovery snapshots multiplexed with user checkpoints
+# ---------------------------------------------------------------------------
+
+
+class _SupervisedCheckpointer:
+    """Fan a single checkpointer slot out to the user and the supervisor.
+
+    :func:`drive_fleet_loop` accepts exactly one checkpointer.  Supervision
+    needs its own recovery snapshots (in-memory, never persisted) alongside
+    whatever the caller asked for, so this adapter multiplexes both through
+    that one slot: ``due``/``limit``/``begin`` combine the two schedules,
+    and every snapshot that gets taken — for either reason — is remembered
+    as the latest recovery point.  User checkpoints therefore double as
+    free recovery points, and a dedicated recovery cadence
+    (``recovery_every_slots``) is only needed when the caller checkpoints
+    rarely or not at all.
+    """
+
+    def __init__(
+        self,
+        user: Optional["Checkpointer"],
+        recovery_every_slots: Optional[int],
+    ) -> None:
+        self.user = user
+        self.recovery: Optional["Checkpointer"] = None
+        if recovery_every_slots is not None:
+            from repro.service.checkpoint import Checkpointer
+
+            self.recovery = Checkpointer(
+                lambda checkpoint: None, every_slots=recovery_every_slots
+            )
+        #: Latest snapshot paired with whether the initial slot-0 evaluation
+        #: is already folded into its coordinator state (``False`` for the
+        #: eager pre-loop snapshot of a fresh run, which replays with
+        #: ``initial_eval=True``).
+        self.latest: Optional[Tuple["EngineCheckpoint", bool]] = None
+
+    @property
+    def parts(self) -> List["Checkpointer"]:
+        return [part for part in (self.recovery, self.user) if part is not None]
+
+    def remember(self, checkpoint: "EngineCheckpoint", eval_done: bool) -> None:
+        self.latest = (checkpoint, eval_done)
+
+    def begin(self, slot: int) -> None:
+        for part in self.parts:
+            part.begin(slot)
+
+    def due(self, slot: int) -> bool:
+        return any(part.due(slot) for part in self.parts)
+
+    def limit(self, slot: int) -> Optional[int]:
+        limits = [
+            limit for part in self.parts if (limit := part.limit(slot)) is not None
+        ]
+        return min(limits) if limits else None
+
+    def take(self, checkpoint: "EngineCheckpoint") -> None:
+        # In-loop snapshots are taken at the top of a slot, after the run's
+        # initial evaluation — replaying from one must not re-evaluate.
+        self.remember(checkpoint, eval_done=True)
+        if self.recovery is not None and self.recovery.due(checkpoint.slot):
+            self.recovery.take(checkpoint)
+        if self.user is not None and self.user.due(checkpoint.slot):
+            # May raise RunInterrupted (stop requested) or any sink error;
+            # both unwind the run, which is the user part's contract.
+            self.user.take(checkpoint)
+
+
+# ---------------------------------------------------------------------------
 # The sharded engine
 # ---------------------------------------------------------------------------
 
@@ -1109,6 +1336,22 @@ class ShardedEngine:
             :class:`InlineShardHandle` instead of worker processes.  Same
             staged protocol, same results; useful for tests that exercise
             the sharded data path without process startup cost.
+        fault_injector: optional :class:`~repro.faults.plan.FaultInjector`
+            whose engine events are shipped to the worker processes (chaos
+            testing; see ``docs/faults.md``).  Inline shards never inject.
+        ipc_timeout_s: per-reply coordinator↔worker deadline; a worker
+            silent for longer is declared hung and respawned.
+        max_respawns: how many shard failures (worker death, IPC timeout)
+            the supervisor repairs before giving up and re-raising; ``0``
+            disables supervision entirely.
+        recovery_every_slots: cadence of in-memory recovery snapshots; by
+            default only user checkpoints and the pre-loop snapshot serve
+            as recovery points.
+        degrade_on_failure: after a shard failure, redistribute the
+            population over one fewer worker instead of respawning the full
+            count — graceful degradation for hosts losing capacity.
+            Results stay bitwise-identical (the contract is shard-count
+            independent).
     """
 
     def __init__(
@@ -1125,11 +1368,20 @@ class ShardedEngine:
         training_threads: Optional[int] = 1,
         start_method: Optional[str] = None,
         inline: bool = False,
+        fault_injector: Optional["FaultInjector"] = None,
+        ipc_timeout_s: float = 600.0,
+        max_respawns: int = 3,
+        recovery_every_slots: Optional[int] = None,
+        degrade_on_failure: bool = False,
     ) -> None:
         if trace_level not in TRACE_LEVELS:
             raise ValueError(
                 f"unknown trace_level {trace_level!r}; choose from {TRACE_LEVELS}"
             )
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
+        if recovery_every_slots is not None and recovery_every_slots <= 0:
+            raise ValueError("recovery_every_slots must be positive when set")
         self.config = config
         self.policy = policy
         self.bounds = shard_bounds(config.num_users, shards)
@@ -1142,6 +1394,16 @@ class ShardedEngine:
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
         self.inline = bool(inline)
+        self.fault_injector = fault_injector
+        self.ipc_timeout_s = float(ipc_timeout_s)
+        self.max_respawns = int(max_respawns)
+        self.recovery_every_slots = recovery_every_slots
+        self.degrade_on_failure = bool(degrade_on_failure)
+        self._respawn_backoff = RetryPolicy(
+            max_attempts=max(1, self.max_respawns),
+            base_delay_s=0.05,
+            cap_s=2.0,
+        )
         self.timers = EngineTimers(enabled=profile)
 
         rngs = build_rngs(config)
@@ -1197,6 +1459,11 @@ class ShardedEngine:
         training_threads: Optional[int] = 1,
         start_method: Optional[str] = None,
         inline: bool = False,
+        fault_injector: Optional["FaultInjector"] = None,
+        ipc_timeout_s: float = 600.0,
+        max_respawns: int = 3,
+        recovery_every_slots: Optional[int] = None,
+        degrade_on_failure: bool = False,
     ) -> "ShardedEngine":
         """Rebuild a sharded engine from an
         :class:`~repro.service.checkpoint.EngineCheckpoint`.
@@ -1225,6 +1492,11 @@ class ShardedEngine:
             training_threads=training_threads,
             start_method=start_method,
             inline=inline,
+            fault_injector=fault_injector,
+            ipc_timeout_s=ipc_timeout_s,
+            max_respawns=max_respawns,
+            recovery_every_slots=recovery_every_slots,
+            degrade_on_failure=degrade_on_failure,
         )
         coordinator.install(engine.core, engine.timers)
         engine.server = engine.core.server
@@ -1266,8 +1538,71 @@ class ShardedEngine:
 
         return snapshot_fn
 
+    def _spawn_handles(self, context: Any, nested: bool) -> List[Any]:
+        """Start one handle per shard bound (inline or worker process)."""
+        handles: List[Any] = []
+        for index, (lo, hi) in enumerate(self.bounds):
+            init_kwargs = dict(
+                config=self.config,
+                lo=lo,
+                hi=hi,
+                arrivals=self.arrivals.slice_users(lo, hi),
+                measurement_table=self.table,
+                batched_training=self.batched_training,
+                training_threads=self.training_threads,
+            )
+            if nested:
+                handles.append(InlineShardHandle(FleetShard.build(**init_kwargs)))
+            else:
+                if self.fault_injector is not None:
+                    events = self.fault_injector.worker_events(index)
+                    if events:
+                        init_kwargs["fault_events"] = events
+                handles.append(
+                    ProcessShardHandle(
+                        context,
+                        init_kwargs,
+                        shard_index=index,
+                        ipc_timeout_s=self.ipc_timeout_s,
+                    )
+                )
+        return handles
+
+    def _restore_slices(self, handles: Sequence[Any], checkpoint: "EngineCheckpoint") -> None:
+        """Load a checkpoint's per-user state into live shard handles."""
+        from repro.service.checkpoint import reslice
+
+        for handle, piece in zip(handles, reslice(checkpoint.slices or [], self.bounds)):
+            handle.post("restore_state", piece)
+        for handle in handles:
+            handle.wait()
+
+    def _install_coordinator(self, checkpoint: "EngineCheckpoint") -> None:
+        """Roll the coordinator-side coupling state back to a checkpoint."""
+        coordinator = checkpoint.coordinator.materialize()
+        coordinator.install(self.core, self.timers)
+        self.policy = self.core.policy
+        self.server = self.core.server
+        self.transport = self.core.transport
+        self.trace = self.core.trace
+        self.accuracy = self.core.accuracy
+
     def run(self, checkpointer: Optional["Checkpointer"] = None) -> SimulationResult:
-        """Run the sharded simulation and return its (merged) result."""
+        """Run the sharded simulation and return its (merged) result.
+
+        Supervised: when a shard worker dies or stops answering within
+        ``ipc_timeout_s``, the supervisor kills the remaining workers, rolls
+        the coordinator back to the latest recovery snapshot (the pre-loop
+        snapshot, the last user checkpoint, or the last
+        ``recovery_every_slots`` point — whichever is newest), respawns the
+        workers (over one fewer shard with ``degrade_on_failure``), restores
+        their slices via :func:`~repro.service.checkpoint.reslice`, and
+        replays forward.  Replay re-executes the same deterministic slot
+        timeline, so the recovered result is bitwise-identical to the
+        fault-free run.  Worker replies carrying a Python traceback are
+        deterministic bugs, not faults — they raise ``RuntimeError`` and
+        are never retried.
+        """
         if self._has_run:
             raise RuntimeError("this engine has already run; create a new one")
         self._has_run = True
@@ -1283,55 +1618,96 @@ class ShardedEngine:
         # either way (the handles drive the same FleetShard methods); only
         # the process isolation is lost, which a pool worker already lacks.
         nested = self.inline or multiprocessing.current_process().daemon
+        supervising = not nested and self.max_respawns > 0
+        supervised = _SupervisedCheckpointer(
+            checkpointer, self.recovery_every_slots if supervising else None
+        )
         handles: List[Any] = []
+        respawns = 0
         try:
-            for lo, hi in self.bounds:
-                init_kwargs = dict(
-                    config=self.config,
-                    lo=lo,
-                    hi=hi,
-                    arrivals=self.arrivals.slice_users(lo, hi),
-                    measurement_table=self.table,
-                    batched_training=self.batched_training,
-                    training_threads=self.training_threads,
-                )
-                if nested:
-                    handles.append(InlineShardHandle(FleetShard.build(**init_kwargs)))
-                else:
-                    handles.append(ProcessShardHandle(context, init_kwargs))
+            handles = self._spawn_handles(context, nested)
             start_slot = 0
             pending_arrivals: Optional[List[int]] = None
             global_ready = -1
+            initial_eval = True
             if resume is not None:
-                from repro.service.checkpoint import reslice
-
-                for handle, piece in zip(
-                    handles, reslice(resume.slices or [], self.bounds)
-                ):
-                    handle.post("restore_state", piece)
-                for handle in handles:
-                    handle.wait()
+                self._restore_slices(handles, resume)
                 start_slot = resume.slot
                 pending_arrivals = list(resume.pending_arrivals)
                 global_ready = resume.global_ready
-            drive_fleet_loop(
-                core=self.core,
-                handles=handles,
-                bounds=self.bounds,
-                config=self.config,
-                fast_forward=self.fast_forward,
-                timers=self.timers,
-                trace_level=self.trace_level,
-                has_batteries=self._has_batteries,
-                start_slot=start_slot,
-                pending_arrivals=pending_arrivals,
-                global_ready=global_ready,
-                initial_eval=resume is None,
-                checkpointer=checkpointer,
-                snapshot_fn=(
-                    None if checkpointer is None else self._snapshot_builder(handles)
-                ),
-            )
+                initial_eval = False
+                supervised.remember(resume, eval_done=True)
+            while True:
+                # The snapshot closure binds the live handles — rebuild it
+                # whenever the handles are respawned.
+                snapshot_fn = self._snapshot_builder(handles)
+                if supervising and supervised.latest is None:
+                    # Eager pre-loop snapshot: without one, the first
+                    # failure of a fresh, never-checkpointed run would be
+                    # unrecoverable.  It pre-dates the initial evaluation,
+                    # so a replay from it re-runs that evaluation.
+                    pending = (
+                        list(range(self.config.num_users))
+                        if pending_arrivals is None
+                        else list(pending_arrivals)
+                    )
+                    supervised.remember(
+                        snapshot_fn(start_slot, pending, global_ready),
+                        eval_done=False,
+                    )
+                use_supervised = supervising or checkpointer is not None
+                try:
+                    drive_fleet_loop(
+                        core=self.core,
+                        handles=handles,
+                        bounds=self.bounds,
+                        config=self.config,
+                        fast_forward=self.fast_forward,
+                        timers=self.timers,
+                        trace_level=self.trace_level,
+                        has_batteries=self._has_batteries,
+                        start_slot=start_slot,
+                        pending_arrivals=pending_arrivals,
+                        global_ready=global_ready,
+                        initial_eval=initial_eval,
+                        checkpointer=supervised if use_supervised else None,
+                        snapshot_fn=snapshot_fn if use_supervised else None,
+                    )
+                    break
+                except ShardFailure:
+                    respawns += 1
+                    latest = supervised.latest
+                    if (
+                        not supervising
+                        or respawns > self.max_respawns
+                        or latest is None
+                    ):
+                        raise
+                    # Recovery replays the window since the snapshot; the
+                    # fault events inside it already did their damage and
+                    # must not re-fire on the respawned workers.
+                    high_slot = max(
+                        (getattr(handle, "last_slot", -1) for handle in handles),
+                        default=-1,
+                    )
+                    if self.fault_injector is not None:
+                        self.fault_injector.consume_engine_through(high_slot)
+                    for handle in handles:
+                        handle.kill()
+                    handles = []
+                    time.sleep(self._respawn_backoff.delay_s(respawns))
+                    checkpoint, eval_done = latest
+                    if self.degrade_on_failure and len(self.bounds) > 1:
+                        self.bounds = shard_bounds(
+                            self.config.num_users, len(self.bounds) - 1
+                        )
+                    self._install_coordinator(checkpoint)
+                    handles = self._spawn_handles(context, nested)
+                    self._restore_slices(handles, checkpoint)
+                    start_slot = checkpoint.slot
+                    pending_arrivals = list(checkpoint.pending_arrivals)
+                    global_ready = checkpoint.global_ready
+                    initial_eval = not eval_done
             for handle in handles:
                 handle.post("finalize")
             finals = [handle.wait() for handle in handles]

@@ -25,6 +25,7 @@ from repro.tools.reprolint.framework import (
     lint_paths,
     load_config,
 )
+from repro.tools.reprolint.rules_blocking import UnboundedBlockingRule
 from repro.tools.reprolint.rules_checkpoint import CheckpointCoverageRule
 from repro.tools.reprolint.rules_determinism import (
     GlobalRngRule,
@@ -46,6 +47,7 @@ def default_rules() -> List[Rule]:
         IdKeyRule(),
         LockGuardRule(),
         CheckpointCoverageRule(),
+        UnboundedBlockingRule(),
     ]
 
 

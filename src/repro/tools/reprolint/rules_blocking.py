@@ -1,0 +1,83 @@
+"""Concurrency rule: forbid unbounded blocking calls.
+
+A coordinator that calls ``Connection.recv()`` on a dead worker's pipe, or
+``Process.join()`` / ``Queue.get()`` without a timeout, blocks forever —
+the exact failure mode the shard supervisor exists to repair (a hung run
+is strictly worse than a failed one: nothing restarts it).  This rule
+flags the blocking primitives that accept no deadline:
+
+* any ``.recv(...)`` call — pipe/socket receives have no timeout
+  parameter at all; bounded code polls first (``Connection.poll``/
+  ``select``) and only then drains the guaranteed-ready payload;
+* ``.get()`` / ``.join()`` called with no positional arguments and no
+  ``timeout=`` keyword — the zero-argument forms of ``Queue.get``,
+  ``Process.join``, ``Thread.join`` block unboundedly, while the
+  argumented forms (``dict.get(key)``, ``",".join(parts)``,
+  ``join(timeout=10)``) are either bounded or not blocking at all.
+
+The matching is name-based (no type inference), so innocuous methods that
+happen to share these names can trip it; that is deliberate — each
+intentional blocking call carries a visible
+``# reprolint: allow(unbounded-blocking): <reason>`` audit entry instead
+of being invisible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.reprolint.framework import Finding, Rule, SourceFile
+
+__all__ = ["UnboundedBlockingRule"]
+
+#: Methods whose zero-positional-argument, no-``timeout=`` call form blocks
+#: without a deadline.
+_TIMEOUTLESS_WHEN_BARE = ("get", "join")
+
+
+def _has_timeout_kwarg(node: ast.Call) -> bool:
+    return any(keyword.arg == "timeout" for keyword in node.keywords)
+
+
+class UnboundedBlockingRule(Rule):
+    id = "unbounded-blocking"
+    summary = (
+        "forbid blocking calls without a deadline (.recv, bare .get/.join)"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "recv":
+                if src.is_allowed(self.id, node):
+                    continue
+                yield self.finding(
+                    src,
+                    node,
+                    ".recv() blocks forever on a dead peer; poll with a "
+                    "deadline first (Connection.poll / select) and drain "
+                    "only guaranteed-ready data. Suppress with "
+                    "'# reprolint: allow(unbounded-blocking): <reason>' "
+                    "when the wait is provably bounded.",
+                )
+            elif (
+                func.attr in _TIMEOUTLESS_WHEN_BARE
+                and not node.args
+                and not _has_timeout_kwarg(node)
+            ):
+                if src.is_allowed(self.id, node):
+                    continue
+                yield self.finding(
+                    src,
+                    node,
+                    f"bare .{func.attr}() blocks without a deadline; pass "
+                    "timeout= (and handle expiry) so a dead or hung peer "
+                    "cannot wedge this caller. Suppress with "
+                    "'# reprolint: allow(unbounded-blocking): <reason>' "
+                    "when the wait is provably bounded.",
+                )

@@ -372,6 +372,53 @@ class TestCheckpointCoverage:
 
 
 # ---------------------------------------------------------------------------
+# unbounded-blocking
+# ---------------------------------------------------------------------------
+
+
+class TestUnboundedBlocking:
+    def test_flags_recv_and_bare_get_join(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def drain(conn, queue, proc):
+                payload = conn.recv()
+                item = queue.get()
+                proc.join()
+                return payload, item
+            """)
+        assert rule_ids(findings) == ["unbounded-blocking"] * 3
+        assert ".recv()" in findings[0].message
+        assert "timeout=" in findings[1].message
+
+    def test_flags_recv_even_with_arguments(self, tmp_path):
+        # socket.recv(bufsize) still blocks forever on a dead peer.
+        findings = lint_snippet(tmp_path, """
+            def read(sock):
+                return sock.recv(4096)
+            """)
+        assert rule_ids(findings) == ["unbounded-blocking"]
+
+    def test_clean_bounded_calls_pass(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def bounded(queue, proc, record, parts):
+                item = queue.get(timeout=5.0)
+                proc.join(timeout=10.0)
+                proc.join(10.0)
+                state = record.get("state")
+                return item, state, ",".join(parts)
+            """)
+        assert findings == []
+
+    def test_suppression_honored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def drain(conn):
+                if conn.poll(1.0):
+                    return conn.recv()  # reprolint: allow(unbounded-blocking): poll-guarded
+                return None
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # framework behaviour
 # ---------------------------------------------------------------------------
 
