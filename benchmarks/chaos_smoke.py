@@ -28,9 +28,9 @@ import json
 import os
 import sys
 import time
-from datetime import datetime, timezone
 
 from repro.faults import FaultEvent, FaultPlan, RetryPolicy
+from repro.metrics.bench import append_trajectory, bench_record
 from repro.scenarios.runner import scenario_run_spec
 from repro.service.jobs import ExperimentService
 
@@ -39,9 +39,6 @@ ARTIFACT_PATH = os.path.join(
     "benchmark_artifacts",
     "BENCH_chaos.json",
 )
-
-#: Keep the trajectory bounded; old entries roll off the front.
-MAX_TRAJECTORY_RUNS = 200
 
 #: The headline metrics that must survive the chaos run bitwise.
 HEADLINE_KEYS = (
@@ -66,25 +63,6 @@ def mismatched_keys(reference: dict, recovered: dict):
     return [
         key for key in HEADLINE_KEYS if reference.get(key) != recovered.get(key)
     ]
-
-
-def append_trajectory(record: dict) -> None:
-    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
-    payload = {"benchmark": "chaos_smoke", "runs": []}
-    if os.path.exists(ARTIFACT_PATH):
-        try:
-            with open(ARTIFACT_PATH, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            pass  # corrupt artifact: start a fresh trajectory
-    runs = payload.setdefault("runs", [])
-    runs.append(record)
-    del runs[:-MAX_TRAJECTORY_RUNS]
-    tmp_path = f"{ARTIFACT_PATH}.tmp.{os.getpid()}"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp_path, ARTIFACT_PATH)
 
 
 def _read_summary(service: ExperimentService, job_id: str) -> dict:
@@ -224,21 +202,28 @@ def main(argv=None) -> int:
                 f"{args.max_overhead:.2f}x gate"
             )
 
-    append_trajectory({
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "scenario": args.scenario,
-        "shards": args.shards,
-        "checkpoint_every": args.checkpoint_every,
-        "kill_slot": kill_slot,
-        "corrupt_slot": corrupt_slot,
-        "reference_s": round(ref_s, 2),
-        "chaos_s": round(chaos_s, 2),
-        "state": final.state,
-        "attempts": final.attempts,
-        "fired": [e.to_dict() for e in fired],
-        "mismatches": mismatches,
-        "failures": failures,
-    })
+    append_trajectory(ARTIFACT_PATH, bench_record(
+        "chaos_smoke",
+        metrics={
+            "reference_s": round(ref_s, 2),
+            "chaos_s": round(chaos_s, 2),
+            "attempts": final.attempts,
+        },
+        context={
+            "scenario": args.scenario,
+            "shards": args.shards,
+            "checkpoint_every": args.checkpoint_every,
+            "kill_slot": kill_slot,
+            "corrupt_slot": corrupt_slot,
+            "state": final.state,
+        },
+        gates={"max_overhead": args.max_overhead},
+        extra={
+            "fired": [e.to_dict() for e in fired],
+            "mismatches": mismatches,
+            "failures": failures,
+        },
+    ))
 
     if failures:
         for failure in failures:

@@ -23,13 +23,12 @@ commits, not just against the current gate::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import tempfile
 import time
-from datetime import datetime, timezone
 
+from repro.metrics.bench import append_trajectory, bench_record
 from repro.scenarios import (
     BUILTIN_SCENARIO_NAMES,
     ScenarioRunner,
@@ -42,9 +41,6 @@ ARTIFACT_PATH = os.path.join(
     "benchmark_artifacts",
     "BENCH_scenarios.json",
 )
-
-#: Keep the trajectory bounded; old entries roll off the front.
-MAX_TRAJECTORY_RUNS = 100
 
 #: Smoke scale: enough structure to exercise every cohort, small enough for
 #: seconds-scale CI.  megafleet-1k is excluded here — it runs at full scale
@@ -128,26 +124,6 @@ def run_megafleet_gate(runner: ScenarioRunner, policy: str, max_seconds: float) 
     }
 
 
-def append_trajectory(record: dict) -> None:
-    """Append one run record to the persistent BENCH_scenarios.json artifact."""
-    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
-    payload = {"benchmark": "scenario_smoke", "runs": []}
-    if os.path.exists(ARTIFACT_PATH):
-        try:
-            with open(ARTIFACT_PATH, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            pass  # corrupt artifact: start a fresh trajectory
-    runs = payload.setdefault("runs", [])
-    runs.append(record)
-    del runs[:-MAX_TRAJECTORY_RUNS]
-    tmp_path = f"{ARTIFACT_PATH}.tmp.{os.getpid()}"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp_path, ARTIFACT_PATH)
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--policy", default="immediate",
@@ -182,13 +158,33 @@ def main(argv=None) -> int:
                 f"{args.max_seconds:.0f}s gate"
             )
 
-    append_trajectory({
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "policy": args.policy,
-        "smoke": smoke_records,
-        "gate": gate_record,
-        "failures": list(failures),
-    })
+    metrics = {"smoke_total_s": round(sum(r["wall_s"] for r in smoke_records), 4)}
+    context = {"policy": args.policy}
+    if gate_record is not None:
+        metrics.update(
+            wall_s=gate_record["wall_s"],
+            energy_kj=gate_record["energy_kj"],
+            updates=gate_record["updates"],
+            reproducible=gate_record["reproducible"],
+        )
+        context.update(
+            scenario=gate_record["scenario"],
+            stage=gate_record["stage"],
+            users=gate_record["users"],
+            slots=gate_record["slots"],
+            spec_hash=gate_record["spec_hash"],
+        )
+    append_trajectory(ARTIFACT_PATH, bench_record(
+        "scenario_smoke",
+        metrics=metrics,
+        context=context,
+        gates={"max_seconds": args.max_seconds},
+        extra={
+            "smoke": smoke_records,
+            "gate": gate_record,
+            "failures": list(failures),
+        },
+    ), max_runs=100)
 
     if failures:
         for failure in failures:

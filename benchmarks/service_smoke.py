@@ -32,9 +32,9 @@ import sys
 import time
 import urllib.error
 import urllib.request
-from datetime import datetime, timezone
 
 from repro.analysis.runner import run_spec, summarize_result
+from repro.metrics.bench import append_trajectory, bench_record
 from repro.scenarios.runner import scenario_run_spec
 
 ARTIFACT_PATH = os.path.join(
@@ -42,9 +42,6 @@ ARTIFACT_PATH = os.path.join(
     "benchmark_artifacts",
     "BENCH_service.json",
 )
-
-#: Keep the trajectory bounded; old entries roll off the front.
-MAX_TRAJECTORY_RUNS = 200
 
 #: The headline metrics that must survive a crash bitwise.
 HEADLINE_KEYS = (
@@ -102,25 +99,6 @@ def mismatched_keys(reference: dict, resumed: dict):
     return [
         key for key in HEADLINE_KEYS if reference.get(key) != resumed.get(key)
     ]
-
-
-def append_trajectory(record: dict) -> None:
-    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
-    payload = {"benchmark": "service_smoke", "runs": []}
-    if os.path.exists(ARTIFACT_PATH):
-        try:
-            with open(ARTIFACT_PATH, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            pass  # corrupt artifact: start a fresh trajectory
-    runs = payload.setdefault("runs", [])
-    runs.append(record)
-    del runs[:-MAX_TRAJECTORY_RUNS]
-    tmp_path = f"{ARTIFACT_PATH}.tmp.{os.getpid()}"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp_path, ARTIFACT_PATH)
 
 
 def main(argv=None) -> int:
@@ -255,17 +233,21 @@ def main(argv=None) -> int:
                     f"{args.max_overhead:.2f}x gate"
                 )
 
-    append_trajectory({
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "scenario": args.scenario,
-        "reference_s": round(ref_s, 2),
-        "interrupted_s": round(interrupted_s, 2),
-        "resume_s": None if resume_s is None else round(resume_s, 2),
-        "kill_slot": kill_slot,
-        "checkpoint_every": args.checkpoint_every,
-        "mismatches": mismatches,
-        "failures": failures,
-    })
+    append_trajectory(ARTIFACT_PATH, bench_record(
+        "service_smoke",
+        metrics={
+            "reference_s": round(ref_s, 2),
+            "interrupted_s": round(interrupted_s, 2),
+            "resume_s": None if resume_s is None else round(resume_s, 2),
+        },
+        context={
+            "scenario": args.scenario,
+            "kill_slot": kill_slot,
+            "checkpoint_every": args.checkpoint_every,
+        },
+        gates={"max_overhead": args.max_overhead},
+        extra={"mismatches": mismatches, "failures": failures},
+    ))
 
     if failures:
         for failure in failures:

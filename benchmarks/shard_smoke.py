@@ -29,13 +29,12 @@ not just against the current gate.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
-from datetime import datetime, timezone
 
 from repro.core.online import OnlinePolicy
+from repro.metrics.bench import append_trajectory, bench_record
 from repro.scenarios import ScenarioRunner
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
@@ -46,10 +45,6 @@ ARTIFACT_PATH = os.path.join(
     "benchmark_artifacts",
     "BENCH_shard.json",
 )
-
-#: Keep the trajectory bounded; old entries roll off the front.
-MAX_TRAJECTORY_RUNS = 200
-
 
 def midsize_config() -> SimulationConfig:
     """A mid-size heterogeneous population for the divergence/scaling gates.
@@ -146,26 +141,6 @@ def run_megafleet(shards: int) -> dict:
     }
 
 
-def append_trajectory(record: dict) -> None:
-    """Append one run record to the persistent BENCH_shard.json artifact."""
-    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
-    payload = {"benchmark": "shard_smoke", "runs": []}
-    if os.path.exists(ARTIFACT_PATH):
-        try:
-            with open(ARTIFACT_PATH, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            pass  # corrupt artifact: start a fresh trajectory
-    runs = payload.setdefault("runs", [])
-    runs.append(record)
-    del runs[:-MAX_TRAJECTORY_RUNS]
-    tmp_path = f"{ARTIFACT_PATH}.tmp.{os.getpid()}"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp_path, ARTIFACT_PATH)
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--shards", type=int, nargs="+", default=[2, 4],
@@ -239,15 +214,29 @@ def main(argv=None) -> int:
                 f"{args.max_megafleet_seconds:.0f}s gate"
             )
 
-    append_trajectory({
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "midsize_users": config.num_users,
-        "midsize_slots": config.total_slots,
-        "single_s": round(t_single, 3),
-        "shard_runs": shard_records,
-        "megafleet": megafleet_record,
-        "failures": failures,
-    })
+    metrics = {"single_s": round(t_single, 3)}
+    for shard_record in shard_records:
+        metrics[f"shard{shard_record['shards']}_s"] = shard_record["wall_s"]
+        metrics[f"shard{shard_record['shards']}_overhead"] = shard_record["overhead"]
+    if megafleet_record is not None:
+        metrics["megafleet_s"] = megafleet_record["wall_s"]
+    append_trajectory(ARTIFACT_PATH, bench_record(
+        "shard_smoke",
+        metrics=metrics,
+        context={
+            "midsize_users": config.num_users,
+            "midsize_slots": config.total_slots,
+        },
+        gates={
+            "max_overhead": args.max_overhead,
+            "max_megafleet_seconds": args.max_megafleet_seconds,
+        },
+        extra={
+            "shard_runs": shard_records,
+            "megafleet": megafleet_record,
+            "failures": failures,
+        },
+    ))
 
     if failures:
         for failure in failures:

@@ -28,15 +28,14 @@ hard gate::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
-from datetime import datetime, timezone
 
 import numpy as np
 
 from repro.core.policies import ImmediatePolicy
+from repro.metrics.bench import append_trajectory, bench_record
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
 
@@ -45,9 +44,6 @@ ARTIFACT_PATH = os.path.join(
     "benchmark_artifacts",
     "BENCH_training.json",
 )
-
-#: Keep the trajectory bounded; old entries roll off the front.
-MAX_TRAJECTORY_RUNS = 200
 
 
 def convergence_config(paper_scale: bool) -> SimulationConfig:
@@ -126,26 +122,6 @@ def digest_divergence(serial, batched, tolerance: float):
     return mismatches, max(divergences.values())
 
 
-def append_trajectory(record: dict) -> None:
-    """Append one run record to the persistent BENCH_training.json artifact."""
-    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
-    payload = {"benchmark": "training_smoke", "runs": []}
-    if os.path.exists(ARTIFACT_PATH):
-        try:
-            with open(ARTIFACT_PATH, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            pass  # corrupt artifact: start a fresh trajectory
-    runs = payload.setdefault("runs", [])
-    runs.append(record)
-    del runs[:-MAX_TRAJECTORY_RUNS]
-    tmp_path = f"{ARTIFACT_PATH}.tmp.{os.getpid()}"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp_path, ARTIFACT_PATH)
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--paper-scale", action="store_true",
@@ -175,18 +151,26 @@ def main(argv=None) -> int:
     print("serial wall-clock shares: "
           + "  ".join(f"{name}={100.0 * value:.0f}%" for name, value in shares.items()))
 
-    append_trajectory({
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "paper_scale": bool(args.paper_scale),
-        "num_users": config.num_users,
-        "total_slots": config.total_slots,
-        "serial_s": round(t_serial, 4),
-        "batched_s": round(t_batched, 4),
-        "speedup": round(speedup, 3),
-        "max_divergence": worst,
-        "updates": batched.num_updates,
-        "serial_training_share": round(shares.get("training", 0.0), 4),
-    })
+    append_trajectory(ARTIFACT_PATH, bench_record(
+        "training_smoke",
+        metrics={
+            "serial_s": round(t_serial, 4),
+            "batched_s": round(t_batched, 4),
+            "speedup": round(speedup, 3),
+            "max_divergence": worst,
+            "updates": batched.num_updates,
+            "serial_training_share": round(shares.get("training", 0.0), 4),
+        },
+        context={
+            "paper_scale": bool(args.paper_scale),
+            "num_users": config.num_users,
+            "total_slots": config.total_slots,
+        },
+        gates={
+            "min_speedup": args.min_speedup,
+            "max_divergence": args.tolerance,
+        },
+    ))
 
     if mismatches:
         print("DIVERGENCE: batched training differs from serial on:",

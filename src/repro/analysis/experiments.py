@@ -553,6 +553,7 @@ def scenario_policy_rows(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     carbon_intensity=None,
+    metrics_store=None,
 ) -> List[Tuple]:
     """All scheduling schemes on one named scenario, as report-ready rows.
 
@@ -564,17 +565,31 @@ def scenario_policy_rows(
     carbon_g])`` tuple per policy; the saving column is relative to the
     first policy in ``policies``.
 
+    The rows are read back from a :class:`repro.metrics.store.MetricsStore`
+    rather than straight off the in-memory summaries — the sweep ingests
+    into the store (an ephemeral in-memory one by default), so the report
+    path and the persisted-analytics path can never drift apart.
+
     Args:
         scenario: registry name, :class:`~repro.scenarios.spec.ScenarioSpec`
             or compiled scenario.
         carbon_intensity: when set, appends a CO2-equivalent grams column
             (see :func:`repro.analysis.runner.annotate_carbon`).
+        metrics_store: a store (or path) to persist the sweep's summaries
+            into; ``None`` uses a throwaway in-memory store.
     """
     from repro.analysis.runner import annotate_carbon
+    from repro.metrics.store import MetricsStore, as_store
     from repro.scenarios.runner import ScenarioRunner
 
+    store = as_store(metrics_store)
+    if store is None:
+        store = MetricsStore(":memory:")
     runner = ScenarioRunner(
-        cache_dir=cache_dir, jobs=jobs, batched_training=batched_training_default()
+        cache_dir=cache_dir,
+        jobs=jobs,
+        batched_training=batched_training_default(),
+        metrics_store=store,
     )
     summaries = runner.sweep_policies(
         scenario,
@@ -583,14 +598,23 @@ def scenario_policy_rows(
     )
     if carbon_intensity is not None:
         annotate_carbon(summaries, carbon_intensity)
-    baseline_j = summaries[0].energy_j
+        for summary in summaries:  # idempotent upsert; carbon_g now set
+            store.ingest_run(summary)
+    baseline = store.run(summaries[0].spec_hash) or {}
+    baseline_j = baseline.get("energy_j") or 0.0
     rows: List[Tuple] = []
     for policy, summary in zip(policies, summaries):
-        saving = (
-            100.0 * (1.0 - summary.energy_j / baseline_j) if baseline_j > 0 else 0.0
-        )
-        row = [policy, summary.energy_kj, saving, summary.num_updates, summary.final_accuracy]
+        row_data = store.run(summary.spec_hash) or {}
+        energy_j = row_data.get("energy_j") or 0.0
+        saving = 100.0 * (1.0 - energy_j / baseline_j) if baseline_j > 0 else 0.0
+        row = [
+            policy,
+            row_data.get("energy_kj"),
+            saving,
+            row_data.get("num_updates"),
+            row_data.get("final_accuracy"),
+        ]
         if carbon_intensity is not None:
-            row.append(summary.carbon_g)
+            row.append(row_data.get("carbon_g"))
         rows.append(tuple(row))
     return rows

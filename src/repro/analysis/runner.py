@@ -370,6 +370,10 @@ class ExperimentSuite:
         start_method: ``multiprocessing`` start method; defaults to
             ``"fork"`` where available (cheap on Linux) and the platform
             default elsewhere.
+        metrics_store: optional :class:`repro.metrics.store.MetricsStore`
+            (or a path for one); every summary this suite produces — cached
+            and fresh alike — is ingested into it, so cross-run queries and
+            regression checks read one durable place.
     """
 
     def __init__(
@@ -377,6 +381,7 @@ class ExperimentSuite:
         cache_dir: Optional[str] = None,
         jobs: int = 1,
         start_method: Optional[str] = None,
+        metrics_store: Any = None,
     ) -> None:
         self.cache_dir = cache_dir
         self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
@@ -384,6 +389,9 @@ class ExperimentSuite:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        from repro.metrics.store import as_store  # local: keep import cycle-free
+
+        self.metrics = as_store(metrics_store)
 
     # -- cache -------------------------------------------------------------------
 
@@ -450,6 +458,12 @@ class ExperimentSuite:
             for (index, spec), summary in zip(missing, fresh):
                 self.store(spec, summary)
                 summaries[index] = summary
+        if self.metrics is not None:
+            # Cached and fresh summaries alike: re-ingest is idempotent
+            # (the store upserts by spec hash).
+            for spec, summary in zip(specs, summaries):
+                if summary is not None:
+                    self.metrics.ingest_run(summary, spec=spec)
         return list(summaries)  # type: ignore[arg-type]
 
     def map_results(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:

@@ -310,7 +310,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         shards=args.shards,
         trace_level=args.trace_level,
     )
-    suite = ExperimentSuite(cache_dir=args.cache_dir, jobs=args.jobs)
+    suite = ExperimentSuite(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        metrics_store=getattr(args, "metrics_store", None),
+    )
     summaries = suite.run([baseline_spec, *online_specs])
     immediate, online = summaries[0], summaries[1:]
     cached = sum(1 for s in summaries if s.from_cache)
@@ -385,6 +389,7 @@ def _scenario_runner(args: argparse.Namespace):
         batched_training=args.batched_training,
         shards=args.shards,
         trace_level=args.trace_level,
+        metrics_store=getattr(args, "metrics_store", None),
     )
 
 
@@ -564,6 +569,7 @@ def _build_service(args: argparse.Namespace):
         fault_plan=fault_plan,
         keep_last=getattr(args, "keep_last", 1),
         keep_every_slots=keep_every,
+        metrics_store=getattr(args, "metrics_store", None),
     )
 
 
@@ -758,6 +764,188 @@ def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_frame(frame: dict) -> str:
+    """One watch line per telemetry frame."""
+    slot = frame.get("slot", 0)
+    total = frame.get("total_slots") or 0
+    pct = f" ({100.0 * slot / total:.0f}%)" if total else ""
+    parts = [f"slot {slot}/{total}{pct}"]
+    energy = frame.get("energy_j")
+    if energy is not None:
+        parts.append(f"energy={float(energy) / 1000.0:.3f}kJ")
+    if frame.get("num_updates") is not None:
+        parts.append(f"updates={frame['num_updates']}")
+    if frame.get("accuracy") is not None:
+        parts.append(f"acc={float(frame['accuracy']):.4f}")
+    if frame.get("queue_length") is not None:
+        parts.append(f"Q={float(frame['queue_length']):.2f}")
+    if frame.get("virtual_queue_length") is not None:
+        parts.append(f"H={float(frame['virtual_queue_length']):.2f}")
+    if frame.get("final"):
+        parts.append("[final]")
+    return "  ".join(parts)
+
+
+def _cmd_jobs_watch(args: argparse.Namespace) -> int:
+    """Follow a job's live telemetry stream until it reaches a terminal state.
+
+    Rides the chunked ``/jobs/<id>/telemetry/stream`` endpoint; server-side
+    watch timeouts and dropped connections reconnect from the last seen
+    ``seq``, so the printed stream never duplicates or skips a frame.
+    """
+    import time as _time
+
+    from repro.service import ServiceError, ServiceUnavailable
+
+    client = _service_client(args)
+    last_seq = -1
+    failures = 0
+    while True:
+        try:
+            for frame in client.stream_telemetry(
+                args.job_id, after=last_seq, timeout_s=args.timeout
+            ):
+                event = frame.get("event")
+                if event == "end":
+                    state = frame.get("state")
+                    print(f"-- {state} --")
+                    return 0 if state in ("done", "checkpointed") else 1
+                if event == "timeout":
+                    break  # reconnect from last_seq below
+                if "seq" in frame:
+                    last_seq = int(frame["seq"])
+                    failures = 0
+                print(_format_frame(frame), flush=True)
+        except ServiceError as error:
+            raise SystemExit(str(error))
+        except ServiceUnavailable as error:
+            failures += 1
+            if failures >= args.max_reconnects:
+                raise SystemExit(
+                    f"stream lost after {failures} reconnect attempt(s): {error}"
+                )
+            _time.sleep(min(0.5 * failures, 3.0))  # reprolint: allow(wall-clock): CLI reconnect pacing, never feeds sim state
+
+
+# ---------------------------------------------------------------------------
+# Metrics subcommands
+# ---------------------------------------------------------------------------
+
+
+def _open_store(args: argparse.Namespace, required: bool = True):
+    path = getattr(args, "store", None)
+    if path is None:
+        if required:
+            raise SystemExit("pass --store <sqlite file>")
+        return None
+    from repro.metrics.store import MetricsStore
+
+    return MetricsStore(path)
+
+
+def _cmd_metrics_runs(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    rows = store.runs(scenario=args.scenario, policy=args.policy)
+    if not rows:
+        print("no matching runs in the store")
+        return 0
+    table = [
+        [
+            row["spec_hash"][:12],
+            row.get("scenario") or row.get("label") or "",
+            row.get("policy"),
+            row.get("seed"),
+            row.get("backend"),
+            row.get("shards"),
+            row.get("repro_version"),
+            row.get("energy_kj"),
+            row.get("final_accuracy"),
+            row.get("num_updates"),
+            row.get("wall_time_s"),
+        ]
+        for row in rows
+    ]
+    print(format_table(
+        ["spec", "scenario", "policy", "seed", "backend", "shards",
+         "version", "energy (kJ)", "accuracy", "updates", "wall (s)"],
+        table,
+        float_format=".3f",
+        title=f"Ingested runs ({args.store})",
+    ))
+    return 0
+
+
+def _cmd_metrics_ingest(args: argparse.Namespace) -> int:
+    """Backfill a store from an ExperimentSuite cache directory."""
+    from repro.analysis.runner import RunSummary
+
+    store = _open_store(args)
+    ingested = skipped = 0
+    for path in sorted(Path(args.cache_dir).glob("*.json")):
+        try:
+            summary = RunSummary.from_json(path.read_text())
+        except (ValueError, TypeError, KeyError):
+            skipped += 1
+            continue
+        store.ingest_run(summary)
+        ingested += 1
+    print(f"ingested {ingested} summaries ({skipped} unreadable) "
+          f"from {args.cache_dir} into {args.store}")
+    return 0
+
+
+def _cmd_metrics_regress(args: argparse.Namespace) -> int:
+    from repro.metrics.regress import (
+        detect_bench_regressions,
+        detect_store_regressions,
+        format_regressions,
+        parse_tolerance_overrides,
+    )
+
+    tolerances = None
+    if args.tolerance:
+        try:
+            tolerances = parse_tolerance_overrides(args.tolerance)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    findings = []
+    if args.artifacts and Path(args.artifacts).is_dir():
+        bench_findings, stats = detect_bench_regressions(
+            args.artifacts, tolerances=tolerances
+        )
+        findings.extend(bench_findings)
+        print(f"bench: {stats['files']} file(s), {stats['groups']} "
+              f"group(s) with history, {stats['checks']} check(s)")
+    elif args.artifacts:
+        print(f"bench: no artifact directory at {args.artifacts}")
+    store = _open_store(args, required=False)
+    if store is not None:
+        store_findings, stats = detect_store_regressions(
+            store, tolerances=tolerances
+        )
+        findings.extend(store_findings)
+        print(f"store: {stats['groups']} group(s) with history, "
+              f"{stats['checks']} check(s)")
+    print(format_regressions(findings))
+    return 1 if findings else 0
+
+
+def _cmd_metrics_dashboard(args: argparse.Namespace) -> int:
+    from repro.metrics.dashboard import write_dashboard
+
+    store = _open_store(args, required=False)
+    artifacts = args.artifacts if args.artifacts else None
+    out = write_dashboard(
+        args.out,
+        store=store,
+        artifact_dir=artifacts,
+        title=args.title,
+        baseline_policy=args.baseline_policy,
+    )
+    print(f"wrote {out}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Static analysis
 # ---------------------------------------------------------------------------
@@ -880,6 +1068,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default=None,
                        help="cache run summaries here, keyed by config hash; "
                             "repeated sweeps skip finished runs")
+    sweep.add_argument("--metrics-store", default=None, metavar="DB",
+                       help="also ingest every run summary into this sqlite "
+                            "metrics store (see `repro-sim metrics`)")
     sweep.set_defaults(func=_cmd_sweep)
 
     scenario = subparsers.add_parser(
@@ -926,6 +1117,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ignore (and overwrite) cached summaries")
         sub.add_argument("--carbon-intensity", default=None,
                          help="report CO2-equivalent grams (region or gCO2e/kWh)")
+        sub.add_argument("--metrics-store", default=None, metavar="DB",
+                         help="also ingest every run summary into this sqlite "
+                              "metrics store (see `repro-sim metrics`)")
 
     sc_show = scenario_sub.add_parser("show", help="cohorts and compiled assignments")
     _add_scenario_target(sc_show)
@@ -952,6 +1146,10 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_service_root(sub: argparse.ArgumentParser):
         sub.add_argument("--root", default=".repro-service",
                          help="service state directory (job store + checkpoints)")
+        sub.add_argument("--metrics-store", default=None, metavar="DB",
+                         help="ingest finished runs and telemetry frames into "
+                              "this sqlite metrics store "
+                              "(see `repro-sim metrics`)")
 
     serve = subparsers.add_parser(
         "serve",
@@ -1002,12 +1200,27 @@ def build_parser() -> argparse.ArgumentParser:
     j_status.set_defaults(func=_cmd_jobs_status)
 
     j_telemetry = jobs_sub.add_parser(
-        "telemetry", help="telemetry-so-far from the job's latest checkpoint"
+        "telemetry", help="telemetry-so-far: the job's latest compact frame"
     )
     _add_service_root(j_telemetry)
     _add_service_url(j_telemetry)
     j_telemetry.add_argument("job_id")
     j_telemetry.set_defaults(func=_cmd_jobs_telemetry)
+
+    j_watch = jobs_sub.add_parser(
+        "watch",
+        help="follow a job's live telemetry stream (chunked HTTP) until "
+             "it finishes",
+    )
+    j_watch.add_argument("job_id")
+    j_watch.add_argument("--url", required=True, metavar="URL",
+                         help="the running service to stream from")
+    j_watch.add_argument("--timeout", type=float, default=None,
+                         help="server-side watch deadline in seconds per "
+                              "connection (the client reconnects seamlessly)")
+    j_watch.add_argument("--max-reconnects", type=int, default=5,
+                         help="consecutive failed reconnects before giving up")
+    j_watch.set_defaults(func=_cmd_jobs_watch)
 
     j_submit = jobs_sub.add_parser(
         "submit", help="register a registry scenario as a job"
@@ -1047,6 +1260,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_root(j_cancel)
     j_cancel.add_argument("job_id")
     j_cancel.set_defaults(func=_cmd_jobs_cancel)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="query the run metrics store, detect regressions, render "
+             "dashboards (see docs/analytics.md)",
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+
+    m_runs = metrics_sub.add_parser("runs", help="list ingested runs")
+    m_runs.add_argument("--store", required=True, metavar="DB",
+                        help="sqlite metrics store file")
+    m_runs.add_argument("--scenario", default=None, help="filter by scenario")
+    m_runs.add_argument("--policy", default=None, help="filter by policy")
+    m_runs.set_defaults(func=_cmd_metrics_runs)
+
+    m_ingest = metrics_sub.add_parser(
+        "ingest", help="backfill a store from an ExperimentSuite cache dir"
+    )
+    m_ingest.add_argument("--store", required=True, metavar="DB")
+    m_ingest.add_argument("--cache-dir", required=True,
+                          help="directory of cached RunSummary JSON files")
+    m_ingest.set_defaults(func=_cmd_metrics_ingest)
+
+    m_regress = metrics_sub.add_parser(
+        "regress",
+        help="detect metric regressions across BENCH trajectories and "
+             "store history (nonzero exit on findings)",
+    )
+    m_regress.add_argument("--artifacts", default="benchmark_artifacts",
+                           metavar="DIR",
+                           help="BENCH_*.json trajectory directory "
+                                "(default: benchmark_artifacts; pass '' to "
+                                "skip)")
+    m_regress.add_argument("--store", default=None, metavar="DB",
+                           help="also compare version-to-version history in "
+                                "this metrics store")
+    m_regress.add_argument("--tolerance", action="append", default=None,
+                           metavar="PATTERN=REL[:ABS[:DIR]]",
+                           help="override a metric tolerance (repeatable); "
+                                "DIR is high, low or both")
+    m_regress.set_defaults(func=_cmd_metrics_regress)
+
+    m_dash = metrics_sub.add_parser(
+        "dashboard", help="render the static HTML comparison dashboard"
+    )
+    m_dash.add_argument("--out", required=True, metavar="FILE",
+                        help="output HTML file")
+    m_dash.add_argument("--store", default=None, metavar="DB")
+    m_dash.add_argument("--artifacts", default="benchmark_artifacts",
+                        metavar="DIR",
+                        help="BENCH_*.json directory for trajectory "
+                             "sparklines (pass '' to skip)")
+    m_dash.add_argument("--title", default="repro-sim metrics")
+    m_dash.add_argument("--baseline-policy", default="immediate",
+                        help="policy the energy pivot's deltas compare "
+                             "against")
+    m_dash.set_defaults(func=_cmd_metrics_dashboard)
 
     lint = subparsers.add_parser(
         "lint",

@@ -84,6 +84,9 @@ class ScenarioRunner:
             runs across processes, a sharded run fans its population.
         trace_level: telemetry volume per run (``summary`` is the megafleet
             setting — memory-bounded telemetry, identical headline numbers).
+        metrics_store: optional :class:`repro.metrics.store.MetricsStore`
+            (or a path for one); every summary lands in it for cross-run
+            queries (``repro-sim metrics ...``).
     """
 
     def __init__(
@@ -95,8 +98,11 @@ class ScenarioRunner:
         batched_training: bool = False,
         shards: int = 1,
         trace_level: str = "full",
+        metrics_store: Any = None,
     ) -> None:
-        self.suite = ExperimentSuite(cache_dir=cache_dir, jobs=jobs)
+        self.suite = ExperimentSuite(
+            cache_dir=cache_dir, jobs=jobs, metrics_store=metrics_store
+        )
         self.backend = backend
         self.fast_forward = fast_forward
         self.batched_training = batched_training

@@ -9,11 +9,19 @@ method      path                         action
 GET         /healthz                     liveness probe
 GET         /jobs                        list all jobs
 GET         /jobs/<id>                   one job's record (+ result when done)
-GET         /jobs/<id>/telemetry         telemetry-so-far from the latest checkpoint
+GET         /jobs/<id>/telemetry         telemetry-so-far: the latest compact frame
+GET         /jobs/<id>/telemetry/stream  live NDJSON frame stream (chunked)
 POST        /jobs                        submit a spec (see below)
 POST        /jobs/<id>/resume            re-queue a checkpointed/failed job
 POST        /jobs/<id>/cancel            stop at the next slot boundary
 ==========  ===========================  ===========================================
+
+The stream endpoint sends one JSON frame per line over chunked
+transfer-encoding as the job emits them (``?after=<seq>`` skips frames a
+reconnecting client already has; ``?timeout=<seconds>`` bounds the watch).
+The final line is an event object — ``{"event": "end", "state": ...}``
+when the job reaches a terminal state, or ``{"event": "timeout", ...}``
+when the timeout expires first; clients reconnect from their last ``seq``.
 
 ``POST /jobs`` accepts either a raw spec::
 
@@ -30,22 +38,31 @@ Scenario submissions pass the remaining keys straight to
 from __future__ import annotations
 
 import json
+import re
 import sys
 import threading
+import time
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Type, Union
+from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.runner import RunSpec
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
+from repro.metrics.store import MetricsStore
 from repro.service.jobs import ExperimentService, JobRecord
 
 __all__ = ["ServiceAPI", "build_run_spec", "serve"]
 
 #: The served (HTTP) service self-heals by default; see :func:`serve`.
 _DEFAULT_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.5, cap_s=30.0)
+
+_STREAM_PATH = re.compile(r"^/jobs/(?P<job_id>[^/]+)/telemetry/stream$")
+
+#: How often the stream endpoint polls the frame file between sends.
+_STREAM_POLL_S = 0.25
 
 
 def build_run_spec(payload: Dict[str, object]) -> RunSpec:
@@ -139,6 +156,99 @@ class ServiceAPI:
             traceback.print_exc(file=sys.stderr)
             return 500, {"error": f"internal error: {exc}"}
 
+    # -- streaming ---------------------------------------------------------------
+
+    @staticmethod
+    def _parse_stream_path(
+        path: str,
+    ) -> Optional[Tuple[str, int, Optional[float]]]:
+        """``(job_id, after_seq, timeout_s)`` for a stream URL, else None."""
+        url = urlsplit(path)
+        match = _STREAM_PATH.match(url.path)
+        if match is None:
+            return None
+        query = parse_qs(url.query)
+        try:
+            after = int(query["after"][0]) if "after" in query else -1
+            timeout_s = (
+                float(query["timeout"][0]) if "timeout" in query else None
+            )
+        except (ValueError, IndexError):
+            raise ValueError("'after' must be an int, 'timeout' a float")
+        return match.group("job_id"), after, timeout_s
+
+    def _is_terminal(self, job_id: str, state: str) -> bool:
+        """Whether the stream can end: no more frames will ever arrive."""
+        if state in ("done", "checkpointed", "quarantined"):
+            return True
+        return state == "failed" and not self.service.retry_pending(job_id)
+
+    def _stream_telemetry(
+        self,
+        handler: BaseHTTPRequestHandler,
+        job_id: str,
+        after_seq: int,
+        timeout_s: Optional[float],
+    ) -> None:
+        """Send NDJSON frames over chunked transfer-encoding until terminal.
+
+        Frames come from the job's ``telemetry.jsonl`` tail (the sink only
+        writes complete lines, and the reader drops a torn tail, so every
+        chunk is whole frames).  The job's state is read *before* each
+        flush: if the state is terminal, the frames flushed after that read
+        are necessarily the stream's remainder — the final frame is written
+        before the terminal record — so ending on that round drops nothing.
+        """
+        try:
+            record = self.service.get(job_id)
+        except KeyError as exc:
+            body = json.dumps({"error": str(exc)}).encode()
+            handler.send_response(404)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+            return
+        handler.send_response(200)
+        handler.send_header("Content-Type", "application/x-ndjson")
+        handler.send_header("Transfer-Encoding", "chunked")
+        handler.send_header("Cache-Control", "no-store")
+        handler.end_headers()
+        handler.close_connection = True
+
+        def send_chunk(payload: Dict[str, object]) -> None:
+            data = (json.dumps(payload, default=str) + "\n").encode()
+            handler.wfile.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+            handler.wfile.flush()
+
+        deadline = None
+        if timeout_s is not None:
+            deadline = time.monotonic() + timeout_s  # reprolint: allow(wall-clock): HTTP stream pacing, never feeds sim state
+        last_seq = after_seq
+        try:
+            while True:
+                state = self.service.get(job_id).state  # read BEFORE flushing
+                for frame in self.service.read_telemetry(job_id, after_seq=last_seq):
+                    last_seq = int(frame.get("seq", last_seq))
+                    send_chunk(frame)
+                if self._is_terminal(job_id, state):
+                    send_chunk({"event": "end", "state": state, "seq": last_seq})
+                    break
+                timed_out = (
+                    deadline is not None
+                    and time.monotonic() >= deadline  # reprolint: allow(wall-clock): HTTP stream pacing, never feeds sim state
+                )
+                if timed_out:
+                    send_chunk(
+                        {"event": "timeout", "state": state, "seq": last_seq}
+                    )
+                    break
+                time.sleep(_STREAM_POLL_S)  # reprolint: allow(wall-clock): HTTP stream pacing, never feeds sim state
+            handler.wfile.write(b"0\r\n\r\n")
+            handler.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; the job keeps running
+
     # -- server lifecycle ---------------------------------------------------------
 
     def _make_handler(self) -> Type[BaseHTTPRequestHandler]:
@@ -168,6 +278,14 @@ class ServiceAPI:
                 self._respond(status, payload)
 
             def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+                try:
+                    stream = api._parse_stream_path(self.path)
+                except ValueError as exc:
+                    self._respond(400, {"error": str(exc)})
+                    return
+                if stream is not None:
+                    api._stream_telemetry(self, *stream)
+                    return
                 self._dispatch("GET")
 
             def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -224,6 +342,7 @@ def serve(
     fault_plan: Optional["FaultPlan"] = None,
     keep_last: int = 1,
     keep_every_slots: Optional[int] = None,
+    metrics_store: Union[None, str, Path, MetricsStore] = None,
 ) -> ServiceAPI:
     """Convenience constructor: service + API bound together (not started).
 
@@ -240,6 +359,7 @@ def serve(
         fault_plan=fault_plan,
         keep_last=keep_last,
         keep_every_slots=keep_every_slots,
+        metrics_store=metrics_store,
     )
     if recover:
         service.recover()

@@ -223,6 +223,9 @@ class Checkpointer:
             grid ``slot % every_slots == 0``), or ``None``.
         at_slots: explicit extra checkpoint slots (tests use this to place
             interrupt points precisely).
+        telemetry: optional observer invoked with each checkpoint *before*
+            the sink — a telemetry frame still streams even when the sink
+            itself faults (e.g. an injected ``corrupt_checkpoint``).
     """
 
     def __init__(
@@ -230,12 +233,14 @@ class Checkpointer:
         sink: Callable[[EngineCheckpoint], None],
         every_slots: Optional[int] = None,
         at_slots: Optional[Sequence[int]] = None,
+        telemetry: Optional[Callable[[EngineCheckpoint], None]] = None,
     ) -> None:
         if every_slots is not None and every_slots <= 0:
             raise ValueError("every_slots must be positive when set")
         self.sink = sink
         self.every_slots = every_slots
         self.at_slots = set(at_slots or ())
+        self.telemetry = telemetry
         self._cancel = threading.Event()
         self._last_slot = 0
 
@@ -277,6 +282,8 @@ class Checkpointer:
 
     def take(self, checkpoint: EngineCheckpoint) -> None:
         """Deliver one snapshot; unwinds the run if a stop was requested."""
+        if self.telemetry is not None:
+            self.telemetry(checkpoint)
         self.sink(checkpoint)
         self._last_slot = checkpoint.slot
         if self.stop_requested:

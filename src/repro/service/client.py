@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import time
 from http.client import HTTPConnection, HTTPException
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 from urllib.parse import urlsplit
 
 from repro.faults.retry import RetryPolicy
@@ -153,6 +153,63 @@ class ServiceClient:
 
     def telemetry(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}/telemetry", idempotent=True)
+
+    def stream_telemetry(
+        self,
+        job_id: str,
+        after: int = -1,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield live telemetry frames from the chunked stream endpoint.
+
+        One dict per NDJSON line (``http.client`` decodes the chunked
+        framing transparently).  The last yielded dict is an event —
+        ``{"event": "end", "state": ...}`` on a terminal job state or
+        ``{"event": "timeout", ...}`` when the server-side watch deadline
+        expired; reconnect with ``after=<last seq>`` to continue without
+        duplicates.  Single-shot by design: a broken connection raises
+        :class:`ServiceUnavailable` (the caller decides whether to
+        reconnect; frames are replayable, so nothing is lost).
+        """
+        path = f"/jobs/{job_id}/telemetry/stream?after={int(after)}"
+        if timeout_s is not None:
+            path += f"&timeout={float(timeout_s)}"
+        conn = HTTPConnection(self.host, self.port, timeout=self.connect_timeout_s)
+        try:
+            try:
+                conn.connect()
+                if conn.sock is not None:
+                    conn.sock.settimeout(self.read_timeout_s)
+                conn.request("GET", path)
+                response = conn.getresponse()
+                if response.status >= 400:
+                    data = response.read()
+                    try:
+                        decoded = json.loads(data) if data else {}
+                    except ValueError:
+                        decoded = {"error": data[:80].decode("utf-8", "replace")}
+                    raise ServiceError(response.status, decoded)
+                while True:
+                    line = response.readline()
+                    if not line:
+                        return  # chunked body finished
+                    line = line.strip()
+                    if not line:
+                        continue
+                    frame = json.loads(line)
+                    yield frame
+                    if isinstance(frame, dict) and frame.get("event") in (
+                        "end",
+                        "timeout",
+                    ):
+                        return
+            except (OSError, HTTPException, ValueError) as exc:
+                raise ServiceUnavailable(
+                    f"GET {path} to {self.host}:{self.port} stream "
+                    f"broke: {exc}"
+                ) from exc
+        finally:
+            conn.close()
 
     def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         return self._request("POST", "/jobs", payload=payload)

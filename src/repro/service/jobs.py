@@ -44,6 +44,15 @@ from typing import Any, Dict, List, Optional, Set, Union
 from repro.analysis.runner import RunSpec, execute_spec, summarize_result
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.retry import RetryPolicy
+from repro.metrics.ingest import (
+    FRAME_METRICS,
+    TelemetrySink,
+    frame_metrics_from_checkpoint,
+    frame_metrics_from_result,
+    last_frame,
+    read_frames,
+)
+from repro.metrics.store import MetricsStore, as_store
 from repro.service.checkpoint import (
     CheckpointStore,
     Checkpointer,
@@ -104,6 +113,10 @@ class ExperimentService:
         keep_last: checkpoint snapshots retained per job (see
             :class:`~repro.service.checkpoint.CheckpointStore`).
         keep_every_slots: additionally retain slot-milestone snapshots.
+        metrics_store: optional :class:`~repro.metrics.store.MetricsStore`
+            (or a path for one) receiving every job's telemetry frames and
+            final run summary — the queryable side channel behind
+            ``repro-sim metrics``.  Purely observational; jobs never read it.
     """
 
     def __init__(
@@ -115,6 +128,7 @@ class ExperimentService:
         fault_plan: Optional[FaultPlan] = None,
         keep_last: int = 1,
         keep_every_slots: Optional[int] = None,
+        metrics_store: Union[None, str, Path, MetricsStore] = None,
     ) -> None:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
@@ -125,6 +139,7 @@ class ExperimentService:
         self.fault_plan = fault_plan
         self.keep_last = keep_last
         self.keep_every_slots = keep_every_slots
+        self.metrics = as_store(metrics_store)
         self._lock = threading.RLock()
         self._checkpointers: Dict[str, Checkpointer] = {}  # guarded-by: _lock
         self._cancel_requested: Set[str] = set()  # guarded-by: _lock
@@ -138,6 +153,10 @@ class ExperimentService:
 
     def job_dir(self, job_id: str) -> Path:
         return self.jobs_dir / job_id
+
+    def telemetry_path(self, job_id: str) -> Path:
+        """The job's NDJSON frame stream (``telemetry.jsonl``)."""
+        return self.job_dir(job_id) / "telemetry.jsonl"
 
     def _job_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "job.json"
@@ -174,6 +193,18 @@ class ExperimentService:
         if not path.is_file():
             return None
         return json.loads(path.read_text())
+
+    def read_telemetry(
+        self, job_id: str, after_seq: int = -1
+    ) -> List[Dict[str, Any]]:
+        """The job's telemetry frames with ``seq > after_seq``, oldest first."""
+        self.get(job_id)  # raises KeyError for unknown jobs
+        return read_frames(self.telemetry_path(job_id), after_seq=after_seq)
+
+    def retry_pending(self, job_id: str) -> bool:
+        """Whether a failed job has a retry timer armed (it will run again)."""
+        with self._lock:
+            return job_id in self._retry_timers
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -361,13 +392,33 @@ class ExperimentService:
             ):
                 return record
 
+            # One frame stream per job: a sink over a pre-existing file (a
+            # retry, a resume in a new process) recovers its seq/slot tail
+            # and keeps the stream strictly increasing across recoveries.
+            sink_t = TelemetrySink(
+                path=self.telemetry_path(job_id),
+                store=self.metrics,
+                spec_hash=job_id,
+                total_slots=record.total_slots,
+            )
+
             def sink(checkpoint: EngineCheckpoint) -> None:
                 store.save(checkpoint)
                 record.slot = checkpoint.slot
-                record.telemetry = _checkpoint_telemetry(checkpoint)
+                frame = sink_t.last_frame
+                if frame is not None and frame.get("slot") == checkpoint.slot:
+                    record.telemetry = {
+                        key: value
+                        for key, value in frame.items()
+                        if key not in ("seq", "slot", "total_slots", "final")
+                    }
+                else:  # replayed slot: the frame was dropped; recompute
+                    record.telemetry = frame_metrics_from_checkpoint(checkpoint)
                 self._save(record)
 
-            checkpointer = Checkpointer(sink, every_slots=self.checkpoint_every)
+            checkpointer = Checkpointer(
+                sink, every_slots=self.checkpoint_every, telemetry=sink_t
+            )
             self._running.add(job_id)
             self._checkpointers[job_id] = checkpointer
             if job_id in self._cancel_requested:
@@ -424,8 +475,15 @@ class ExperimentService:
             os.replace(tmp, result_path)
             record.state = "done"
             record.slot = record.total_slots
-            record.telemetry = _result_telemetry(result)
+            record.telemetry = frame_metrics_from_result(result)
+            # The final frame lands before the "done" record, so a stream
+            # reader that sees the terminal state has the whole stream.
+            sink_t.emit(
+                record.total_slots, dict(record.telemetry), final=True
+            )
             self._save(record)
+            if self.metrics is not None:
+                self.metrics.ingest_run(summary, spec=spec)
         finally:
             with self._lock:
                 self._running.discard(job_id)
@@ -440,9 +498,21 @@ class ExperimentService:
         return record
 
     def telemetry(self, job_id: str) -> Dict[str, object]:
-        """Telemetry-so-far: last checkpoint's (or final) aggregates."""
+        """Telemetry-so-far: the latest frame's aggregates plus job state.
+
+        Serves the poll endpoint (``GET /jobs/<id>/telemetry``).  The
+        payload is the same compact frame the streaming endpoint sends —
+        overlaid from the frame file's tail when one exists — plus the
+        ``state``/``slot``/``total_slots`` keys older clients already rely
+        on, so the shape is a backward-compatible superset.
+        """
         record = self.get(job_id)
         payload = dict(record.telemetry)
+        frame = last_frame(self.telemetry_path(job_id))
+        if frame is not None:
+            for key in FRAME_METRICS + ("seq",):
+                if key in frame:
+                    payload[key] = frame[key]
         payload.update(
             {
                 "state": record.state,
@@ -453,65 +523,7 @@ class ExperimentService:
         return payload
 
 
-def _queue_backlogs(policy: Any) -> Dict[str, float]:
-    return {
-        "queue_length": float(
-            getattr(getattr(policy, "task_queue", None), "length", 0.0)
-        ),
-        "virtual_queue_length": float(
-            getattr(getattr(policy, "virtual_queue", None), "length", 0.0)
-        ),
-    }
-
-
-def _checkpoint_telemetry(checkpoint: EngineCheckpoint) -> Dict[str, object]:
-    """Progress aggregates read straight out of a checkpoint's state."""
-    policy, server = checkpoint.coordinator.unit[0], checkpoint.coordinator.unit[1]
-    accuracy = checkpoint.coordinator.unit[4]
-    if checkpoint.backend == "fleet":
-        energy_j = 0.0
-        for piece in checkpoint.slices or []:
-            accountant = piece["fleet"]["accountant"]
-            energy_j += float(
-                sum(
-                    (
-                        accountant["idle_j"]
-                        + accountant["app_j"]
-                        + accountant["training_j"]
-                        + accountant["corunning_j"]
-                        + accountant["overhead_j"]
-                    ).tolist()
-                )
-            )
-    else:
-        loop = checkpoint.loop or {}
-        energy_j = loop["unit"][4].total_j()
-    sample = accuracy.samples[-1] if accuracy.samples else None
-    payload: Dict[str, object] = {
-        "energy_j": energy_j,
-        "num_updates": server.num_updates(),
-        "accuracy": None if sample is None else sample.accuracy,
-        "loss": None if sample is None else sample.loss,
-    }
-    payload.update(_queue_backlogs(policy))
-    return payload
-
-
-def _result_telemetry(result: Any) -> Dict[str, object]:
-    payload: Dict[str, object] = {
-        "energy_j": result.total_energy_j(),
-        "num_updates": result.num_updates,
-        "accuracy": result.final_accuracy(),
-        "loss": (
-            result.accuracy.samples[-1].loss if result.accuracy.samples else None
-        ),
-        "queue_length": (
-            float(result.queue_history[-1]) if result.queue_history else 0.0
-        ),
-        "virtual_queue_length": (
-            float(result.virtual_queue_history[-1])
-            if result.virtual_queue_history
-            else 0.0
-        ),
-    }
-    return payload
+# Backward-compatible aliases: the frame computations moved to
+# :mod:`repro.metrics.ingest` so non-service callers can reuse them.
+_checkpoint_telemetry = frame_metrics_from_checkpoint
+_result_telemetry = frame_metrics_from_result
