@@ -8,17 +8,23 @@ Three stages:
    (energy totals and per-user breakdowns, slot samples, applied updates,
    queue histories, accuracy curve, battery state) must be *bitwise
    identical*.
-2. **Scaling gate** — the sharded run's wall-clock may not exceed
-   ``--max-overhead`` times the single-process run.  On a single-core CI
-   box the shard workers serialise, so the measured ratio is pure
-   coordination *overhead* (per-slot IPC, payload pickling, the two-phase
-   quiet commit — ~2.7-3.3x on the development container) and the gate
-   bounds its regression; real speedups need cores, so on multi-core
-   hosts pass ``--assert-speedup X`` to require single/sharded >= X.
+2. **Scaling gate** — each sharded run's wall-clock may not exceed its
+   shard count's entry in ``--max-overhead`` times the single-process
+   run.  On a single-core CI box the shard workers serialise, so the
+   measured ratio is pure coordination *overhead* (per-slot IPC, frame
+   codec, the two-phase quiet commit — ~2.2-2.5x at 2 shards and
+   ~3.2-3.6x at 4 on the development container, with the shared-memory
+   doorbell plane and run/open fusion) and the per-count gates bound its
+   regression; real speedups need cores, so on multi-core hosts pass
+   ``--assert-speedup X`` to require single/sharded >= X.
 3. **Megafleet gate** — ``megafleet-100k`` (100 000 users) runs end to end
    under the intended production configuration: sparse arrival generation
    (automatic at that volume), ``summary`` telemetry and ``--shards``
-   workers, gated on ``--max-megafleet-seconds``.
+   workers, gated on ``--max-megafleet-seconds``.  Setting
+   ``REPRO_BENCH_MEGAFLEET_1M=1`` (or ``--megafleet-1m``) additionally
+   runs ``megafleet-1M`` — the million-user configuration — gated on
+   ``--max-megafleet-1m-seconds``; it is opt-in because the run takes
+   minutes even summarised.
 
 Every run appends a record to ``benchmark_artifacts/BENCH_shard.json`` — a
 persistent trajectory of (single seconds, sharded seconds, overhead,
@@ -122,14 +128,14 @@ def digest_mismatches(config, single, sharded):
     return [name for name, ok in checks.items() if not ok]
 
 
-def run_megafleet(shards: int) -> dict:
-    """megafleet-100k end to end: sparse arrivals + summary telemetry."""
+def run_megafleet(scenario: str, shards: int) -> dict:
+    """One megafleet scenario end to end: sparse arrivals + summary telemetry."""
     runner = ScenarioRunner(shards=shards, trace_level="summary")
     start = time.perf_counter()
-    summary = runner.run_one("megafleet-100k", policy="online")
+    summary = runner.run_one(scenario, policy="online")
     wall = time.perf_counter() - start
     print(
-        f"megafleet-100k: {wall:7.1f}s  shards={shards}  "
+        f"{scenario}: {wall:7.1f}s  shards={shards}  "
         f"energy={summary.energy_kj:.1f} kJ  updates={summary.num_updates}  "
         f"accuracy={summary.final_accuracy:.3f}"
     )
@@ -148,14 +154,16 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=2,
                         help="timing repetitions per configuration (best-of "
                              "is gated — CI boxes are noisy)")
-    parser.add_argument("--max-overhead", type=float, default=4.0,
+    parser.add_argument("--max-overhead", type=float, nargs="+",
+                        default=[2.8, 4.0],
                         help="fail when sharded/single wall-clock exceeds this "
-                             "factor; a single-core box serialises the shard "
-                             "workers, so the measured ratio is pure "
-                             "coordination overhead (IPC + pickling + the "
-                             "two-phase quiet commit, ~2.7-3.3x here), not a "
-                             "speedup — the gate bounds regressions of that "
-                             "overhead")
+                             "factor; one value per --shards entry (a single "
+                             "value broadcasts).  A single-core box serialises "
+                             "the shard workers, so the measured ratio is pure "
+                             "coordination overhead (IPC + frame codec + the "
+                             "two-phase quiet commit, ~2.2-2.5x/3.2-3.6x at "
+                             "2/4 shards here), not a speedup — the gates "
+                             "bound regressions of that overhead")
     parser.add_argument("--assert-speedup", type=float, default=None,
                         help="additionally require single/sharded >= this "
                              "factor (multi-core hosts)")
@@ -164,7 +172,17 @@ def main(argv=None) -> int:
                         help="wall-clock gate for the megafleet-100k run")
     parser.add_argument("--skip-megafleet", action="store_true",
                         help="run only the divergence/scaling gates")
+    parser.add_argument("--megafleet-1m", action="store_true",
+                        default=os.environ.get("REPRO_BENCH_MEGAFLEET_1M") == "1",
+                        help="also run the million-user megafleet-1M scenario "
+                             "(opt-in; env: REPRO_BENCH_MEGAFLEET_1M=1)")
+    parser.add_argument("--max-megafleet-1m-seconds", type=float, default=3600.0,
+                        help="wall-clock gate for the opt-in megafleet-1M run")
     args = parser.parse_args(argv)
+    if len(args.max_overhead) == 1:
+        args.max_overhead = args.max_overhead * len(args.shards)
+    if len(args.max_overhead) != len(args.shards):
+        parser.error("--max-overhead needs one value per --shards entry")
 
     config = midsize_config()
     t_single, single = run_single(config, args.repeats)
@@ -175,7 +193,7 @@ def main(argv=None) -> int:
     failures = []
     shard_records = []
     best_sharded = None
-    for shards in args.shards:
+    for shards, max_overhead in zip(args.shards, args.max_overhead):
         t_sharded, sharded = run_sharded(config, shards, args.repeats)
         mismatches = digest_mismatches(config, single, sharded)
         overhead = t_sharded / t_single if t_single > 0 else float("inf")
@@ -191,10 +209,10 @@ def main(argv=None) -> int:
                 f"shards={shards} diverged from single-process on: "
                 + ", ".join(mismatches)
             )
-        if overhead > args.max_overhead:
+        if overhead > max_overhead:
             failures.append(
                 f"shards={shards} overhead {overhead:.2f}x exceeds the "
-                f"{args.max_overhead:.2f}x gate"
+                f"{max_overhead:.2f}x gate"
             )
     if args.assert_speedup is not None and best_sharded:
         speedup = t_single / best_sharded
@@ -207,11 +225,19 @@ def main(argv=None) -> int:
 
     megafleet_record = None
     if not args.skip_megafleet:
-        megafleet_record = run_megafleet(args.megafleet_shards)
+        megafleet_record = run_megafleet("megafleet-100k", args.megafleet_shards)
         if megafleet_record["wall_s"] > args.max_megafleet_seconds:
             failures.append(
                 f"megafleet-100k took {megafleet_record['wall_s']:.1f}s, over the "
                 f"{args.max_megafleet_seconds:.0f}s gate"
+            )
+    megafleet_1m_record = None
+    if args.megafleet_1m:
+        megafleet_1m_record = run_megafleet("megafleet-1M", args.megafleet_shards)
+        if megafleet_1m_record["wall_s"] > args.max_megafleet_1m_seconds:
+            failures.append(
+                f"megafleet-1M took {megafleet_1m_record['wall_s']:.1f}s, over "
+                f"the {args.max_megafleet_1m_seconds:.0f}s gate"
             )
 
     metrics = {"single_s": round(t_single, 3)}
@@ -220,6 +246,8 @@ def main(argv=None) -> int:
         metrics[f"shard{shard_record['shards']}_overhead"] = shard_record["overhead"]
     if megafleet_record is not None:
         metrics["megafleet_s"] = megafleet_record["wall_s"]
+    if megafleet_1m_record is not None:
+        metrics["megafleet_1m_s"] = megafleet_1m_record["wall_s"]
     append_trajectory(ARTIFACT_PATH, bench_record(
         "shard_smoke",
         metrics=metrics,
@@ -228,12 +256,14 @@ def main(argv=None) -> int:
             "midsize_slots": config.total_slots,
         },
         gates={
-            "max_overhead": args.max_overhead,
+            "max_overhead": dict(zip(args.shards, args.max_overhead)),
             "max_megafleet_seconds": args.max_megafleet_seconds,
+            "max_megafleet_1m_seconds": args.max_megafleet_1m_seconds,
         },
         extra={
             "shard_runs": shard_records,
             "megafleet": megafleet_record,
+            "megafleet_1m": megafleet_1m_record,
             "failures": failures,
         },
     ))
@@ -243,7 +273,8 @@ def main(argv=None) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print("shard smoke ok: divergence + scaling gates"
-          + ("" if megafleet_record is None else " + megafleet-100k gate"))
+          + ("" if megafleet_record is None else " + megafleet-100k gate")
+          + ("" if megafleet_1m_record is None else " + megafleet-1M gate"))
     return 0
 
 

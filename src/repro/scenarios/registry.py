@@ -275,6 +275,58 @@ def _megafleet_100k() -> ScenarioSpec:
     )
 
 
+def _megafleet_1M() -> ScenarioSpec:
+    # The shared-memory data plane's scale target: one order of magnitude
+    # past megafleet-100k.  Population mechanics run at full scale — a
+    # million arrival streams, million-entry ready pools, compact int32
+    # slot counters, per-shard fleets exchanging payloads through the
+    # mailbox slabs — while the per-step compute stays bounded by a short
+    # horizon, one training sample per user, and the narrowest MLP.
+    # Intended execution: ShardedEngine (``--shards``) with sparse arrival
+    # generation and ``--trace-level summary``; anything else at this
+    # volume is an error in the making (a full trace alone would dwarf
+    # the fleet state).
+    return ScenarioSpec(
+        name="megafleet-1M",
+        description="1 000 000-user sharded-fleet workload over a 5 min "
+        "horizon: the shared-memory data-plane scale target "
+        "(run with --shards N --trace-level summary).",
+        num_users=1_000_000,
+        total_slots=300,
+        cohorts=(
+            CohortSpec(
+                name="mainstream",
+                fraction=0.70,
+                arrival={"kind": "bernoulli", "probability": 0.0002},
+            ),
+            CohortSpec(
+                name="commuters",
+                fraction=0.20,
+                arrival={
+                    "kind": "diurnal",
+                    "peak_probability": 0.0005,
+                    "trough_probability": 0.00005,
+                },
+                device_mix={"pixel2": 0.5, "nexus6p": 0.5},
+            ),
+            CohortSpec(
+                name="budget-metered",
+                fraction=0.10,
+                device_mix={"nexus6": 1.0},
+                wifi_fraction=0.3,
+            ),
+        ),
+        base={
+            "num_train_samples": 1_000_000,
+            "num_test_samples": 500,
+            "hidden_dims": [8],
+            "eval_interval_slots": 300,
+            "trace_interval_slots": 150,
+        },
+        tags=("scale", "megafleet", "sharded"),
+    )
+
+
 def _weekend_gamers() -> ScenarioSpec:
     # Application popularity skewed towards the two intensive games; the
     # weights align with APP_CATALOG insertion order (map, news, etrade,
@@ -310,6 +362,7 @@ _BUILTIN_FACTORIES: Dict[str, Callable[[], ScenarioSpec]] = {
     "churny-fleet": _churny_fleet,
     "megafleet-1k": _megafleet_1k,
     "megafleet-100k": _megafleet_100k,
+    "megafleet-1M": _megafleet_1M,
     "weekend-gamers": _weekend_gamers,
 }
 

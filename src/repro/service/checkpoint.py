@@ -167,7 +167,10 @@ class MaterializedCoordinator:
                 self.pinned_base,
             )
         )
-        timers.seconds = dict(self.timer_seconds)
+        # Seed every current category first: a checkpoint written before a
+        # timer bucket existed must not resurrect a dict missing it.
+        timers.seconds = {name: 0.0 for name in timers.CATEGORIES}
+        timers.seconds.update(self.timer_seconds)
 
 
 @dataclass
@@ -343,13 +346,12 @@ def reslice(slices: Sequence[dict], bounds: Sequence[Tuple[int, int]]) -> List[d
         full_pending.update(piece["pending"])
         full_trained.update(piece["trained"])
 
-    series = [np.asarray(s["fleet"]["accountant"]["per_slot_total"]) for s in slices]
-    merged_series: List[float] = []
-    if series and len(series[0]):
-        stacked = series[0].copy()
-        for other in series[1:]:
-            stacked += other
-        merged_series = stacked.tolist()
+    from repro.sim.fleet import merge_slot_series
+
+    stacked = merge_slot_series(
+        [s["fleet"]["accountant"]["per_slot_total"] for s in slices]
+    )
+    merged_series: List[float] = [] if stacked is None else stacked.tolist()
 
     out: List[dict] = []
     for index, (lo, hi) in enumerate(bounds):

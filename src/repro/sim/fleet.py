@@ -60,11 +60,45 @@ from repro.fl.client import FLClient
 from repro.sim.arrivals import ArrivalSchedule
 from repro.sim.config import SimulationConfig
 
-__all__ = ["FleetEnergyAccountant", "FleetState", "ReadyPayload", "SlotAdvance"]
+__all__ = [
+    "FleetEnergyAccountant",
+    "FleetState",
+    "MERGE_FANIN",
+    "ReadyPayload",
+    "SlotAdvance",
+    "merge_slot_series",
+]
 
 #: Contention penalty for homogeneous (non-big.LITTLE) CPUs (Observation 2,
 #: mirrored from :meth:`repro.device.thermal.ThermalModel.training_slowdown`).
 _HOMOGENEOUS_CONTENTION = 1.10
+
+#: Fan-in of the hierarchical (shard-of-shards) accountant merge.  At or
+#: below this width the merge is a single flat concatenation — exactly the
+#: historical behavior for every current shard count.
+MERGE_FANIN = 8
+
+
+def merge_slot_series(series: Sequence[Sequence[float]]) -> Optional[np.ndarray]:
+    """Pairwise tree reduction of per-shard cumulative slot-total series.
+
+    Shards record the same slots, so the series are equal-length and the
+    merged series is their element-wise sum.  The tree association is exact
+    for the *shape* (element-wise sums commute with grouping up to float
+    rounding) and this series is plot-only by contract — no headline number
+    reads it — so re-association is acceptable; the same helper serves the
+    accountant merge and checkpoint reslicing so both agree.  Returns
+    ``None`` when no shard recorded any slots.
+    """
+    live = [np.asarray(entry, dtype=float) for entry in series if len(entry)]
+    if not live:
+        return None
+    while len(live) > 1:
+        live = [
+            live[index] + live[index + 1] if index + 1 < len(live) else live[index]
+            for index in range(0, len(live), 2)
+        ]
+    return live[0]
 
 
 class FleetEnergyAccountant:
@@ -211,23 +245,32 @@ class FleetEnergyAccountant:
 
         The per-user arrays concatenate in shard (= ascending user) order,
         so :meth:`total_j` folds exactly the values a single-process
-        accountant would — bitwise.  The cumulative per-slot *series* is
-        reconstituted as the element-wise sum of the shard series; summing
-        shard subtotals re-associates the per-slot float fold, so that one
-        series (a convenience for plots; no headline number reads it) may
-        differ from a single-process run in the last ulp.
+        accountant would — bitwise.  Above :data:`MERGE_FANIN` inputs the
+        merge runs as a shard-of-shards tree: concatenation is associative,
+        so grouping preserves the ascending-user order — and therefore every
+        headline fold — bitwise for *any* shard count, while a wide
+        coordinator pays O(log shards) merge levels instead of one giant
+        serial pass.  The cumulative per-slot *series* is reconstituted as
+        the element-wise sum of the shard series; summing shard subtotals
+        re-associates the per-slot float fold, so that one series (a
+        convenience for plots; no headline number reads it) may differ from
+        a single-process run in the last ulp.
         """
+        accountants = list(accountants)
+        if len(accountants) > MERGE_FANIN:
+            grouped = [
+                cls.merged(accountants[index : index + MERGE_FANIN])
+                for index in range(0, len(accountants), MERGE_FANIN)
+            ]
+            return cls.merged(grouped)
         merged = cls(sum(accountant.num_users for accountant in accountants))
         merged.idle_j = np.concatenate([a.idle_j for a in accountants])
         merged.app_j = np.concatenate([a.app_j for a in accountants])
         merged.training_j = np.concatenate([a.training_j for a in accountants])
         merged.corunning_j = np.concatenate([a.corunning_j for a in accountants])
         merged.overhead_j = np.concatenate([a.overhead_j for a in accountants])
-        series = [np.asarray(a._per_slot_total) for a in accountants]
-        if series and len(series[0]):
-            stacked = series[0].copy()
-            for other in series[1:]:
-                stacked += other
+        stacked = merge_slot_series([a._per_slot_total for a in accountants])
+        if stacked is not None:
             merged._per_slot_total = stacked.tolist()
             merged._running_total_j = float(stacked[-1])
         return merged
@@ -293,9 +336,80 @@ class ReadyPayload:
     waiting_slots: np.ndarray
     device_names: np.ndarray
     app_names: np.ndarray
+    #: Catalog-code form of the two name columns plus their catalogs,
+    #: filled by :meth:`FleetState.ready_payload`.  ``None`` (e.g. for a
+    #: hand-built payload in a test) falls back to pickling the names as
+    #: string lists.
+    device_codes: Optional[np.ndarray] = None
+    app_codes: Optional[np.ndarray] = None
+    catalogs: Optional[Tuple[tuple, tuple]] = None
 
     def __len__(self) -> int:
         return len(self.users)
+
+    def __reduce__(self):
+        # Payloads cross the coordinator/shard boundary once per slot per
+        # shard, so their pickle cost is protocol hot path.  Packing the
+        # numeric columns into one float64 matrix turns thirteen array
+        # reductions into one (and one large pickle-5 buffer the shm
+        # plane can place out-of-band); the name columns travel as float
+        # catalog codes — two more matrix rows plus a tuple of a few
+        # strings — instead of per-user string lists.  Every conversion
+        # is exact (ids, counters and catalog indices are far below
+        # 2**53) and the restore side casts back to the original dtypes,
+        # so the round trip is bitwise.
+        columns = [
+            self.users,
+            self.app_running,
+            self.power_corun_w,
+            self.power_app_w,
+            self.power_training_w,
+            self.power_idle_w,
+            self.momentum_norm,
+            self.learning_rate,
+            self.momentum_coeff,
+            self.duration_slots,
+            self.waiting_slots,
+        ]
+        if self.device_codes is not None and self.catalogs is not None:
+            columns.extend((self.device_codes, self.app_codes))
+            return (_restore_ready_payload, (np.stack(columns), self.catalogs))
+        return (
+            _restore_ready_payload,
+            (
+                np.stack(columns),
+                (self.device_names.tolist(), self.app_names.tolist()),
+            ),
+        )
+
+
+def _restore_ready_payload(packed: np.ndarray, names: tuple) -> ReadyPayload:
+    """Rebuild a :class:`ReadyPayload` from its packed pickle form.
+
+    ``names`` is either the pair of catalogs (13-row coded form) or the
+    pair of literal name lists (11-row fallback form).
+    """
+    if len(packed) > 11:
+        device_names = np.asarray(names[0], dtype=object)[packed[11].astype(np.intp)]
+        app_names = np.asarray(names[1], dtype=object)[packed[12].astype(np.intp)]
+    else:
+        device_names = np.asarray(names[0], dtype=object)
+        app_names = np.asarray(names[1], dtype=object)
+    return ReadyPayload(
+        users=packed[0].astype(np.int64),
+        app_running=packed[1].astype(bool),
+        power_corun_w=packed[2],
+        power_app_w=packed[3],
+        power_training_w=packed[4],
+        power_idle_w=packed[5],
+        momentum_norm=packed[6],
+        learning_rate=packed[7],
+        momentum_coeff=packed[8],
+        duration_slots=packed[9].astype(np.int32),
+        waiting_slots=packed[10].astype(np.int32),
+        device_names=device_names,
+        app_names=app_names,
+    )
 
 
 @dataclass
@@ -370,6 +484,22 @@ class FleetState:
         # -- static per-device calibration ------------------------------------
         names = [spec.name for spec in device_specs]
         self.device_names = np.asarray(names, dtype=object)  # reprolint: static
+        # Catalog-code view of the name columns: payloads cross the shard
+        # boundary once per slot, and shipping ~hundreds of strings per
+        # message dominated the frame codec.  Codes are float64 so they
+        # ride the packed payload matrix without a cast (catalog indices
+        # are tiny, so the float representation is exact).
+        device_catalog: List[str] = []
+        device_code_of: Dict[str, float] = {}
+        self._device_codes = np.empty(n)  # reprolint: static
+        for index, name in enumerate(names):
+            code = device_code_of.get(name)
+            if code is None:
+                code = float(len(device_catalog))
+                device_code_of[name] = code
+                device_catalog.append(name)
+            self._device_codes[index] = code
+        self._device_catalog: Tuple[str, ...] = tuple(device_catalog)  # reprolint: static
         self.idle_w = np.array([power_model.idle_power(d) for d in names])  # reprolint: static
         self.training_w = np.array([power_model.training_power(d) for d in names])  # reprolint: static
         self.overhead_w = np.array([power_model.overhead_power(d) for d in names])  # reprolint: static
@@ -380,7 +510,7 @@ class FleetState:
                 max(1, int(round(spec.training_time_s / config.slot_seconds)))
                 for spec in device_specs
             ],
-            dtype=np.int64,
+            dtype=np.int32,
         )  # reprolint: static (duration_slots: per-device calibration)
         self.heterogeneous = np.array(
             [spec.heterogeneous for spec in device_specs], dtype=bool
@@ -405,20 +535,42 @@ class FleetState:
         self.momentum_norms = np.array([c.momentum_norm() for c in clients])
 
         # -- dynamic scheduling / app / training state -------------------------
+        # Slot/version counters are int32: both are bounded far below 2**31
+        # (total_slots, server versions) and every consumer either compares
+        # them to Python ints or converts to float64 — int32 -> float64 is
+        # exact, so the compaction is bitwise-free and halves the per-user
+        # footprint that matters at megafleet scale.
         self.ready = np.zeros(n, dtype=bool)
-        self.waiting_slots = np.zeros(n, dtype=np.int64)
-        self.base_version = np.zeros(n, dtype=np.int64)
+        self.waiting_slots = np.zeros(n, dtype=np.int32)
+        self.base_version = np.zeros(n, dtype=np.int32)
         self.base_params: List[Optional[np.ndarray]] = [None] * n
 
         self.app_active = np.zeros(n, dtype=bool)
-        self.app_end_slot = np.zeros(n, dtype=np.int64)
+        self.app_end_slot = np.zeros(n, dtype=np.int32)
         self.app_power_w = self.mean_app_w.copy()
         self.corun_power_w = self.mean_corun_w.copy()
         self.app_slowdown = np.ones(n)
         self.app_names = np.array([None] * n, dtype=object)
+        # Code 0.0 is reserved for "no foreground app" (``None``); real app
+        # names are appended to the catalog on first launch.  Catalog order
+        # is launch-chronological and never observable — codes only ever
+        # translate back to the names they were assigned from.
+        self._app_catalog: List[Optional[str]] = [None]  # reprolint: static (rebuilt from restored app_names on load)
+        self._app_code_of: Dict[str, float] = {}  # reprolint: static (rebuilt from restored app_names on load)
+        self._app_codes = np.zeros(n)
 
         self.training_active = np.zeros(n, dtype=bool)
         self.remaining_slots = np.zeros(n)
+
+        # Hot-path scratch: advance() refills these every slot instead of
+        # allocating (the allocation churn dominated the slot loop at
+        # megafleet scale).  They carry no cross-slot state — anything
+        # advance() returns or the accountant retains is a fresh array.
+        self._scratch_power_w = np.empty(n)  # reprolint: static (scratch, refilled per slot)
+        self._scratch_progress = np.empty(n)  # reprolint: static (scratch, refilled per slot)
+        self._scratch_slowdown = np.empty(n)  # reprolint: static (scratch, refilled per slot)
+        self._scratch_overhead_j = np.empty(n)  # reprolint: static (scratch, refilled per slot)
+        self._scratch_decided_idle = np.empty(n, dtype=bool)  # reprolint: static (scratch, refilled per slot)
 
         # -- batteries ----------------------------------------------------------
         self.has_battery = np.array([b is not None for b in batteries], dtype=bool)  # reprolint: static
@@ -464,6 +616,7 @@ class FleetState:
             self.corun_power_w[expired] = self.mean_corun_w[expired]
             self.app_slowdown[expired] = 1.0
             self.app_names[expired] = None
+            self._app_codes[expired] = 0.0
         for user, app in self._launches.get(slot, ()):
             if self.app_active[user]:
                 continue
@@ -474,6 +627,16 @@ class FleetState:
             self.corun_power_w[user] = self.power_model.corun_power(device, app.name)
             self.app_slowdown[user] = app.spec.training_slowdown
             self.app_names[user] = app.name
+            self._app_codes[user] = self._app_code_for(app.name)
+
+    def _app_code_for(self, name: str) -> float:
+        """Catalog code for ``name``, appending it on first sight."""
+        code = self._app_code_of.get(name)
+        if code is None:
+            code = float(len(self._app_catalog))
+            self._app_code_of[name] = code
+            self._app_catalog.append(name)
+        return code
 
     # -- step 2: ready pool ---------------------------------------------------------
 
@@ -519,6 +682,9 @@ class FleetState:
             waiting_slots=self.waiting_slots[users],
             device_names=self.device_names[users],
             app_names=self.app_names[users],
+            device_codes=self._device_codes[users],
+            app_codes=self._app_codes[users],
+            catalogs=(self._device_catalog, tuple(self._app_catalog)),
         )
 
     def start_training(self, user: int) -> int:
@@ -560,8 +726,11 @@ class FleetState:
         app_only = app & ~training
         idle = ~training & ~app
 
-        # Eq. (10): one of the four power levels per device.
-        power_w = self.idle_w.copy()
+        # Eq. (10): one of the four power levels per device.  power_w is
+        # per-slot scratch; energy_j stays a fresh array (SlotAdvance
+        # returns it to callers that outlive the slot).
+        power_w = self._scratch_power_w
+        np.copyto(power_w, self.idle_w)
         power_w[app_only] = self.app_power_w[app_only]
         power_w[training_only] = self.training_w[training_only]
         power_w[corun] = self.corun_power_w[corun]
@@ -575,9 +744,11 @@ class FleetState:
         # and, when hot enough, thermal throttling.
         finished_users = np.empty(0, dtype=np.int64)
         if training.any():
-            progress = np.ones(self.num_users)
+            progress = self._scratch_progress
+            progress.fill(1.0)
             if corun.any():
-                slowdown = np.ones(self.num_users)
+                slowdown = self._scratch_slowdown
+                slowdown.fill(1.0)
                 slowdown[corun] *= self.app_slowdown[corun]
                 contended = corun & ~self.heterogeneous
                 slowdown[contended] *= _HOMOGENEOUS_CONTENTION
@@ -591,7 +762,8 @@ class FleetState:
                 finished_users = np.nonzero(finished)[0]
 
         # Table III: deciding-but-idle devices burn the decision-rule power.
-        overhead_j = np.zeros(self.num_users)
+        overhead_j = self._scratch_overhead_j
+        overhead_j.fill(0.0)
         if self.config.include_scheduler_overhead:
             deciders = idle & decided_idle
             overhead_j[deciders] = (
@@ -698,6 +870,7 @@ class FleetState:
             self.corun_power_w.copy(),
             self.app_slowdown.copy(),
             self.app_names.copy(),
+            self._app_codes.copy(),
             self.temperature_c.copy(),
             self.remaining_slots.copy(),
             self.battery_charge_j.copy(),
@@ -714,6 +887,7 @@ class FleetState:
             self.corun_power_w,
             self.app_slowdown,
             self.app_names,
+            self._app_codes,
             self.temperature_c,
             self.remaining_slots,
             self.battery_charge_j,
@@ -759,15 +933,26 @@ class FleetState:
         self.temperature_c = np.asarray(state["temperature_c"], dtype=float).copy()
         self.momentum_norms = np.asarray(state["momentum_norms"], dtype=float).copy()
         self.ready = np.asarray(state["ready"], dtype=bool).copy()
-        self.waiting_slots = np.asarray(state["waiting_slots"], dtype=np.int64).copy()
-        self.base_version = np.asarray(state["base_version"], dtype=np.int64).copy()
+        # int32 on purpose (see __init__): checkpoints written before the
+        # compaction restore through the same coercion, so dtypes never
+        # widen back silently.
+        self.waiting_slots = np.asarray(state["waiting_slots"], dtype=np.int32).copy()
+        self.base_version = np.asarray(state["base_version"], dtype=np.int32).copy()
         self.base_params = list(state["base_params"])
         self.app_active = np.asarray(state["app_active"], dtype=bool).copy()
-        self.app_end_slot = np.asarray(state["app_end_slot"], dtype=np.int64).copy()
+        self.app_end_slot = np.asarray(state["app_end_slot"], dtype=np.int32).copy()
         self.app_power_w = np.asarray(state["app_power_w"], dtype=float).copy()
         self.corun_power_w = np.asarray(state["corun_power_w"], dtype=float).copy()
         self.app_slowdown = np.asarray(state["app_slowdown"], dtype=float).copy()
         self.app_names = np.asarray(state["app_names"], dtype=object).copy()
+        # Codes are derived state: rebuild them from the restored names
+        # (checkpoints never persist the catalog — code numbering is free
+        # to differ between a fresh and a restored run because codes only
+        # ever translate back to the names they were assigned from).
+        self._app_codes = np.zeros(len(self.app_names))
+        for index, name in enumerate(self.app_names):
+            if name is not None:
+                self._app_codes[index] = self._app_code_for(name)
         self.training_active = np.asarray(state["training_active"], dtype=bool).copy()
         self.remaining_slots = np.asarray(state["remaining_slots"], dtype=float).copy()
         self.battery_charge_j = np.asarray(state["battery_charge_j"], dtype=float).copy()

@@ -97,6 +97,13 @@ from repro.sim.engine import (
 )
 from repro.sim.fleet import FleetEnergyAccountant, FleetState, ReadyPayload
 from repro.sim.rng import spawn_generators
+from repro.sim.shmplane import (
+    REPLY,
+    REQUEST,
+    ShardMailbox,
+    decode_frame,
+    encode_frame,
+)
 from repro.sim.timers import EngineTimers
 from repro.sim.trace import TRACE_LEVELS, SimulationTrace, SlotSample
 
@@ -193,12 +200,19 @@ class SlotExecReply:
             only under multi-shard full tracing so the coordinator can fold
             the global total in user order.
         next_ready: size of the shard's ready pool entering the next slot.
+        spec_open: piggybacked ``open_slot(slot + 1)`` reply, produced when
+            the coordinator allowed speculation and the shard has ready
+            users (so the global fast-forward gate cannot fire).  Saves one
+            round trip per shard per slot; the coordinator posts an
+            explicit ``open_slot`` only when new arrivals land on the
+            shard (the worker then merges them idempotently).
     """
 
     finished: List[Tuple[int, LocalUpdate, int]]
     tick_total: Optional[float]
     tick_user_totals: Optional[np.ndarray]
     next_ready: int
+    spec_open: Optional[SlotOpenReply] = None
 
 
 @dataclass
@@ -344,6 +358,12 @@ class FleetShard:
         # Uncommitted quiet-region try state; checkpoints happen only at slot
         # boundaries, where every try has been committed or rolled back.
         self._quiet_stash: Optional[tuple] = None  # reprolint: static
+        # Highest slot whose application churn already ran — makes
+        # ``open_slot`` idempotent so the speculative open piggybacked on
+        # ``run_slot`` composes with a later arrival-merging open of the
+        # same slot (never checkpointed: snapshots only happen at
+        # boundaries where no speculation was allowed).
+        self._opened_slot = -1  # reprolint: static
 
     @classmethod
     def build(
@@ -406,9 +426,19 @@ class FleetShard:
         version: Optional[int],
         params: Optional[np.ndarray],
     ) -> SlotOpenReply:
-        """Step 1+2 of the slot: application churn, arrivals, ready pool."""
+        """Step 1+2 of the slot: application churn, arrivals, ready pool.
+
+        Idempotent per slot: when the churn for ``slot`` already ran (the
+        speculative open piggybacked on the previous ``run_slot``), only
+        the arrivals are merged and the payload rebuilt — the same state
+        the one-shot call would have produced, since ``begin_slot_apps``
+        precedes ``make_ready`` either way and neither touches the other's
+        state.
+        """
         fleet = self.fleet
-        fleet.begin_slot_apps(slot)
+        if self._opened_slot < slot:
+            fleet.begin_slot_apps(slot)
+            self._opened_slot = slot
         for user in arriving:
             # arriving is non-empty only when the coordinator performed the
             # downloads, so the version/params pair is always present here.
@@ -428,6 +458,7 @@ class FleetShard:
         idle: Sequence[int],
         want_tick: bool,
         capture_users: bool,
+        speculate: bool = False,
     ) -> SlotExecReply:
         """Steps 2b–3: apply decisions, advance the slice, train finishers."""
         fleet = self.fleet
@@ -438,7 +469,9 @@ class FleetShard:
             base = fleet.base_params[local]
             assert base is not None  # pinned at download
             self.trainer.record(local, base, int(fleet.base_version[local]))
-        decided_idle = np.zeros(fleet.num_users, dtype=bool)
+        # Per-slot scratch owned by the fleet; advance() only reads it.
+        decided_idle = fleet._scratch_decided_idle
+        decided_idle.fill(False)
         if len(idle):
             idle_local = np.asarray(idle, dtype=np.int64) - lo
             fleet.waiting_slots[idle_local] += 1
@@ -466,11 +499,22 @@ class FleetShard:
             tick_total = float(sum(user_totals.tolist()))
             if capture_users:
                 tick_user_totals = user_totals
+        next_ready = len(fleet.ready_users())
+        spec_open = None
+        if speculate and next_ready > 0:
+            # With ready users here the coordinator's fast-forward gate
+            # (``global_ready == 0``) cannot fire, so the next protocol
+            # step for this shard is ``open_slot(slot + 1)`` — run it now
+            # and save the round trip.  ``begin_slot_apps`` never changes
+            # ready eligibility, so ``next_ready`` keeps its pre-open
+            # meaning.
+            spec_open = self.open_slot(slot + 1, (), None, None)
         return SlotExecReply(
             finished=finished,
             tick_total=tick_total,
             tick_user_totals=tick_user_totals,
-            next_ready=len(fleet.ready_users()),
+            next_ready=next_ready,
+            spec_open=spec_open,
         )
 
     # -- event-horizon fast forward (two-phase) ---------------------------------
@@ -606,6 +650,10 @@ class FleetShard:
                 f"shard [{lo}, {self.hi})"
             )
         self.fleet.load_state_dict(state["fleet"])
+        # Snapshots are only taken at boundaries whose slot has not been
+        # opened (speculation is suppressed there), so the restored shard
+        # must run the churn on its first open_slot.
+        self._opened_slot = -1
         for client, client_state in zip(self.clients, state["clients"]):
             client.optimizer.load_velocity(client_state["velocity"])
             client._rng.bit_generator.state = client_state["rng_state"]
@@ -663,6 +711,13 @@ class InlineShardHandle:
 #: points where worker-side fault events check their arming condition.
 _SLOT_METHODS = ("open_slot", "run_slot", "quiet_try")
 
+#: Replies the coordinator consumes before the same shard's next exchange,
+#: so their array payloads may stay zero-copy views over the mailbox slab.
+#: Everything else is copied on receive: ``run_slot`` uploads outlive the
+#: slot in ``CouplingCore.sync_buffer``, ``checkpoint_state`` dicts feed
+#: snapshots, and ``finalize`` accountants survive segment teardown.
+_ZERO_COPY_REPLIES = frozenset({"open_slot", "quiet_try", "quiet_commit"})
+
 
 def _maybe_inject_worker_fault(
     events: List[Dict], method: str, args: Tuple
@@ -697,31 +752,78 @@ def _maybe_inject_worker_fault(
     return False
 
 
+def _mailbox_bytes(num_users: int, param_bytes: int) -> Tuple[int, int]:
+    """Per-direction mailbox slab sizes for a shard of ``num_users``.
+
+    Requests carry at most one parameter vector per slot (the shared
+    download) plus small decision lists; replies carry the ready-pool
+    columns (~100 B/user), the per-user tick vector, and upload deltas —
+    in the worst slot every user of the shard finishes at once, each with
+    a delta and possibly an absolute vector.  Sized for that worst slot but
+    capped (a 1M-user shard would otherwise pin gigabytes of ``/dev/shm``);
+    anything larger spills to a plain pickled frame, which is a per-slot
+    slowdown, never an error.  Tests monkeypatch this to force the spill
+    path.
+    """
+    request = max(1 << 20, 2 * param_bytes + (1 << 16))
+    reply = max(1 << 22, num_users * (2 * param_bytes + 224) + (1 << 16))
+    return request, min(reply, 1 << 28)
+
+
 def _shard_worker_main(conn: Any, init_kwargs: Dict) -> None:
-    """Worker-process entry point: build the shard lazily, serve commands."""
+    """Worker-process entry point: build the shard lazily, serve commands.
+
+    Transport: every message on the pipe is a byte frame.  With a mailbox
+    attached, hot payloads live in the shared-memory slab and the frame is
+    a small doorbell (see :mod:`repro.sim.shmplane`); without one — or when
+    a payload exceeds the slab — the frame is a plain pickle.  Requests are
+    decoded copy-on-receive, so the shard may retain any argument (e.g.
+    downloaded parameter vectors) across slots.  The worker only ever
+    ``close()``-es its mapping; the coordinator owns the segment name and
+    unlinks it on every exit path.
+    """
     fault_events: List[Dict] = list(init_kwargs.pop("fault_events", ()))
+    mailbox_spec = init_kwargs.pop("mailbox", None)
+    mailbox: Optional[ShardMailbox] = None
     shard: Optional[FleetShard] = None
-    while True:
-        try:
-            # The worker has nothing to do until the coordinator speaks; the
-            # coordinator side is the one that must never block unboundedly.
-            message = conn.recv()  # reprolint: allow(unbounded-blocking): worker idle loop, exits on EOF
-        except EOFError:
-            break
-        method, args = message
-        if method == "__stop__":
-            break
-        try:
-            if shard is None:
-                shard = FleetShard.build(**init_kwargs)
-            if fault_events and _maybe_inject_worker_fault(
-                fault_events, method, args
-            ):
-                continue  # drop_message: consume the request, never reply
-            conn.send(("ok", getattr(shard, method)(*args)))
-        except BaseException:
-            conn.send(("error", traceback.format_exc()))
-    conn.close()
+    try:
+        if mailbox_spec is not None:
+            mailbox = ShardMailbox.attach(mailbox_spec)
+        while True:
+            try:
+                # The worker has nothing to do until the coordinator speaks;
+                # the coordinator side must never block unboundedly, but the
+                # worker idles here by design and exits on EOF.
+                frame = conn.recv_bytes()
+            except EOFError:
+                break
+            method, args = decode_frame(frame, mailbox)
+            if method == "__stop__":
+                break
+            try:
+                if shard is None:
+                    shard = FleetShard.build(**init_kwargs)
+                if fault_events and _maybe_inject_worker_fault(
+                    fault_events, method, args
+                ):
+                    continue  # drop_message: consume the request, never reply
+                result = getattr(shard, method)(*args)
+                conn.send_bytes(
+                    encode_frame(
+                        ("ok", result),
+                        mailbox,
+                        REPLY,
+                        copy=method not in _ZERO_COPY_REPLIES,
+                    )
+                )
+            except BaseException:
+                conn.send_bytes(
+                    encode_frame(("error", traceback.format_exc()), None, REPLY, True)
+                )
+    finally:
+        if mailbox is not None:
+            mailbox.close()
+        conn.close()
 
 
 class ProcessShardHandle:
@@ -746,6 +848,12 @@ class ProcessShardHandle:
         shard_index: position in the coordinator's handle list (carried on
             failures so the supervisor can report which shard was lost).
         ipc_timeout_s: deadline for any single :meth:`wait`.
+        mailbox_bytes: ``(request, reply)`` slab sizes for the shared-memory
+            data plane; ``None`` keeps the transport on plain pickled
+            frames (used by tests and as an escape hatch).
+        timers: coordinator timers charged with ``ipc_send`` (encode +
+            doorbell write) and ``ipc_recv`` (blocked on the shard's reply,
+            which on a saturated machine includes the remote compute).
     """
 
     def __init__(
@@ -754,35 +862,57 @@ class ProcessShardHandle:
         init_kwargs: Dict,
         shard_index: int = 0,
         ipc_timeout_s: float = 600.0,
+        mailbox_bytes: Optional[Tuple[int, int]] = None,
+        timers: Optional[EngineTimers] = None,
     ) -> None:
         if ipc_timeout_s <= 0:
             raise ValueError("ipc_timeout_s must be positive")
         self.shard_index = shard_index
         self.ipc_timeout_s = ipc_timeout_s
+        self.timers = timers
         #: Highest slot this shard was asked to execute; the supervisor
         #: consumes fault events up to here before a recovery replay.
         self.last_slot = -1
-        parent_conn, child_conn = context.Pipe()
-        self._conn = parent_conn
-        self._process = context.Process(
-            target=_shard_worker_main, args=(child_conn, init_kwargs), daemon=True
-        )
-        self._process.start()
-        child_conn.close()
+        self._mailbox: Optional[ShardMailbox] = None
+        try:
+            if mailbox_bytes is not None:
+                self._mailbox = ShardMailbox.create(*mailbox_bytes)
+                init_kwargs = dict(init_kwargs, mailbox=self._mailbox.spec())
+            parent_conn, child_conn = context.Pipe()
+            self._conn = parent_conn
+            self._process = context.Process(
+                target=_shard_worker_main, args=(child_conn, init_kwargs), daemon=True
+            )
+            self._process.start()
+            child_conn.close()
+        except BaseException:
+            # The worker never attached (or never existed): the segment
+            # must not outlive this constructor.
+            self._destroy_mailbox()
+            raise
 
     def post(self, method: str, *args: Any) -> None:
         if method in _SLOT_METHODS and args:
             self.last_slot = max(self.last_slot, int(args[0]))
+        tick = self.timers.start() if self.timers is not None else 0.0
         try:
-            self._conn.send((method, args))
+            # copy=True: the shard retains request arguments (downloaded
+            # parameter vectors, restore-state arrays) across slots, so it
+            # must never hold views over the request slab.
+            self._conn.send_bytes(
+                encode_frame((method, args), self._mailbox, REQUEST, copy=True)
+            )
         except (BrokenPipeError, OSError) as exc:
             raise ShardDied(
                 self.shard_index,
                 f"shard {self.shard_index} worker pipe is closed "
                 f"(exitcode={self._process.exitcode}): {exc}",
             ) from exc
+        if self.timers is not None:
+            self.timers.stop("ipc_send", tick)
 
     def wait(self) -> Any:
+        tick = self.timers.start() if self.timers is not None else 0.0
         deadline = time.monotonic() + self.ipc_timeout_s  # reprolint: allow(wall-clock): IPC liveness deadline, never feeds sim state
         for interval in poll_intervals():
             if self._conn.poll(interval):
@@ -804,13 +934,16 @@ class ProcessShardHandle:
                 )
         try:
             # poll() above guaranteed data (or EOF) is ready; this cannot block.
-            status, value = self._conn.recv()  # reprolint: allow(unbounded-blocking): poll-guarded, data already buffered
+            frame = self._conn.recv_bytes()
         except (EOFError, OSError) as exc:
             raise ShardDied(
                 self.shard_index,
                 f"shard {self.shard_index} worker hung up mid-reply "
                 f"(exitcode={self._process.exitcode}): {exc}",
             ) from exc
+        status, value = decode_frame(frame, self._mailbox)
+        if self.timers is not None:
+            self.timers.stop("ipc_recv", tick)
         if status == "error":
             raise RuntimeError(f"shard worker failed:\n{value}")
         return value
@@ -827,10 +960,11 @@ class ProcessShardHandle:
         if self._process.is_alive():  # pragma: no cover - defensive teardown
             self._process.kill()
             self._process.join(timeout=5)
+        self._destroy_mailbox()
 
     def close(self) -> None:
         try:
-            self._conn.send(("__stop__", ()))
+            self._conn.send_bytes(encode_frame(("__stop__", ()), None, REQUEST, True))
         except (BrokenPipeError, OSError):
             pass
         self._process.join(timeout=10)
@@ -841,6 +975,12 @@ class ProcessShardHandle:
             self._conn.close()
         except OSError:  # pragma: no cover - close on a broken pipe
             pass
+        self._destroy_mailbox()
+
+    def _destroy_mailbox(self) -> None:
+        """Close and unlink the shm segment (owner side); idempotent."""
+        if self._mailbox is not None:
+            self._mailbox.destroy()
 
 
 # ---------------------------------------------------------------------------
@@ -925,13 +1065,28 @@ def drive_fleet_loop(
 
     slot = start_slot
     total_slots = config.total_slots
+    may_checkpoint = checkpointer is not None and snapshot_fn is not None
+    # Shard upper bounds (exclusive), as searchsorted cut points for
+    # splitting ascending decision arrays along shard ownership.
+    shard_his = np.asarray([hi for _, hi in bounds[:-1]], dtype=np.int64)
+    #: Per-shard speculative ``open_slot`` replies piggybacked on the last
+    #: ``run_slot`` round; consumed (or superseded by an arrival-merging
+    #: explicit open) at the top of the next slot.
+    spec_opens: List[Optional[SlotOpenReply]] = [None] * num_shards
     while slot < total_slots:
-        if (
-            checkpointer is not None
-            and snapshot_fn is not None
-            and checkpointer.due(slot)
-        ):
-            checkpointer.take(snapshot_fn(slot, list(pending_arrivals), global_ready))
+        if may_checkpoint and checkpointer.due(slot):
+            if any(spec is not None for spec in spec_opens):
+                # A stop request raced the speculation window: the shards
+                # already opened this slot non-uniformly, so a snapshot
+                # here would not be a clean boundary.  Skip it; the due
+                # check at the next boundary sees the stop flag before
+                # speculation is allowed, so the deferral is one slot at
+                # most.
+                pass
+            else:
+                checkpointer.take(
+                    snapshot_fn(slot, list(pending_arrivals), global_ready)
+                )
         if fast_forward and not pending_arrivals and global_ready == 0:
             limit = None if checkpointer is None else checkpointer.limit(slot)
             advanced, global_ready = _fast_forward_epoch(
@@ -950,12 +1105,20 @@ def drive_fleet_loop(
         arriving_by_shard = _split_users(pending_arrivals, bounds)
         num_arrivals = len(pending_arrivals)
         pending_arrivals = []
-        for handle, arriving in zip(handles, arriving_by_shard):
+        posted = [False] * num_shards
+        for index, (handle, arriving) in enumerate(zip(handles, arriving_by_shard)):
+            if spec_opens[index] is not None and not arriving:
+                continue  # the piggybacked open already covers this shard
             version = params = None
             for user in arriving:
                 version, params = core.record_download(user, time_s)
             handle.post("open_slot", slot, arriving, version, params)
-        open_replies = [handle.wait() for handle in handles]
+            posted[index] = True
+        open_replies = [
+            handle.wait() if posted[index] else spec_opens[index]
+            for index, handle in enumerate(handles)
+        ]
+        spec_opens = [None] * num_shards
         payloads = [reply.payload for reply in open_replies]
         total_ready = sum(len(payload) for payload in payloads)
         num_training = sum(reply.num_training for reply in open_replies)
@@ -970,15 +1133,19 @@ def drive_fleet_loop(
         )
         policy_tick = timers.start()
         policy.begin_slot(context)
+        timers.stop("policy", policy_tick)
 
         # 2b. Batched decisions on the concatenated global ready pool.
         num_scheduled = 0
         scheduled_by_shard: List[List[int]] = [[] for _ in handles]
         idle_by_shard: List[List[int]] = [[] for _ in handles]
         if total_ready:
+            merge_tick = timers.start()
             batch = build_observation_batch(
                 slot, config.slot_seconds, payloads, server, core.gaps
             )
+            timers.stop("merge", merge_tick)
+            policy_tick = timers.start()
             schedule = policy.decide_all(batch)
             coupling = batch.coupling()
             for index in np.nonzero(schedule)[0]:
@@ -1005,19 +1172,33 @@ def drive_fleet_loop(
             idle_users = batch.user_ids[~schedule]
             core.gaps[idle_users] += config.epsilon
             trace.decisions["idle"] += len(idle_users)
-            scheduled_by_shard = _split_users(
-                [int(u) for u in batch.user_ids[schedule]], bounds
+            # Both selections are ascending (user_ids is), so one
+            # searchsorted against the shard upper bounds replaces a
+            # per-user bisect — and the slices ship as arrays, which
+            # pickle as one buffer instead of hundreds of ints.
+            scheduled_users = batch.user_ids[schedule]
+            scheduled_by_shard = np.split(
+                scheduled_users, np.searchsorted(scheduled_users, shard_his)
             )
-            idle_by_shard = _split_users([int(u) for u in idle_users], bounds)
-        timers.stop("policy", policy_tick)
+            idle_by_shard = np.split(idle_users, np.searchsorted(idle_users, shard_his))
+            timers.stop("policy", policy_tick)
 
         # 3. Advance every shard by one slot; each finisher's upload is
         # obtained shard-side (train-ahead batch or serial round) and
         # applied here in ascending global user order, exactly as before.
         tick_wanted = want_trace and slot % config.trace_interval_slots == 0
+        # Shards with ready users may open the next slot inside this same
+        # round trip — except across a checkpoint boundary, where the
+        # snapshot must capture a uniform not-yet-opened state.
+        speculate = slot + 1 < total_slots and not (
+            may_checkpoint and checkpointer.due(slot + 1)
+        )
         for handle, scheduled, idle in zip(handles, scheduled_by_shard, idle_by_shard):
-            handle.post("run_slot", slot, scheduled, idle, tick_wanted, capture_users)
+            handle.post(
+                "run_slot", slot, scheduled, idle, tick_wanted, capture_users, speculate
+            )
         exec_replies = [handle.wait() for handle in handles]
+        spec_opens = [reply.spec_open for reply in exec_replies]
         for reply in exec_replies:  # shard order == ascending user order
             for user, update, round_number in reply.finished:
                 if sync_mode:
@@ -1047,6 +1228,7 @@ def drive_fleet_loop(
             if num_shards == 1:
                 cumulative_j = exec_replies[0].tick_total
             else:
+                merge_tick = timers.start()
                 cumulative_j = float(
                     sum(
                         np.concatenate(
@@ -1054,6 +1236,7 @@ def drive_fleet_loop(
                         ).tolist()
                     )
                 )
+                timers.stop("merge", merge_tick)
             trace.maybe_record_slot(
                 SlotSample(
                     slot=slot,
@@ -1185,6 +1368,7 @@ def _fast_forward_epoch(
             if num_shards == 1:
                 cumulative_j = commits[0].tick_totals[index]
             else:
+                merge_tick = timers.start()
                 cumulative_j = float(
                     sum(
                         np.concatenate(
@@ -1192,6 +1376,7 @@ def _fast_forward_epoch(
                         ).tolist()
                     )
                 )
+                timers.stop("merge", merge_tick)
             core.trace.maybe_record_slot(
                 SlotSample(
                     slot=sample_slot,
@@ -1352,6 +1537,11 @@ class ShardedEngine:
             count — graceful degradation for hosts losing capacity.
             Results stay bitwise-identical (the contract is shard-count
             independent).
+        shm_plane: ship hot per-slot payloads through preallocated
+            shared-memory mailboxes (:mod:`repro.sim.shmplane`), leaving
+            the pipe as a doorbell/control channel.  ``False`` falls back
+            to fully pickled frames — bitwise-identical results, higher
+            coordination overhead.
     """
 
     def __init__(
@@ -1373,6 +1563,7 @@ class ShardedEngine:
         max_respawns: int = 3,
         recovery_every_slots: Optional[int] = None,
         degrade_on_failure: bool = False,
+        shm_plane: bool = True,
     ) -> None:
         if trace_level not in TRACE_LEVELS:
             raise ValueError(
@@ -1399,6 +1590,7 @@ class ShardedEngine:
         self.max_respawns = int(max_respawns)
         self.recovery_every_slots = recovery_every_slots
         self.degrade_on_failure = bool(degrade_on_failure)
+        self.shm_plane = bool(shm_plane)
         self._respawn_backoff = RetryPolicy(
             max_attempts=max(1, self.max_respawns),
             base_delay_s=0.05,
@@ -1558,12 +1750,19 @@ class ShardedEngine:
                     events = self.fault_injector.worker_events(index)
                     if events:
                         init_kwargs["fault_events"] = events
+                mailbox_bytes = None
+                if self.shm_plane:
+                    mailbox_bytes = _mailbox_bytes(
+                        hi - lo, int(self.server.global_params().nbytes)
+                    )
                 handles.append(
                     ProcessShardHandle(
                         context,
                         init_kwargs,
                         shard_index=index,
                         ipc_timeout_s=self.ipc_timeout_s,
+                        mailbox_bytes=mailbox_bytes,
+                        timers=self.timers,
                     )
                 )
         return handles
@@ -1720,7 +1919,9 @@ class ShardedEngine:
                 final.training_seconds for final in finals
             )
 
+        merge_tick = self.timers.start()
         accountant = FleetEnergyAccountant.merged([final.accountant for final in finals])
+        self.timers.stop("merge", merge_tick)
         queue_history = list(
             getattr(getattr(self.policy, "task_queue", None), "history", lambda: [])()
         )

@@ -9,6 +9,14 @@ engine run and buckets wall-clock into:
 * ``training`` — the real NumPy local rounds (serial or batched);
 * ``policy``  — building observations and evaluating scheduling decisions;
 * ``eval``    — held-out evaluation of the global model;
+* ``ipc_send`` — coordinator-side encode + doorbell write of shard
+  requests (zero for single-process runs);
+* ``ipc_recv`` — coordinator blocked on shard replies; on a saturated
+  host this includes the remote compute, so read it as "waiting on
+  shards", not pure transport;
+* ``merge``   — coordinator-side combination of shard outputs
+  (observation-batch concatenation, tick folds, the final accountant
+  merge);
 * ``slot_loop`` (derived) — everything else: device advancement, energy
   accounting, queues, traces, fast-forward kernels.
 
@@ -35,7 +43,7 @@ class EngineTimers:
     """
 
     #: Buckets measured directly; ``slot_loop`` is derived as the remainder.
-    CATEGORIES = ("training", "policy", "eval")
+    CATEGORIES = ("training", "policy", "eval", "ipc_send", "ipc_recv", "merge")
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = bool(enabled)
@@ -84,7 +92,7 @@ class EngineTimers:
         if shares is None:
             return "profile: timers disabled or nothing recorded"
         lines = [f"wall-clock profile ({self.total_s:.3f}s total)"]
-        ordered = ("training", "policy", "eval", "slot_loop")
+        ordered = ("training", "policy", "eval", "ipc_send", "ipc_recv", "merge", "slot_loop")
         values = dict(self.seconds, slot_loop=self.slot_loop_s())
         for name in ordered:
             lines.append(f"  {name:<10} {values[name]:8.3f}s  {100.0 * shares[name]:5.1f}%")

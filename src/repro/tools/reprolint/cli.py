@@ -34,6 +34,7 @@ from repro.tools.reprolint.rules_determinism import (
     WallClockRule,
 )
 from repro.tools.reprolint.rules_locking import LockGuardRule
+from repro.tools.reprolint.rules_shm import ShmLifecycleRule
 
 __all__ = ["default_rules", "build_parser", "run", "main"]
 
@@ -48,6 +49,7 @@ def default_rules() -> List[Rule]:
         LockGuardRule(),
         CheckpointCoverageRule(),
         UnboundedBlockingRule(),
+        ShmLifecycleRule(),
     ]
 
 

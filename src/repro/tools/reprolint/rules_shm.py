@@ -1,0 +1,142 @@
+"""Resource rule: shared-memory segments need exception-safe lifecycles.
+
+A ``multiprocessing.shared_memory.SharedMemory`` segment is a named kernel
+object: it outlives the process that created it unless someone calls
+``unlink()``, and every attached mapping pins the segment's pages until
+``close()``.  A constructor that raises *after* the segment exists — or a
+create/attach whose cleanup only runs on the happy path — therefore leaks
+``/dev/shm`` entries that survive crashes, respawns and test runs (the
+chaos suite globs for exactly this).
+
+This rule flags every ``SharedMemory(...)`` call site unless its enclosing
+function visibly owns the failure path:
+
+* the enclosing function must contain a ``try`` statement whose handler or
+  ``finally`` block calls ``.close()`` — the mapping must be released even
+  when construction of whatever wraps the segment fails;
+* a *creating* call (``create=True``) must additionally reach ``.unlink()``
+  on that failure path — a brand-new segment that escapes its creator by
+  exception is unreachable garbage by definition;
+* a module-level ``SharedMemory(...)`` call is always flagged: there is no
+  enclosing frame to own the lifecycle.
+
+The matching is syntactic (no data-flow), so a helper that constructs a
+segment and hands ownership to a caller that cleans up trips it; that is
+deliberate — such transfers of ownership carry a visible
+``# reprolint: allow(shm-lifecycle): <reason>`` audit entry instead of
+being invisible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.tools.reprolint.framework import Finding, Rule, SourceFile
+
+__all__ = ["ShmLifecycleRule"]
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _creates_segment(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return not (
+                isinstance(value, ast.Constant) and value.value is False
+            )
+    return False
+
+
+def _cleanup_calls(statements) -> Set[str]:
+    """Names of ``.close()`` / ``.unlink()`` style calls under ``statements``."""
+    names: Set[str] = set()
+    for statement in statements:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink", "destroy")
+            ):
+                names.add(node.func.attr)
+    return names
+
+
+def _failure_path_cleanup(function: ast.AST) -> Set[str]:
+    """Cleanup calls reachable on an exception path inside ``function``."""
+    names: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Try):
+            for handler in node.handlers:
+                names.update(_cleanup_calls(handler.body))
+            names.update(_cleanup_calls(node.finalbody))
+    return names
+
+
+class ShmLifecycleRule(Rule):
+    id = "shm-lifecycle"
+    summary = (
+        "SharedMemory create/attach must close() (and unlink() when "
+        "creating) on every exit path"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        # Map every node to its nearest enclosing function once.
+        enclosing: dict = {}
+
+        def visit(node: ast.AST, function: Optional[ast.AST]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    enclosing[child] = function
+                    visit(child, child)
+                else:
+                    enclosing[child] = function
+                    visit(child, function)
+
+        visit(src.tree, None)
+
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Call) and _is_shared_memory_call(node)):
+                continue
+            if src.is_allowed(self.id, node):
+                continue
+            function = enclosing.get(node)
+            if function is None:
+                yield self.finding(
+                    src,
+                    node,
+                    "module-level SharedMemory(...) has no owner for its "
+                    "lifecycle; construct segments inside a function that "
+                    "close()s (and unlink()s, if creating) on failure. "
+                    "Suppress with "
+                    "'# reprolint: allow(shm-lifecycle): <reason>'.",
+                )
+                continue
+            cleanup = _failure_path_cleanup(function)
+            missing: Tuple[str, ...] = ()
+            if not cleanup & {"close", "destroy"}:
+                missing += ("close()",)
+            if _creates_segment(node) and not cleanup & {"unlink", "destroy"}:
+                missing += ("unlink()",)
+            if missing:
+                yield self.finding(
+                    src,
+                    node,
+                    "SharedMemory(...) without "
+                    + " or ".join(missing)
+                    + " on an exception path (try/except or finally) in the "
+                    "enclosing function; a constructor that raises after "
+                    "the segment exists leaks /dev/shm entries. Suppress "
+                    "with '# reprolint: allow(shm-lifecycle): <reason>' "
+                    "when ownership is transferred elsewhere.",
+                )

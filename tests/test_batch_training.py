@@ -401,8 +401,12 @@ class TestEngineTimers:
         result = SimulationEngine(config, ImmediatePolicy(), profile=True).run()
         shares = result.timing_shares()
         assert shares is not None
-        assert set(shares) == {"training", "policy", "eval", "slot_loop"}
+        assert set(shares) == {
+            "training", "policy", "eval", "ipc_send", "ipc_recv", "merge", "slot_loop"
+        }
         assert sum(shares.values()) == pytest.approx(1.0)
+        # Single-process runs never touch the shard IPC buckets.
+        assert shares["ipc_send"] == 0.0 and shares["ipc_recv"] == 0.0
         assert result.timers.report().startswith("wall-clock profile")
 
     def test_profiling_off_by_default(self):

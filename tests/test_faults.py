@@ -258,6 +258,47 @@ class TestSupervisedRecovery:
         with pytest.raises(ShardDied):
             _chaos_run(plan, max_respawns=0)
 
+
+def _own_shm_segments():
+    """Names of this process's live mailbox segments in /dev/shm."""
+    import glob
+    import os
+
+    from repro.sim.shmplane import SEGMENT_PREFIX
+
+    return sorted(
+        glob.glob(f"/dev/shm/{SEGMENT_PREFIX}_{os.getpid()}_*")
+    )
+
+
+class TestShmHygiene:
+    """Every fault path must unlink its shared-memory mailboxes.
+
+    Segment names embed the coordinator pid, so the checks are immune to
+    leftovers from unrelated processes.
+    """
+
+    def test_sigkill_recovery_leaks_no_segments(self, fault_free):
+        plan = FaultPlan(events=[
+            FaultEvent(kind="kill_shard", at=10, shard=0),
+            FaultEvent(kind="kill_shard", at=40, shard=1),
+        ])
+        result = _chaos_run(plan)
+        assert _own_shm_segments() == []
+        _assert_bitwise(result, fault_free)
+
+    def test_degraded_reshard_leaks_no_segments(self, fault_free):
+        plan = FaultPlan(events=[FaultEvent(kind="kill_shard", at=25, shard=0)])
+        result = _chaos_run(plan, shards=3, degrade=True)
+        assert _own_shm_segments() == []
+        _assert_bitwise(result, fault_free)
+
+    def test_unsupervised_death_leaks_no_segments(self):
+        plan = FaultPlan(events=[FaultEvent(kind="kill_shard", at=25, shard=1)])
+        with pytest.raises(ShardDied):
+            _chaos_run(plan, max_respawns=0)
+        assert _own_shm_segments() == []
+
     def test_unsupervised_hang_raises_shard_timeout(self):
         plan = FaultPlan(events=[FaultEvent(kind="drop_message", at=25, shard=0)])
         with pytest.raises(ShardTimeout):

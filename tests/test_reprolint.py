@@ -419,6 +419,98 @@ class TestUnboundedBlocking:
 
 
 # ---------------------------------------------------------------------------
+# shm-lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestShmLifecycle:
+    def test_flags_create_without_cleanup(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from multiprocessing import shared_memory
+
+            def make(name, size):
+                shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+                return shm
+            """)
+        assert rule_ids(findings) == ["shm-lifecycle"]
+        assert "close()" in findings[0].message
+        assert "unlink()" in findings[0].message
+
+    def test_flags_attach_without_exception_path(self, tmp_path):
+        # close() on the happy path only: an exception between attach and
+        # close still leaks the mapping.
+        findings = lint_snippet(tmp_path, """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def peek(name):
+                shm = SharedMemory(name=name)
+                data = bytes(shm.buf[:8])
+                shm.close()
+                return data
+            """)
+        assert rule_ids(findings) == ["shm-lifecycle"]
+        assert "unlink()" not in findings[0].message  # attach only needs close
+
+    def test_flags_module_level_construction(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from multiprocessing.shared_memory import SharedMemory
+
+            SEGMENT = SharedMemory(name="fixture", create=True, size=64)
+            """)
+        assert rule_ids(findings) == ["shm-lifecycle"]
+        assert "module-level" in findings[0].message
+
+    def test_clean_guarded_lifecycles_pass(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def create(name, size):
+                shm = SharedMemory(name=name, create=True, size=size)
+                try:
+                    return wrap(shm)
+                except BaseException:
+                    shm.close()
+                    shm.unlink()
+                    raise
+
+            def attach(name):
+                shm = SharedMemory(name=name)
+                try:
+                    return bytes(shm.buf[:8])
+                finally:
+                    shm.close()
+            """)
+        assert findings == []
+
+    def test_destroy_counts_for_both(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def create(mailbox_cls, name, size):
+                shm = SharedMemory(name=name, create=True, size=size)
+                box = mailbox_cls(shm)
+                try:
+                    box.fill()
+                except Exception:
+                    box.destroy()
+                    raise
+                return box
+            """)
+        assert findings == []
+
+    def test_suppression_honored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def handoff(registry, name):
+                shm = SharedMemory(name=name)  # reprolint: allow(shm-lifecycle): registry owns teardown
+                registry.adopt(shm)
+                return shm
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # framework behaviour
 # ---------------------------------------------------------------------------
 

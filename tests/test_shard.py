@@ -150,6 +150,83 @@ class TestShardCountInvariance:
         )
         _assert_shard_invariant(config, ImmediatePolicy, shard_counts=(4,))
 
+
+class TestShmPlane:
+    """The shared-memory doorbell data plane: engaged, bypassed, spilled."""
+
+    def _config(self) -> SimulationConfig:
+        return SimulationConfig(
+            num_users=12,
+            total_slots=250,
+            app_arrival_prob=0.01,
+            seed=3,
+            num_train_samples=300,
+            num_test_samples=120,
+            eval_interval_slots=125,
+        )
+
+    def _single(self, config):
+        return _observables(
+            SimulationEngine(
+                config, OnlinePolicy(v=4000.0), backend="fleet", fast_forward=True
+            ).run(),
+            config.num_users,
+        )
+
+    def test_plane_is_engaged_and_bitwise(self, monkeypatch):
+        # The default sharded run must actually create mailbox segments and
+        # push doorbell frames through them — not silently fall back to
+        # plain pickle — while staying bitwise vs the single-process run.
+        from repro.sim import shmplane
+
+        created = []
+        encoded = []
+        real_create = shmplane.ShardMailbox.create.__func__
+        real_encode = shmplane.ShardMailbox.encode
+
+        def counting_create(cls, request_bytes, reply_bytes):
+            box = real_create(cls, request_bytes, reply_bytes)
+            created.append(box)
+            return box
+
+        def counting_encode(self, obj, region, copy):
+            frame = real_encode(self, obj, region, copy)
+            if frame and frame[0] != 0x80:  # doorbell, not pickle fallback
+                encoded.append(region)
+            return frame
+
+        monkeypatch.setattr(
+            shmplane.ShardMailbox, "create", classmethod(counting_create)
+        )
+        monkeypatch.setattr(shmplane.ShardMailbox, "encode", counting_encode)
+        config = self._config()
+        expected = self._single(config)
+        sharded = ShardedEngine(config, OnlinePolicy(v=4000.0), shards=2).run()
+        assert _observables(sharded, config.num_users) == expected
+        assert len(created) == 2  # one mailbox per shard
+        assert encoded  # doorbell frames actually carried protocol traffic
+
+    def test_plane_disabled_matches(self):
+        config = self._config()
+        expected = self._single(config)
+        sharded = ShardedEngine(
+            config, OnlinePolicy(v=4000.0), shards=2, shm_plane=False
+        ).run()
+        assert _observables(sharded, config.num_users) == expected
+
+    def test_slab_spill_falls_back_bitwise(self, monkeypatch):
+        # Shrink the mailbox until every parameter-sized payload overflows
+        # the slab: the codec must spill to plain in-band pickle (the slab
+        # is an optimization, never a correctness constraint) and the run
+        # must stay bitwise.
+        import repro.sim.shard as shard_mod
+
+        monkeypatch.setattr(shard_mod, "_mailbox_bytes", lambda n, p: (4096, 4096))
+        config = self._config()
+        expected = self._single(config)
+        sharded = ShardedEngine(config, OnlinePolicy(v=4000.0), shards=2).run()
+        assert _observables(sharded, config.num_users) == expected
+
     def test_battery_flip_inside_quiet_region(self):
         # Charging batteries re-enter the pool mid-region: the two-phase
         # quiet commit must keep every shard in lock-step.
